@@ -1,0 +1,62 @@
+/// \file bench_ablation_reduced_inv.cpp
+/// \brief Ablation — BSOFI vs dense LU for inverting the reduced matrix
+/// (DESIGN.md Sec. 7).
+///
+/// FSI's middle stage could also invert the reduced b-block p-cyclic matrix
+/// with a plain dense LU (DGETRF/DGETRI).  BSOFI exploits the p-cyclic
+/// structure (7 b^2 N^3 vs 2 (bN)^3 = 2 b^3 N^3 flops) and uses orthogonal
+/// transformations.  This bench measures both on the same reduced matrices.
+///
+///   ./bench_ablation_reduced_inv [--N 96] [--L 64]
+
+#include "common.hpp"
+
+#include "fsi/util/fpenv.hpp"
+
+#include "fsi/dense/norms.hpp"
+#include "fsi/pcyclic/explicit_inverse.hpp"
+
+int main(int argc, char** argv) {
+  fsi::util::enable_flush_to_zero();
+  using namespace fsi;
+  using namespace fsi::bench;
+  util::Cli cli(argc, argv);
+  const index_t n = cli.get_int("N", 96);
+  const index_t l = cli.get_int("L", 64);
+
+  print_header("Ablation — reduced-matrix inversion: BSOFI vs dense LU",
+               "BSOFI: 7 b^2 N^3 structured flops vs 2 b^3 N^3 dense; "
+               "both numerically stable, BSOFI wins for b >~ 4");
+
+  pcyclic::PCyclicMatrix m = make_hubbard(n, l, 2016, 4.0, 4.0);
+  util::Table t({"c", "b", "BSOFI s", "BSOFI Gflop", "LU s", "LU Gflop",
+                 "LU/BSOFI time", "rel diff"});
+  for (index_t c : {index_t{2}, index_t{4}, index_t{8}, index_t{16}}) {
+    if (l % c != 0) continue;
+    pcyclic::PCyclicMatrix reduced = selinv::cluster(m, c, 0);
+
+    util::flops::Scope f1;
+    util::WallTimer w1;
+    dense::Matrix g_bsofi = bsofi::invert(reduced);
+    const double t_bsofi = w1.seconds();
+    const double gf_bsofi = f1.elapsed() * 1e-9;
+
+    util::flops::Scope f2;
+    util::WallTimer w2;
+    dense::Matrix g_lu = bsofi::invert_dense_lu(reduced);
+    const double t_lu = w2.seconds();
+    const double gf_lu = f2.elapsed() * 1e-9;
+
+    t.add_row({util::Table::num((long long)c),
+               util::Table::num((long long)(l / c)),
+               util::Table::num(t_bsofi, 3), util::Table::num(gf_bsofi, 2),
+               util::Table::num(t_lu, 3), util::Table::num(gf_lu, 2),
+               util::Table::num(t_lu / t_bsofi, 2),
+               util::Table::sci(dense::rel_fro_error(g_bsofi, g_lu))});
+  }
+  t.print();
+  std::printf(
+      "\nshape check: the flop ratio grows like 2b/7, so dense LU falls\n"
+      "behind as b = L/c grows; the two inverses agree to rounding.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_patterns.cpp
+/// \brief Paper Sec. II-B table — selected-block counts and memory
+/// reduction factors of the four patterns, at the paper's reference shape
+/// (N, L, c) = (1000, 100, 10) plus a measured small instance.
+///
+///   ./bench_patterns [--N 64] [--L 40] [--c 5]
+
+#include "common.hpp"
+
+#include "fsi/util/fpenv.hpp"
+
+#include "fsi/pcyclic/patterns.hpp"
+
+int main(int argc, char** argv) {
+  fsi::util::enable_flush_to_zero();
+  using namespace fsi;
+  using namespace fsi::bench;
+  util::Cli cli(argc, argv);
+
+  print_header("Sec. II-B table — selected-inversion patterns",
+               "S1: b blocks (cL reduction); S2: b or b-1 (cL); "
+               "S3/S4: bL blocks (c); columns need 1/c of full-inverse memory");
+
+  // The paper's reference shape: (N, L) = (1000, 100), c = sqrt(L) = 10.
+  {
+    pcyclic::Selection sel(100, 10, 3);
+    util::Table t({"pattern", "blocks", "reduction factor", "paper"});
+    t.add_row({"S1 diagonal",
+               util::Table::num((long long)sel.block_count(pcyclic::Pattern::Diagonal)),
+               util::Table::num(sel.reduction_factor(pcyclic::Pattern::Diagonal), 0),
+               "b=10, cL=1000"});
+    t.add_row({"S2 sub-diagonal",
+               util::Table::num((long long)sel.block_count(pcyclic::Pattern::SubDiagonal)),
+               util::Table::num(sel.reduction_factor(pcyclic::Pattern::SubDiagonal), 0),
+               "b=10 (q!=0), cL=1000"});
+    t.add_row({"S3 columns",
+               util::Table::num((long long)sel.block_count(pcyclic::Pattern::Columns)),
+               util::Table::num(sel.reduction_factor(pcyclic::Pattern::Columns), 0),
+               "bL=1000, c=10"});
+    t.add_row({"S4 rows",
+               util::Table::num((long long)sel.block_count(pcyclic::Pattern::Rows)),
+               util::Table::num(sel.reduction_factor(pcyclic::Pattern::Rows), 0),
+               "bL=1000, c=10"});
+    std::printf("paper reference shape (N, L, c) = (1000, 100, 10):\n");
+    t.print();
+    std::printf("memory saving for block columns: %.0f%% (paper: 90%%)\n\n",
+                100.0 * (1.0 - 1.0 / sel.reduction_factor(pcyclic::Pattern::Columns)));
+  }
+
+  // A measured instance: actual bytes of computed selected inversions.
+  const index_t n = cli.get_int("N", 64);
+  const index_t l = cli.get_int("L", 40);
+  const index_t c = cli.get_int("c", 5);
+  pcyclic::PCyclicMatrix m = make_hubbard(n, l);
+  const double full_bytes =
+      static_cast<double>(m.dim()) * m.dim() * sizeof(double);
+
+  std::printf("measured instance (N, L, c) = (%d, %d, %d):\n", n, l, c);
+  util::Table t({"pattern", "blocks", "measured MB", "full-inverse MB",
+                 "measured reduction"});
+  util::Rng rng(3);
+  for (auto pat : {pcyclic::Pattern::Diagonal, pcyclic::Pattern::SubDiagonal,
+                   pcyclic::Pattern::Columns, pcyclic::Pattern::Rows}) {
+    selinv::FsiOptions opts;
+    opts.c = c;
+    opts.q = 2;
+    opts.pattern = pat;
+    auto s = selinv::fsi(m, opts, rng);
+    t.add_row({pcyclic::pattern_name(pat),
+               util::Table::num((long long)s.size()),
+               util::Table::num(s.bytes() / 1048576.0, 3),
+               util::Table::num(full_bytes / 1048576.0, 1),
+               util::Table::num(full_bytes / s.bytes(), 0)});
+  }
+  t.print();
+  return 0;
+}

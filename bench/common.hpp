@@ -1,0 +1,112 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared helpers for the figure/table reproduction benches.
+///
+/// Every bench binary regenerates one table or figure of the paper (see
+/// DESIGN.md experiment index) and prints the measured series side by side
+/// with the paper's expected shape.  Values derived from the analytic
+/// scaling model (this host has a single CPU core — see perfmodel.hpp) are
+/// explicitly labelled "modeled".
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/qmc/hubbard.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "fsi/selinv/perfmodel.hpp"
+#include "fsi/util/cli.hpp"
+#include "fsi/util/flops.hpp"
+#include "fsi/util/table.hpp"
+#include "fsi/util/timer.hpp"
+
+namespace fsi::bench {
+
+using dense::index_t;
+
+/// Random Hubbard matrix with the paper's validation parameters
+/// (t, beta, sigma, U) = (1, 1, 1, 2) unless overridden.
+inline pcyclic::PCyclicMatrix make_hubbard(index_t n, index_t l,
+                                           std::uint64_t seed = 2016,
+                                           double u = 2.0, double beta = 1.0,
+                                           qmc::Spin spin = qmc::Spin::Up) {
+  qmc::HubbardParams p;
+  p.t = 1.0;
+  p.u = u;
+  p.beta = beta;
+  p.l = l;
+  // A chain lattice of n sites gives the N x N kinetic blocks of Sec. V-A.
+  qmc::HubbardModel model(qmc::Lattice::chain(n), p);
+  util::Rng rng(seed);
+  qmc::HsField field(l, n, rng);
+  return model.build_m(field, spin);
+}
+
+/// Timed + flop-counted run of one FSI call; returns the per-stage profile.
+struct StageProfile {
+  selinv::StageTimes seconds;
+  std::uint64_t flops_cls = 0, flops_bsofi = 0, flops_wrap = 0;
+  double gflops(double s, std::uint64_t f) const {
+    return s > 0 ? static_cast<double>(f) / s * 1e-9 : 0.0;
+  }
+  double total_seconds() const { return seconds.total(); }
+  std::uint64_t total_flops() const {
+    return flops_cls + flops_bsofi + flops_wrap;
+  }
+};
+
+inline StageProfile profile_fsi(const pcyclic::PCyclicMatrix& m, index_t c,
+                                pcyclic::Pattern pattern, index_t q = 0) {
+  selinv::FsiOptions opts;
+  opts.c = c;
+  opts.q = q;
+  opts.pattern = pattern;
+  util::Rng rng(1);
+  selinv::FsiStats stats;
+  // Pre-factored BlockOps, as in the DQMC production loop: the wrapping
+  // stage then counts only the paper's 3(bL - b^2) N^3 move flops.
+  pcyclic::BlockOps ops(m);
+  (void)selinv::fsi(m, ops, opts, rng, &stats);
+  StageProfile p;
+  p.seconds = {stats.seconds_cls, stats.seconds_bsofi, stats.seconds_wrap};
+  p.flops_cls = stats.flops_cls;
+  p.flops_bsofi = stats.flops_bsofi;
+  p.flops_wrap = stats.flops_wrap;
+  return p;
+}
+
+/// Measured DGEMM rate at block size n (the "practical peak" reference of
+/// Fig. 8 top).
+inline double dgemm_gflops(index_t n, int reps = 0) {
+  if (reps <= 0)  // aim for ~60 ms of work so small sizes are not noisy
+    reps = std::max<int>(3, static_cast<int>(2e9 / (2.0 * n * n * n)));
+  dense::Matrix a(n, n), b(n, n), c(n, n);
+  util::Rng rng(5);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, a, b, 0.0, c);  // warm
+  util::WallTimer t;
+  for (int r = 0; r < reps; ++r)
+    dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, a, b, 0.0, c);
+  return 2.0 * n * n * n * reps / t.seconds() * 1e-9;
+}
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper result: %s\n", claim);
+  std::printf("=====================================================================\n");
+}
+
+inline void print_host_note() {
+  std::printf(
+      "[host note] this machine exposes 1 CPU core; multi-thread/multi-node\n"
+      "rows marked 'modeled' use the calibrated scaling model of\n"
+      "fsi/selinv/perfmodel.hpp (see DESIGN.md, substitutions).\n\n");
+}
+
+}  // namespace fsi::bench

@@ -1,0 +1,65 @@
+#pragma once
+/// \file blas.hpp
+/// \brief BLAS-style dense kernels (the reproduction's stand-in for MKL).
+///
+/// The paper's FSI implementation is built on Level-3 BLAS ("The main
+/// operations of the FSI algorithm are Level-3 BLAS operations, such as
+/// DGEMM").  No BLAS is installed in this environment, so these kernels are
+/// implemented from scratch: gemm uses a packed, register-blocked
+/// micro-kernel with OpenMP worksharing; trsm/trtri are recursive blocked
+/// algorithms that funnel their flops into gemm.  Every kernel credits its
+/// textbook operation count to fsi::util::flops so benches can report Gflops
+/// the same way the paper does.
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::dense {
+
+/// Transposition selector (BLAS "TRANS").
+enum class Trans { No, Yes };
+/// Operand side for triangular operations (BLAS "SIDE").
+enum class Side { Left, Right };
+/// Triangle selector (BLAS "UPLO").
+enum class Uplo { Lower, Upper };
+/// Unit-diagonal selector (BLAS "DIAG").
+enum class Diag { NonUnit, Unit };
+
+/// C := alpha * op(A) * op(B) + beta * C   (DGEMM).
+/// op(A) is m x k, op(B) is k x n, C is m x n.
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a, ConstMatrixView b,
+          double beta, MatrixView c);
+
+/// Convenience: C := A * B.
+Matrix matmul(ConstMatrixView a, ConstMatrixView b);
+
+/// y := alpha * op(A) * x + beta * y   (DGEMV).
+void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x, double beta,
+          double* y);
+
+/// A := A + alpha * x * y^T   (DGER, rank-1 update).
+void ger(double alpha, const double* x, const double* y, MatrixView a);
+
+/// B := alpha * B + A  elementwise (shapes equal).
+void axpby(double alpha_b, MatrixView b, ConstMatrixView a);
+
+/// A := alpha * A.
+void scal(double alpha, MatrixView a);
+
+/// Solve op(A) * X = alpha * B (Side::Left) or X * op(A) = alpha * B
+/// (Side::Right) for X, in-place in B.  A is triangular (DTRSM).
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+/// B := alpha * op(A) * B (Side::Left) or alpha * B * op(A) (Side::Right),
+/// A triangular (DTRMM).
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+/// In-place inversion of the triangular matrix A (DTRTRI).
+void trtri(Uplo uplo, Diag diag, MatrixView a);
+
+/// Threshold (in flops) below which kernels stay single-threaded.  Exposed so
+/// benches/tests can exercise both paths.
+inline constexpr std::size_t kParallelFlopThreshold = 1u << 21;
+
+}  // namespace fsi::dense

@@ -1,0 +1,19 @@
+#pragma once
+/// \file expm.hpp
+/// \brief Dense matrix exponential.
+///
+/// The DQMC B-matrices contain the kinetic propagator e^{t dtau K} where K is
+/// the lattice adjacency matrix (paper Sec. V-A).  QUEST computes it with a
+/// checkerboard approximation; we compute it exactly with the scaling-and-
+/// squaring Padé-13 method (Higham 2005), which is what MATLAB/SciPy expm
+/// use.  K is computed once per simulation so speed is irrelevant here.
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::dense {
+
+/// e^A for a square matrix (scaling & squaring with a [13/13] Padé
+/// approximant).
+Matrix expm(ConstMatrixView a);
+
+}  // namespace fsi::dense

@@ -1,0 +1,174 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Column-major dense matrix container and non-owning views.
+///
+/// All FSI linear algebra operates on these types.  Storage is column-major
+/// with an explicit leading dimension on views, matching the BLAS/LAPACK
+/// convention used by the paper (Intel MKL), so every kernel signature maps
+/// 1:1 onto its BLAS counterpart.  Matrix owns its storage (RAII, no raw
+/// new/delete — C++ Core Guidelines R.11); MatrixView / ConstMatrixView are
+/// cheap non-owning aliases used to address sub-blocks (e.g. the N x N blocks
+/// of an NL x NL Hubbard matrix) without copies.
+
+#include <utility>
+#include <vector>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::dense {
+
+/// Index type for matrix dimensions.  int is ample: the largest matrices in
+/// the reproduction are ~10^4 on a side, and BLAS/LAPACK use 32-bit ints.
+using index_t = int;
+
+class MatrixView;
+
+/// Non-owning read-only view of a column-major block.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    FSI_ASSERT(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  const double* data() const { return data_; }
+
+  const double& operator()(index_t i, index_t j) const {
+    FSI_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  /// Sub-block of size bm x bn with top-left corner (i, j).
+  ConstMatrixView block(index_t i, index_t j, index_t bm, index_t bn) const {
+    FSI_ASSERT(i >= 0 && j >= 0 && i + bm <= rows_ && j + bn <= cols_);
+    return {&(*this)(i, j), bm, bn, ld_};
+  }
+
+  /// Pointer to the start of column j.
+  const double* col(index_t j) const { return &(*this)(0, j); }
+
+ private:
+  const double* data_ = nullptr;
+  index_t rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Non-owning mutable view of a column-major block.
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(double* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    FSI_ASSERT(rows >= 0 && cols >= 0 && ld >= rows);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return ld_; }
+  double* data() const { return data_; }
+
+  double& operator()(index_t i, index_t j) const {
+    FSI_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * ld_ + i];
+  }
+
+  MatrixView block(index_t i, index_t j, index_t bm, index_t bn) const {
+    FSI_ASSERT(i >= 0 && j >= 0 && i + bm <= rows_ && j + bn <= cols_);
+    return {&(*this)(i, j), bm, bn, ld_};
+  }
+
+  double* col(index_t j) const { return &(*this)(0, j); }
+
+  operator ConstMatrixView() const { return {data_, rows_, cols_, ld_}; }  // NOLINT
+
+ private:
+  double* data_ = nullptr;
+  index_t rows_ = 0, cols_ = 0, ld_ = 0;
+};
+
+/// Owning column-major dense matrix (leading dimension == rows()).
+class Matrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    FSI_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  }
+
+  /// n x n identity.
+  static Matrix identity(index_t n) {
+    Matrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Deep copy of an arbitrary view (compacts the leading dimension).
+  static Matrix copy_of(ConstMatrixView v) {
+    Matrix m(v.rows(), v.cols());
+    for (index_t j = 0; j < v.cols(); ++j)
+      for (index_t i = 0; i < v.rows(); ++i) m(i, j) = v(i, j);
+    return m;
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t ld() const { return rows_; }
+  bool empty() const { return data_.empty(); }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& operator()(index_t i, index_t j) {
+    FSI_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const double& operator()(index_t i, index_t j) const {
+    FSI_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  MatrixView view() { return {data(), rows_, cols_, rows_}; }
+  ConstMatrixView view() const { return {data(), rows_, cols_, rows_}; }
+  MatrixView block(index_t i, index_t j, index_t bm, index_t bn) {
+    return view().block(i, j, bm, bn);
+  }
+  ConstMatrixView block(index_t i, index_t j, index_t bm, index_t bn) const {
+    return view().block(i, j, bm, bn);
+  }
+
+  operator MatrixView() { return view(); }             // NOLINT
+  operator ConstMatrixView() const { return view(); }  // NOLINT
+
+  /// Set every entry to \p value.
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Memory footprint in bytes (used by the Edison node memory model).
+  std::size_t bytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  index_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copy src into dst (shapes must match; leading dimensions may differ).
+void copy(ConstMatrixView src, MatrixView dst);
+
+/// dst := src^T (shapes must be transposes of each other).
+void transpose_into(ConstMatrixView src, MatrixView dst);
+
+/// Returns src^T as a fresh matrix.
+Matrix transposed(ConstMatrixView src);
+
+/// Set dst to the identity (dst must be square).
+void set_identity(MatrixView dst);
+
+/// Set every entry of dst to \p value.
+void set_all(MatrixView dst, double value);
+
+}  // namespace fsi::dense

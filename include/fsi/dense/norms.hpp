@@ -1,0 +1,28 @@
+#pragma once
+/// \file norms.hpp
+/// \brief Matrix norms and error measures.
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::dense {
+
+/// Frobenius norm ||A||_F.
+double frobenius_norm(ConstMatrixView a);
+
+/// 1-norm (max absolute column sum).
+double one_norm(ConstMatrixView a);
+
+/// Infinity norm (max absolute row sum).
+double inf_norm(ConstMatrixView a);
+
+/// Largest absolute entry.
+double max_abs(ConstMatrixView a);
+
+/// ||A - B||_F (shapes must match).
+double fro_distance(ConstMatrixView a, ConstMatrixView b);
+
+/// ||A - B||_F / ||B||_F — the relative error measure of the paper's
+/// correctness validation (Sec. V-A).  Returns ||A||_F when B is zero.
+double rel_fro_error(ConstMatrixView a, ConstMatrixView reference);
+
+}  // namespace fsi::dense

@@ -1,0 +1,57 @@
+#pragma once
+/// \file qr.hpp
+/// \brief Blocked Householder QR (DGEQRF / DORMQR family).
+///
+/// The BSOFI stage of the FSI algorithm factors 2N x N panels with
+/// Householder QR and later applies the accumulated orthogonal factors from
+/// the right (G = R^-1 Q^T).  The implementation follows LAPACK's compact-WY
+/// scheme: unblocked panel factorisation (geqr2) + T-factor accumulation
+/// (larft) + blocked application (larfb), with all heavy lifting in gemm.
+
+#include <vector>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::dense {
+
+/// In-place blocked Householder QR of an m x n matrix (m >= n): A = Q R.
+/// On exit the upper triangle holds R; the columns below the diagonal hold
+/// the Householder vectors (unit diagonal implicit); \p tau holds the n
+/// reflector coefficients.
+void geqrf(MatrixView a, std::vector<double>& tau);
+
+/// Apply Q or Q^T (as stored by geqrf in \p v / \p tau, k reflectors) to C:
+///   Side::Left : C := op(Q) C      (C has v.rows() rows)
+///   Side::Right: C := C op(Q)      (C has v.rows() columns)
+void ormqr(Side side, Trans trans, ConstMatrixView v, const std::vector<double>& tau,
+           MatrixView c);
+
+/// Owning QR factorisation.
+class QrFactorization {
+ public:
+  /// Factor \p a (consumed); requires rows >= cols.
+  explicit QrFactorization(Matrix a);
+
+  /// C := op(Q) C (Side::Left) or C := C op(Q) (Side::Right).
+  void apply_q(Side side, Trans trans, MatrixView c) const {
+    ormqr(side, trans, packed_, tau_, c);
+  }
+
+  /// The n x n upper-triangular R factor (explicit copy).
+  Matrix r() const;
+
+  /// The full m x m Q (explicit, mostly for tests).
+  Matrix q() const;
+
+  index_t rows() const { return packed_.rows(); }
+  index_t cols() const { return packed_.cols(); }
+  const Matrix& packed() const { return packed_; }
+  const std::vector<double>& tau() const { return tau_; }
+
+ private:
+  Matrix packed_;
+  std::vector<double> tau_;
+};
+
+}  // namespace fsi::dense

@@ -1,0 +1,49 @@
+#pragma once
+/// \file binary_io.hpp
+/// \brief Binary persistence for the library's value types.
+///
+/// Production DQMC campaigns checkpoint Hubbard-Stratonovich configurations
+/// and accumulated measurements between job allocations, and archive
+/// selected inversions for offline analysis.  This module provides a small
+/// tagged binary format for those objects:
+///
+///   [magic "FSIB"] [format version u32] [record tag u32] [payload ...]
+///
+/// Numbers are written in the host's native byte order (the format is a
+/// checkpoint format, not an interchange format); every loader validates
+/// magic, version, tag and dimensions and throws util::CheckError on any
+/// mismatch or truncation.
+
+#include <string>
+
+#include "fsi/dense/matrix.hpp"
+#include "fsi/pcyclic/patterns.hpp"
+#include "fsi/pcyclic/pcyclic.hpp"
+#include "fsi/qmc/hubbard.hpp"
+#include "fsi/qmc/measurements.hpp"
+
+namespace fsi::io {
+
+/// Save / load a dense matrix.
+void save_matrix(const std::string& path, dense::ConstMatrixView m);
+dense::Matrix load_matrix(const std::string& path);
+
+/// Save / load a block p-cyclic matrix (its B blocks).
+void save_pcyclic(const std::string& path, const pcyclic::PCyclicMatrix& m);
+pcyclic::PCyclicMatrix load_pcyclic(const std::string& path);
+
+/// Save / load a Hubbard-Stratonovich field.
+void save_field(const std::string& path, const qmc::HsField& field);
+qmc::HsField load_field(const std::string& path);
+
+/// Save / load an accumulated measurement set.
+void save_measurements(const std::string& path, const qmc::Measurements& m);
+qmc::Measurements load_measurements(const std::string& path);
+
+/// Save / load a selected inversion (pattern + selection + all blocks;
+/// every block must have been computed).
+void save_selected_inversion(const std::string& path,
+                             const pcyclic::SelectedInversion& s);
+pcyclic::SelectedInversion load_selected_inversion(const std::string& path);
+
+}  // namespace fsi::io

@@ -1,0 +1,92 @@
+#pragma once
+/// \file minimpi.hpp
+/// \brief In-process message-passing runtime ("mini-MPI").
+///
+/// The paper's coarse-grain level distributes thousands of Hubbard matrices
+/// over MPI ranks on NERSC Edison (Alg. 3: MPI_Scatter the HS fields,
+/// per-rank FSI, MPI_Reduce the measurement quantities).  No MPI
+/// implementation is installed in this environment, so this module provides
+/// the subset of the MPI programming model that Alg. 3 needs — ranks,
+/// point-to-point sends/receives, Barrier, Bcast, Scatter, Reduce,
+/// Allreduce — with ranks running as std::threads inside one process.
+///
+/// The API shape deliberately mirrors the MPI specification (see the LLNL
+/// MPI tutorial): cooperative operations on a communicator, rank/size
+/// addressing, root-based collectives.  Message passing is by value (data
+/// is moved/copied through a mailbox), preserving MPI's
+/// no-shared-address-space semantics so the code would port to real MPI
+/// mechanically.  Each rank can additionally set its own OpenMP team size,
+/// enabling the paper's (#MPI processes) x (#OpenMP threads) trade-off
+/// study on a single machine.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::mpi {
+
+namespace detail {
+struct Context;
+}
+
+/// Handle to the shared runtime, one per rank (cf. MPI_COMM_WORLD).
+class Communicator {
+ public:
+  /// This rank's id in [0, size()).
+  int rank() const { return rank_; }
+  /// Number of ranks in the communicator.
+  int size() const;
+
+  /// Blocking point-to-point send (cf. MPI_Send).  Tags disambiguate
+  /// independent message streams between the same pair of ranks.
+  void send(int dest, int tag, std::vector<double> data);
+
+  /// Blocking receive (cf. MPI_Recv): waits until a matching message
+  /// (source, tag) arrives.
+  std::vector<double> recv(int source, int tag);
+
+  /// Synchronise all ranks (cf. MPI_Barrier).
+  void barrier();
+
+  /// Broadcast root's buffer to every rank (cf. MPI_Bcast).
+  void bcast(std::vector<double>& data, int root);
+
+  /// Scatter equal chunks of root's send buffer (cf. MPI_Scatter).
+  /// On the root, \p sendbuf must hold size() * count elements; elsewhere it
+  /// is ignored.  Returns this rank's chunk of \p count elements.
+  std::vector<double> scatter(const std::vector<double>& sendbuf,
+                              std::size_t count, int root);
+
+  /// Element-wise sum reduction to root (cf. MPI_Reduce with MPI_SUM).
+  /// Returns the reduced vector on the root, an empty vector elsewhere.
+  std::vector<double> reduce_sum(const std::vector<double>& local, int root);
+
+  /// Element-wise sum reduction to all ranks (cf. MPI_Allreduce).
+  std::vector<double> allreduce_sum(const std::vector<double>& local);
+
+  /// Gather each rank's (equally sized) buffer to root (cf. MPI_Gather).
+  std::vector<double> gather(const std::vector<double>& local, int root);
+
+ private:
+  friend void run(int, const std::function<void(Communicator&)>&, int);
+  Communicator(detail::Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {}
+
+  detail::Context* ctx_;
+  int rank_;
+};
+
+/// Launch \p num_ranks ranks, each executing \p body with its own
+/// Communicator (cf. mpirun -np N).  If \p omp_threads_per_rank > 0, each
+/// rank's OpenMP ICV is set to that team size before \p body runs — the
+/// "(#MPI processes) x (#OpenMP threads / process)" knob of the paper's
+/// Fig. 9.  Rethrows the first exception raised by any rank after all have
+/// joined.
+void run(int num_ranks, const std::function<void(Communicator&)>& body,
+         int omp_threads_per_rank = 0);
+
+}  // namespace fsi::mpi

@@ -1,0 +1,57 @@
+#pragma once
+/// \file adjacency.hpp
+/// \brief The adjacency relations between neighbouring Green's-function
+/// blocks (Eqs. 4–7 of the paper) — the engine of the FSI wrapping stage.
+///
+/// Once any block G(k, l) is known, its four neighbours follow from one
+/// N x N matrix product or solve:
+///   up    : G(k-1, l) = B_k^-1 G(k, l)
+///   down  : G(k+1, l) = B_{k+1} G(k, l)
+///   left  : G(k, l-1) = G(k, l) B_l
+///   right : G(k, l+1) = G(k, l) B_{l+1}^-1
+/// with twelve boundary special cases (diagonal / first row / last row /
+/// first column / last column / corners) spelled out in the paper and
+/// re-derived in 0-based torus indexing in the implementation.
+///
+/// BlockOps pre-factors every B block once (LU) so that the solve-based
+/// moves (up/right) are plain triangular solves; all moves are `const` and
+/// safe to call concurrently from OpenMP threads, which is how the wrapping
+/// stage parallelises over seeds.
+
+#include <memory>
+#include <vector>
+
+#include "fsi/dense/lu.hpp"
+#include "fsi/pcyclic/pcyclic.hpp"
+
+namespace fsi::pcyclic {
+
+/// Per-matrix context for adjacency moves: holds the B blocks plus their LU
+/// factorisations.
+class BlockOps {
+ public:
+  /// Factor all L blocks (parallelised with OpenMP).
+  explicit BlockOps(const PCyclicMatrix& m);
+
+  const PCyclicMatrix& matrix() const { return m_; }
+  index_t block_size() const { return m_.block_size(); }
+  index_t num_blocks() const { return m_.num_blocks(); }
+
+  /// G(k-1, l) from g = G(k, l)   (Eq. 4, all boundary cases).
+  Matrix up(index_t k, index_t l, ConstMatrixView g) const;
+  /// G(k+1, l) from g = G(k, l)   (Eq. 5).
+  Matrix down(index_t k, index_t l, ConstMatrixView g) const;
+  /// G(k, l-1) from g = G(k, l)   (Eq. 6).
+  Matrix left(index_t k, index_t l, ConstMatrixView g) const;
+  /// G(k, l+1) from g = G(k, l)   (Eq. 7).
+  Matrix right(index_t k, index_t l, ConstMatrixView g) const;
+
+  /// LU factorisation of B[i] (shared by the FSI driver).
+  const dense::LuFactorization& lu(index_t i) const;
+
+ private:
+  const PCyclicMatrix& m_;
+  std::vector<std::unique_ptr<dense::LuFactorization>> lu_;
+};
+
+}  // namespace fsi::pcyclic

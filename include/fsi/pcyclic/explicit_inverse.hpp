@@ -1,0 +1,30 @@
+#pragma once
+/// \file explicit_inverse.hpp
+/// \brief Baseline Green's-function computations.
+///
+/// Two baselines from the paper:
+///   - the *explicit form* (Eqs. 2/3): G_kl = W_k^-1 Z_kl computed by chain
+///     multiplication, the comparator in the Sec. II-C complexity table;
+///   - the *full dense inversion* of the assembled M via LU (the "MKL
+///     DGETRF/DGETRI" comparator of the Sec. V-A correctness validation).
+
+#include "fsi/dense/matrix.hpp"
+#include "fsi/pcyclic/pcyclic.hpp"
+
+namespace fsi::pcyclic {
+
+/// G(k, l) by the explicit form (Eq. 3): W_k^-1 Z_kl with
+/// Z_kl = sign * B[k] ... B[l+1], sign = -1 iff the chain wraps (k < l).
+Matrix explicit_block(const PCyclicMatrix& m, index_t k, index_t l);
+
+/// All L blocks of block column l by the explicit form — the paper's
+/// b L^2 N^3-flop baseline when repeated for b columns.
+std::vector<Matrix> explicit_block_column(const PCyclicMatrix& m, index_t l);
+
+/// Full G = M^-1 as a dense NL x NL matrix via LU (DGETRF + DGETRI).
+Matrix full_inverse_dense(const PCyclicMatrix& m);
+
+/// Extract block (k, l) of a dense NL x NL inverse.
+Matrix dense_block(const Matrix& g, index_t n, index_t k, index_t l);
+
+}  // namespace fsi::pcyclic

@@ -1,0 +1,52 @@
+#pragma once
+/// \file binning.hpp
+/// \brief Binned error analysis for Monte Carlo observables.
+///
+/// Successive DQMC sweeps are correlated, so the naive standard error of the
+/// per-sweep samples underestimates the true statistical error.  The
+/// standard remedy is *binning*: average consecutive samples into bins long
+/// compared to the autocorrelation time, then treat the bins as independent.
+/// BinnedScalar implements that with on-line accumulation; the reported
+/// error grows with bin size until it plateaus at the decorrelated value.
+
+#include <cstddef>
+#include <vector>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::qmc {
+
+/// On-line binned mean / standard-error estimator for one scalar observable.
+class BinnedScalar {
+ public:
+  /// \p bin_capacity: samples per bin (choose >> autocorrelation time).
+  explicit BinnedScalar(std::size_t bin_capacity);
+
+  /// Add one (sign-corrected) sample.
+  void add(double value);
+
+  std::size_t num_samples() const { return count_; }
+  std::size_t num_complete_bins() const { return bins_.size(); }
+
+  /// Mean over all samples (including the partial last bin).
+  double mean() const;
+
+  /// Standard error of the mean estimated from complete bins
+  /// (sqrt(var(bin means) / n_bins)); 0 with fewer than 2 complete bins.
+  double error() const;
+
+  /// Rebin by a factor (merges adjacent bins) — used to check the error
+  /// plateau; factor must divide the current number of complete bins away
+  /// cleanly (trailing remainder bins are dropped).
+  BinnedScalar rebinned(std::size_t factor) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  double total_ = 0.0;
+  double current_sum_ = 0.0;
+  std::size_t current_count_ = 0;
+  std::vector<double> bins_;  // completed bin means
+};
+
+}  // namespace fsi::qmc

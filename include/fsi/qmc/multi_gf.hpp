@@ -1,0 +1,43 @@
+#pragma once
+/// \file multi_gf.hpp
+/// \brief Parallel application of FSI to many Green's functions
+/// (paper Alg. 3 / Fig. 5) over the mini-MPI + OpenMP hybrid.
+///
+/// DQMC needs selected inversions of tens of thousands of Hubbard matrices.
+/// The matrices are parameterised by the Hubbard-Stratonovich field, so —
+/// exactly as the paper prescribes — the root rank generates the random
+/// fields and scatters *them* (not the matrices) to the MPI ranks; each
+/// rank builds its matrices locally, runs FSI with OpenMP inside, computes
+/// local measurement quantities in the OpenMP region, and a final Reduce
+/// aggregates the global measurements on the root.
+
+#include <cstdint>
+
+#include "fsi/qmc/hubbard.hpp"
+#include "fsi/qmc/measurements.hpp"
+
+namespace fsi::qmc {
+
+/// Options of one hybrid run (paper Fig. 9 sweeps ranks x threads with the
+/// product fixed at the machine's core count).
+struct MultiGfOptions {
+  index_t num_matrices = 8;      ///< total Hubbard matrices (per spin pair)
+  int num_ranks = 2;             ///< mini-MPI ranks
+  int omp_threads_per_rank = 0;  ///< 0 = leave the OpenMP default
+  index_t cluster_size = 0;      ///< 0 = divisor of L nearest sqrt(L)
+  bool measure_time_dependent = true;
+  std::uint64_t seed = 99;
+};
+
+struct MultiGfResult {
+  Measurements global;     ///< reduced over all ranks
+  double seconds = 0.0;    ///< wall time of the parallel region
+  std::uint64_t flops = 0; ///< dense-kernel flops across all ranks/threads
+  double gflops() const { return seconds > 0 ? flops / seconds * 1e-9 : 0.0; }
+};
+
+/// Run Alg. 3: scatter fields, per-rank FSI + local measurements, reduce.
+MultiGfResult run_parallel_fsi(const HubbardModel& model,
+                               const MultiGfOptions& options);
+
+}  // namespace fsi::qmc

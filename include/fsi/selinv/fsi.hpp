@@ -1,0 +1,131 @@
+#pragma once
+/// \file fsi.hpp
+/// \brief The Fast Selected Inversion algorithm (paper Alg. 1) — the
+/// primary contribution of the reproduced paper.
+///
+/// FSI computes a selected inversion S of a block p-cyclic matrix M in three
+/// stages:
+///   1. CLS  — factor-of-c block cyclic reduction: cluster the L blocks into
+///             b = L/c products of c consecutive B's (cost 2b(c-1)N^3,
+///             embarrassingly parallel over clusters);
+///   2. BSOFI — stable structured-orthogonal inversion of the reduced b-block
+///             p-cyclic matrix (cost ~7b^2 N^3);
+///   3. WRP  — wrapping (paper Alg. 2): the b^2 blocks of the reduced inverse
+///             are exact blocks of G (Eq. 8, G~_{k0,l0} = G_{c k0-q, c l0-q});
+///             use them as seeds and the adjacency relations to grow the
+///             requested pattern (cost 3(bL - b^2)N^3, parallel over seeds).
+///
+/// The random offset q (uniform in [0, c)) shifts which blocks are selected
+/// so that, across many Green's functions in a Monte Carlo run, all of G is
+/// sampled uniformly.
+
+#include <cstdint>
+
+#include "fsi/bsofi/bsofi.hpp"
+#include "fsi/pcyclic/adjacency.hpp"
+#include "fsi/pcyclic/patterns.hpp"
+#include "fsi/pcyclic/pcyclic.hpp"
+#include "fsi/util/rng.hpp"
+
+namespace fsi::selinv {
+
+using dense::index_t;
+using pcyclic::Pattern;
+
+/// FSI parameters.
+struct FsiOptions {
+  /// Cluster size c (must divide L).  The paper recommends c ~ sqrt(L):
+  /// larger c reduces more but loses precision to round-off in the chain
+  /// products (see the stability ablation bench).
+  index_t c = 10;
+  /// Offset q in [0, c), or -1 to draw it uniformly (paper default).
+  index_t q = -1;
+  /// Which blocks of G to compute.
+  Pattern pattern = Pattern::Columns;
+  /// Coarse-grain OpenMP parallelism over clusters (CLS) and seeds (WRP).
+  /// true  = the paper's "FSI with OpenMP" mode;
+  /// false = the paper's "pure multi-threaded MKL" comparator (Figs. 8
+  ///         bottom, 10, 11): serial outer loops, threaded kernels only.
+  bool coarse_parallel = true;
+};
+
+/// Per-stage timings and flop counts of one FSI run (for the Fig. 8/10
+/// performance profiles).
+struct FsiStats {
+  double seconds_cls = 0.0;
+  double seconds_bsofi = 0.0;
+  double seconds_wrap = 0.0;
+  std::uint64_t flops_cls = 0;
+  std::uint64_t flops_bsofi = 0;
+  std::uint64_t flops_wrap = 0;
+  index_t q = 0;  ///< the offset actually used
+
+  double seconds_total() const {
+    return seconds_cls + seconds_bsofi + seconds_wrap;
+  }
+  std::uint64_t flops_total() const {
+    return flops_cls + flops_bsofi + flops_wrap;
+  }
+};
+
+/// Stage 1 (CLS): factor-of-c block cyclic reduction.  Returns the reduced
+/// b-block p-cyclic matrix whose blocks are
+///   B~_{i} = B_{j0} B_{j0-1} ... B_{j0-c+1},  j0 = c(i+1) - q - 1 (0-based),
+/// cyclic in the block index.  Cluster products run in parallel (OpenMP).
+pcyclic::PCyclicMatrix cluster(const pcyclic::PCyclicMatrix& m, index_t c,
+                               index_t q, bool parallel = true);
+
+/// Stage 3 (WRP): grow the selected inversion from the reduced inverse
+/// \p gtilde (a dense bN x bN matrix, as produced by bsofi::invert).
+/// Seeds are processed in parallel (OpenMP); each seed walks
+/// floor((c-1)/2) steps one way and floor(c/2) the other so consecutive
+/// seeds tile the pattern exactly (paper Alg. 2).
+pcyclic::SelectedInversion wrap(const pcyclic::BlockOps& ops,
+                                const dense::Matrix& gtilde, Pattern pattern,
+                                const pcyclic::Selection& sel,
+                                bool parallel = true);
+
+/// The full FSI algorithm (paper Alg. 1).  \p rng supplies the random q
+/// when opts.q < 0.  \p stats, when non-null, receives per-stage
+/// times/flops.  Pre-factored \p ops must wrap the same matrix \p m.
+pcyclic::SelectedInversion fsi(const pcyclic::PCyclicMatrix& m,
+                               const pcyclic::BlockOps& ops,
+                               const FsiOptions& opts, util::Rng& rng,
+                               FsiStats* stats = nullptr);
+
+/// Convenience overload that builds the BlockOps internally (its
+/// factorisation time is attributed to the wrapping stage, which is the
+/// only consumer).
+pcyclic::SelectedInversion fsi(const pcyclic::PCyclicMatrix& m,
+                               const FsiOptions& opts, util::Rng& rng,
+                               FsiStats* stats = nullptr);
+
+/// Multi-pattern FSI: run CLS + BSOFI *once* and wrap several patterns from
+/// the shared reduced inverse — the DQMC measurement workload (all
+/// diagonals + block rows + block columns per Green's function, Fig. 10)
+/// without re-reducing per pattern.  All patterns share the same q.
+/// Results are returned in the order of \p patterns.
+std::vector<pcyclic::SelectedInversion> fsi_multi(
+    const pcyclic::PCyclicMatrix& m, const pcyclic::BlockOps& ops,
+    const std::vector<Pattern>& patterns, const FsiOptions& opts,
+    util::Rng& rng, FsiStats* stats = nullptr);
+
+/// Stable computation of the single equal-time block G(k, k) via CLS and a
+/// *partial* BSOFI (one block row of the reduced inverse, O(b N^3) instead
+/// of O(b^2 N^3)) — the economical path for one Green's function block.
+/// The offset q is chosen internally so that k is a seed index.
+dense::Matrix equal_time_block(const pcyclic::PCyclicMatrix& m, index_t k,
+                               index_t c);
+
+/// Closed-form flop counts from the paper's Sec. II-C complexity table,
+/// used by the complexity bench to compare measured vs predicted.
+struct ComplexityModel {
+  index_t n_block, l_total, c;
+  index_t b() const { return l_total / c; }
+  /// FSI flops for the pattern (paper: [2(c-1)+7b]bN^3, [2c+7b]bN^3, 3b^2cN^3).
+  double fsi_flops(Pattern pattern) const;
+  /// Explicit-form flops (paper: 2b^2cN^3, 4b^2cN^3, b^3c^2N^3).
+  double explicit_flops(Pattern pattern) const;
+};
+
+}  // namespace fsi::selinv

@@ -1,0 +1,62 @@
+#pragma once
+/// \file perfmodel.hpp
+/// \brief Analytic multi-thread / multi-node performance model.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md): the paper's scaling experiments ran on
+/// 12-core Ivy Bridge sockets and 100 Edison nodes.  This reproduction host
+/// exposes a single CPU core, so hardware thread-scaling cannot be measured
+/// directly.  Instead the benches measure the *serial* per-stage times and
+/// flop counts (which they can, exactly) and extrapolate with the Amdahl-style
+/// model below, whose two free parameters — the kernel-parallel fraction of
+/// the "pure threaded-MKL" mode and the coarse-grain fraction of the
+/// FSI/OpenMP mode — are calibrated once against the paper's reported
+/// endpoints (MKL ~1.9x and FSI ~10x at 12 threads, Fig. 8 bottom).  All
+/// model-derived numbers are labelled "modeled" in bench output.
+///
+/// The model is deliberately simple and inspectable:
+///   - FSI/OpenMP mode: CLS is b-way parallel, WRP is b^2-way parallel
+///     (embarrassingly so, per the paper); BSOFI is a dependent panel chain
+///     whose R^-1 stage is b-way parallel; a small per-thread overhead grows
+///     linearly.
+///   - MKL-style mode: the only parallelism is inside dense kernels; its
+///     efficiency depends on the block size N (small blocks don't saturate
+///     threaded BLAS).
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::selinv {
+
+/// Measured serial wall times of the three FSI stages.
+struct StageTimes {
+  double cls = 0.0;
+  double bsofi = 0.0;
+  double wrap = 0.0;
+  double total() const { return cls + bsofi + wrap; }
+};
+
+/// Fraction of MKL-style work that threaded kernels can parallelise, as a
+/// function of the block size N.  Calibrated so a 12-thread run gives the
+/// paper's ~1.9x at N ~ 576 and less for smaller blocks.
+double mkl_parallel_fraction(dense::index_t n_block);
+
+/// Modeled speedup of an Amdahl workload: 1 / ((1-f) + f/p).
+double amdahl_speedup(double parallel_fraction, int threads);
+
+/// Modeled wall time of one FSI call with \p threads OpenMP threads in the
+/// paper's FSI/OpenMP mode.  \p b is the number of clusters (= L/c).
+double fsi_openmp_time(const StageTimes& serial, int threads, dense::index_t b);
+
+/// Modeled wall time in the "pure multi-threaded MKL" mode.
+double mkl_style_time(const StageTimes& serial, int threads,
+                      dense::index_t n_block);
+
+/// Modeled aggregate rate (flops/sec) of the hybrid Alg. 3 application on
+/// `nodes` Edison-like nodes with `ranks_per_node` x `threads_per_rank`
+/// (their product = cores per node), given the measured single-core rate
+/// for one matrix.  MPI over independent matrices is embarrassingly
+/// parallel; the intra-rank OpenMP efficiency follows fsi_openmp_time.
+double hybrid_rate(double single_core_flops_per_sec, int nodes,
+                   int ranks_per_node, int threads_per_rank,
+                   const StageTimes& serial_profile, dense::index_t b);
+
+}  // namespace fsi::selinv

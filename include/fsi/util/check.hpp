@@ -1,0 +1,44 @@
+#pragma once
+/// \file check.hpp
+/// \brief Error-handling macros used across the FSI libraries.
+///
+/// Two tiers, following the C++ Core Guidelines (I.6/I.8: state preconditions
+/// and postconditions):
+///   - FSI_CHECK(cond, msg): always-on precondition check; throws
+///     fsi::util::CheckError. Used on public API boundaries where the cost is
+///     negligible compared to the O(N^3) work behind it.
+///   - FSI_ASSERT(cond): debug-only internal invariant check (compiled out in
+///     release builds via NDEBUG), used inside hot kernels.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <cassert>
+
+namespace fsi::util {
+
+/// Exception thrown by FSI_CHECK on a violated precondition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "FSI_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace fsi::util
+
+#define FSI_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::fsi::util::check_failed(#cond, __FILE__, __LINE__, (msg));        \
+    }                                                                     \
+  } while (0)
+
+#define FSI_ASSERT(cond) assert(cond)

@@ -1,0 +1,32 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal command-line flag parsing for benches and examples.
+///
+/// All bench binaries run with paper-shaped defaults scaled to a single
+/// server; flags such as --N, --L, --c, --threads restore the paper's sizes.
+/// Syntax: --name value  or  --name=value.
+
+#include <string>
+
+namespace fsi::util {
+
+/// Parses "--name value" / "--name=value" style flags from argv.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Value of flag \p name, or \p fallback if absent.
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  /// True if "--name" appears (with or without a value).
+  bool has(const std::string& name) const;
+
+ private:
+  const char* find(const std::string& name) const;
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace fsi::util

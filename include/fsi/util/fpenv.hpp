@@ -1,0 +1,20 @@
+#pragma once
+/// \file fpenv.hpp
+/// \brief Floating-point environment control.
+///
+/// The kinetic propagator e^{t dtau K} has entries that decay exponentially
+/// with lattice distance; for large N they reach the subnormal range, and
+/// subnormal arithmetic runs ~10-100x slower on x86.  The paper's
+/// environment (Intel compilers + MKL on Edison) runs with FTZ/DAZ
+/// (flush-to-zero / denormals-are-zero) enabled by default, so the bench
+/// binaries opt into the same mode for comparable throughput.  Tests keep
+/// strict IEEE semantics (they never call this).
+
+namespace fsi::util {
+
+/// Enable FTZ + DAZ on this thread (x86 MXCSR bits 15 and 6).  No effect on
+/// non-x86 builds.  Each OpenMP / mini-MPI worker thread inherits the mode
+/// only if it was set before thread creation, so call this first in main().
+void enable_flush_to_zero() noexcept;
+
+}  // namespace fsi::util

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// \brief Console table formatting for the benchmark harnesses.
+///
+/// Every bench binary reproduces a table or figure from the paper; this
+/// printer renders the measured series in the same rows/columns layout the
+/// paper reports, so EXPERIMENTS.md can be filled in by copy-paste.
+
+#include <string>
+#include <vector>
+
+namespace fsi::util {
+
+/// A simple right-aligned console table.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells are already-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with box-drawing separators to a string.
+  std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  /// Format a double with \p precision significant decimal digits.
+  static std::string num(double v, int precision = 2);
+  /// Format an integer.
+  static std::string num(long long v);
+  /// Format a double in scientific notation (for errors / flop counts).
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsi::util

@@ -1,0 +1,45 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers used by the benchmark harnesses.
+
+#include <chrono>
+
+namespace fsi::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time into a named bucket; used for the per-stage
+/// (CLS / BSOFI / WRP) runtime profiles of Fig. 8 and Fig. 10.
+class StageTimer {
+ public:
+  /// RAII guard: adds the guarded scope's duration to \p bucket.
+  class Guard {
+   public:
+    explicit Guard(double& bucket) : bucket_(bucket) {}
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { bucket_ += timer_.seconds(); }
+
+   private:
+    double& bucket_;
+    WallTimer timer_;
+  };
+};
+
+}  // namespace fsi::util

@@ -1,0 +1,74 @@
+/// \file blas12.cpp
+/// \brief Level-1/2 BLAS kernels: gemv, ger, axpby, scal.
+///
+/// These appear on two hot paths: the DQMC rank-1 Green's function update
+/// (ger + gemv at every accepted Metropolis flip) and small fix-ups inside
+/// the factorisations.  They are kept simple and cache-friendly
+/// (column-major traversal) and credit their flops like the Level-3 kernels.
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/util/flops.hpp"
+
+namespace fsi::dense {
+
+void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x, double beta,
+          double* y) {
+  const index_t m = a.rows(), n = a.cols();
+  const index_t ylen = (ta == Trans::No) ? m : n;
+  if (beta == 0.0) {
+    for (index_t i = 0; i < ylen; ++i) y[i] = 0.0;
+  } else if (beta != 1.0) {
+    for (index_t i = 0; i < ylen; ++i) y[i] *= beta;
+  }
+  util::flops::add(2ull * m * n);
+  if (ta == Trans::No) {
+    for (index_t j = 0; j < n; ++j) {
+      const double axj = alpha * x[j];
+      if (axj == 0.0) continue;
+      const double* aj = a.col(j);
+#pragma omp simd
+      for (index_t i = 0; i < m; ++i) y[i] += aj[i] * axj;
+    }
+  } else {
+    for (index_t j = 0; j < n; ++j) {
+      const double* aj = a.col(j);
+      double dot = 0.0;
+#pragma omp simd reduction(+ : dot)
+      for (index_t i = 0; i < m; ++i) dot += aj[i] * x[i];
+      y[j] += alpha * dot;
+    }
+  }
+}
+
+void ger(double alpha, const double* x, const double* y, MatrixView a) {
+  const index_t m = a.rows(), n = a.cols();
+  util::flops::add(2ull * m * n);
+  for (index_t j = 0; j < n; ++j) {
+    const double ayj = alpha * y[j];
+    if (ayj == 0.0) continue;
+    double* aj = a.col(j);
+#pragma omp simd
+    for (index_t i = 0; i < m; ++i) aj[i] += x[i] * ayj;
+  }
+}
+
+void axpby(double alpha_b, MatrixView b, ConstMatrixView a) {
+  FSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "axpby: shape mismatch");
+  util::flops::add(2ull * a.rows() * a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double* bj = b.col(j);
+    const double* aj = a.col(j);
+#pragma omp simd
+    for (index_t i = 0; i < a.rows(); ++i) bj[i] = alpha_b * bj[i] + aj[i];
+  }
+}
+
+void scal(double alpha, MatrixView a) {
+  util::flops::add(static_cast<std::uint64_t>(a.rows()) * a.cols());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double* aj = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) aj[i] *= alpha;
+  }
+}
+
+}  // namespace fsi::dense

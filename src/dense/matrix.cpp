@@ -1,0 +1,42 @@
+#include "fsi/dense/matrix.hpp"
+
+#include <cstring>
+
+namespace fsi::dense {
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  FSI_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+            "copy: shape mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    std::memcpy(dst.col(j), src.col(j), sizeof(double) * src.rows());
+}
+
+void transpose_into(ConstMatrixView src, MatrixView dst) {
+  FSI_CHECK(src.rows() == dst.cols() && src.cols() == dst.rows(),
+            "transpose_into: shape mismatch");
+  for (index_t j = 0; j < src.cols(); ++j) {
+    const double* sj = src.col(j);
+    for (index_t i = 0; i < src.rows(); ++i) dst(j, i) = sj[i];
+  }
+}
+
+Matrix transposed(ConstMatrixView src) {
+  Matrix t(src.cols(), src.rows());
+  transpose_into(src, t);
+  return t;
+}
+
+void set_identity(MatrixView dst) {
+  FSI_CHECK(dst.rows() == dst.cols(), "set_identity: matrix must be square");
+  set_all(dst, 0.0);
+  for (index_t i = 0; i < dst.rows(); ++i) dst(i, i) = 1.0;
+}
+
+void set_all(MatrixView dst, double value) {
+  for (index_t j = 0; j < dst.cols(); ++j) {
+    double* dj = dst.col(j);
+    for (index_t i = 0; i < dst.rows(); ++i) dj[i] = value;
+  }
+}
+
+}  // namespace fsi::dense

@@ -1,0 +1,67 @@
+#include "fsi/dense/norms.hpp"
+
+#include <cmath>
+
+namespace fsi::dense {
+
+double frobenius_norm(ConstMatrixView a) {
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) s += col[i] * col[i];
+  }
+  return std::sqrt(s);
+}
+
+double one_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    double s = 0.0;
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) s += std::fabs(col[i]);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double inf_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double max_abs(ConstMatrixView a) {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::fabs(col[i]));
+  }
+  return best;
+}
+
+double fro_distance(ConstMatrixView a, ConstMatrixView b) {
+  FSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "fro_distance: shape mismatch");
+  double s = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* ca = a.col(j);
+    const double* cb = b.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double d = ca[i] - cb[i];
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+double rel_fro_error(ConstMatrixView a, ConstMatrixView reference) {
+  const double denom = frobenius_norm(reference);
+  const double dist = fro_distance(a, reference);
+  return denom == 0.0 ? dist : dist / denom;
+}
+
+}  // namespace fsi::dense

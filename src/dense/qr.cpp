@@ -1,0 +1,171 @@
+#include "fsi/dense/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fsi/util/flops.hpp"
+
+namespace fsi::dense {
+namespace {
+
+constexpr index_t kQrPanel = 48;
+
+/// Generate an elementary reflector H = I - tau v v^T with v(0) = 1 such
+/// that H [alpha; x] = [beta; 0]   (DLARFG).
+double larfg(double& alpha, double* x, index_t n) {
+  double xnorm2 = 0.0;
+  for (index_t i = 0; i < n; ++i) xnorm2 += x[i] * x[i];
+  if (xnorm2 == 0.0) return 0.0;  // already triangular; H = I
+  const double beta = -std::copysign(std::sqrt(alpha * alpha + xnorm2), alpha);
+  const double tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (index_t i = 0; i < n; ++i) x[i] *= inv;
+  alpha = beta;
+  return tau;
+}
+
+/// Unblocked panel QR (DGEQR2).
+void geqr2(MatrixView a, double* tau) {
+  const index_t m = a.rows(), n = a.cols();
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n && j < m; ++j) {
+    double* below = (j + 1 < m) ? a.col(j) + (j + 1) : nullptr;
+    tau[j] = larfg(a(j, j), below, m - j - 1);
+    if (tau[j] == 0.0 || j + 1 >= n) continue;
+    // Apply H_j to the trailing columns: A := (I - tau v v^T) A.
+    const double beta = a(j, j);
+    a(j, j) = 1.0;  // temporarily store the full v (unit head)
+    ConstMatrixView trail = a.block(j, j + 1, m - j, n - j - 1);
+    MatrixView trail_mut = a.block(j, j + 1, m - j, n - j - 1);
+    gemv(Trans::Yes, 1.0, trail, a.col(j) + j, 0.0, w.data());
+    ger(-tau[j], a.col(j) + j, w.data(), trail_mut);
+    a(j, j) = beta;
+  }
+}
+
+/// Form the upper-triangular T of the compact-WY representation
+/// Q = I - V T V^T from the k reflectors in v/tau (DLARFT, forward
+/// columnwise).  V is m x k, unit lower trapezoidal as stored by geqr2.
+void larft(ConstMatrixView v, const double* tau, MatrixView t) {
+  const index_t m = v.rows(), k = v.cols();
+  for (index_t i = 0; i < k; ++i) {
+    t(i, i) = tau[i];
+    if (i == 0) continue;
+    // t(0:i, i) = -tau_i * V(:, 0:i)^T v_i, then T(0:i,0:i) * that.
+    // v_i has implicit unit at row i and zeros above.
+    for (index_t j = 0; j < i; ++j) {
+      double dot = v(i, j);  // unit head of v_i times V(i, j)
+      for (index_t r = i + 1; r < m; ++r) dot += v(r, j) * v(r, i);
+      t(j, i) = -tau[i] * dot;
+    }
+    util::flops::add(2ull * (m - i) * i);
+    // t(0:i, i) := T(0:i, 0:i) * t(0:i, i) (in-place trmv, upper).
+    for (index_t r = 0; r < i; ++r) {
+      double s = t(r, r) * t(r, i);
+      for (index_t p = r + 1; p < i; ++p) s += t(r, p) * t(p, i);
+      t(r, i) = s;
+    }
+  }
+}
+
+/// Copy the unit lower-trapezoidal V out of the packed QR storage into a
+/// clean workspace (zeros above the diagonal, explicit unit diagonal), so
+/// gemm can consume it directly.
+Matrix extract_v(ConstMatrixView packed) {
+  const index_t m = packed.rows(), k = packed.cols();
+  Matrix v(m, k);
+  for (index_t j = 0; j < k; ++j) {
+    v(j, j) = 1.0;
+    for (index_t i = j + 1; i < m; ++i) v(i, j) = packed(i, j);
+  }
+  return v;
+}
+
+/// Apply the block reflector H = I - V T V^T (or H^T) to C (DLARFB).
+void larfb(Side side, Trans trans, ConstMatrixView v, ConstMatrixView t,
+           MatrixView c) {
+  const Trans t_op = (trans == Trans::No) ? Trans::No : Trans::Yes;
+  if (side == Side::Left) {
+    // C := (I - V T' V^T) C  =  C - V T' (V^T C).
+    Matrix w(v.cols(), c.cols());
+    gemm(Trans::Yes, Trans::No, 1.0, v, c, 0.0, w);
+    trmm(Side::Left, Uplo::Upper, t_op, Diag::NonUnit, 1.0, t, w);
+    gemm(Trans::No, Trans::No, -1.0, v, w, 1.0, c);
+  } else {
+    // C := C (I - V T' V^T)  =  C - (C V) T' V^T.
+    Matrix w(c.rows(), v.cols());
+    gemm(Trans::No, Trans::No, 1.0, c, v, 0.0, w);
+    trmm(Side::Right, Uplo::Upper, t_op, Diag::NonUnit, 1.0, t, w);
+    gemm(Trans::No, Trans::Yes, -1.0, w, v, 1.0, c);
+  }
+}
+
+}  // namespace
+
+void geqrf(MatrixView a, std::vector<double>& tau) {
+  const index_t m = a.rows(), n = a.cols();
+  FSI_CHECK(m >= n, "geqrf: requires rows >= cols");
+  tau.assign(static_cast<std::size_t>(n), 0.0);
+  for (index_t jb = 0; jb < n; jb += kQrPanel) {
+    const index_t nb = std::min(kQrPanel, n - jb);
+    MatrixView panel = a.block(jb, jb, m - jb, nb);
+    geqr2(panel, tau.data() + jb);
+    util::flops::add(2ull * (m - jb) * nb * nb);
+    if (jb + nb < n) {
+      Matrix v = extract_v(panel);
+      Matrix t(nb, nb);
+      larft(v, tau.data() + jb, t);
+      larfb(Side::Left, Trans::Yes, v, t,
+            a.block(jb, jb + nb, m - jb, n - jb - nb));
+    }
+  }
+}
+
+void ormqr(Side side, Trans trans, ConstMatrixView vfull,
+           const std::vector<double>& tau, MatrixView c) {
+  const index_t m = vfull.rows();
+  const index_t k = vfull.cols();
+  FSI_CHECK(static_cast<index_t>(tau.size()) >= k, "ormqr: tau too short");
+  FSI_CHECK((side == Side::Left ? c.rows() : c.cols()) == m,
+            "ormqr: C dimension must match Q order");
+
+  // Q = H_0 H_1 ... H_{k-1}.  Block application order (LAPACK dormqr):
+  //   Left  + Trans::Yes (Q^T C): forward      Left  + No (Q C): backward
+  //   Right + Trans::No  (C Q)  : forward      Right + Yes (C Q^T): backward
+  const bool forward = (side == Side::Left) == (trans == Trans::Yes);
+
+  std::vector<index_t> starts;
+  for (index_t jb = 0; jb < k; jb += kQrPanel) starts.push_back(jb);
+  if (!forward) std::reverse(starts.begin(), starts.end());
+
+  for (index_t jb : starts) {
+    const index_t nb = std::min(kQrPanel, k - jb);
+    Matrix v = extract_v(vfull.block(jb, jb, m - jb, nb));
+    Matrix t(nb, nb);
+    larft(v, tau.data() + jb, t);
+    if (side == Side::Left)
+      larfb(side, trans, v, t, c.block(jb, 0, m - jb, c.cols()));
+    else
+      larfb(side, trans, v, t, c.block(0, jb, c.rows(), m - jb));
+  }
+}
+
+QrFactorization::QrFactorization(Matrix a) : packed_(std::move(a)) {
+  geqrf(packed_, tau_);
+}
+
+Matrix QrFactorization::r() const {
+  const index_t n = packed_.cols();
+  Matrix r(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = packed_(i, j);
+  return r;
+}
+
+Matrix QrFactorization::q() const {
+  Matrix q = Matrix::identity(packed_.rows());
+  apply_q(Side::Left, Trans::No, q);
+  return q;
+}
+
+}  // namespace fsi::dense

@@ -1,0 +1,358 @@
+/// \file triangular.cpp
+/// \brief Triangular kernels: trsm, trmm (recursive blocked), trtri.
+///
+/// trsm, trmm and trtri use the standard divide-and-conquer formulation so
+/// that almost all of their flops are executed inside gemm, which is where
+/// the machine-tuned code lives — the same strategy LAPACK uses with its
+/// blocked drivers on top of Level-3 BLAS.  The recursions only ever hand
+/// gemm rectangular off-diagonal blocks, so matrices that carry unrelated
+/// data in the opposite triangle (e.g. the packed LU factors) are handled
+/// correctly.
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/util/flops.hpp"
+
+namespace fsi::dense {
+namespace {
+
+constexpr index_t kTriBase = 64;  // unblocked base-case size
+
+double diag_coeff(ConstMatrixView a, Diag diag, index_t i) {
+  return diag == Diag::Unit ? 1.0 : a(i, i);
+}
+
+void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
+                    MatrixView b) {
+  const index_t n = a.rows();
+  const index_t m = (side == Side::Left) ? b.cols() : b.rows();
+  util::flops::add(static_cast<std::uint64_t>(n) * n * m);
+
+  if (side == Side::Left) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double* bj = b.col(j);
+      if (uplo == Uplo::Lower && trans == Trans::No) {
+        for (index_t p = 0; p < n; ++p) {
+          if (diag == Diag::NonUnit) bj[p] /= a(p, p);
+          const double bpj = bj[p];
+          for (index_t i = p + 1; i < n; ++i) bj[i] -= a(i, p) * bpj;
+        }
+      } else if (uplo == Uplo::Lower && trans == Trans::Yes) {
+        for (index_t p = n - 1; p >= 0; --p) {
+          double dot = 0.0;
+          const double* ap = a.col(p);
+          for (index_t i = p + 1; i < n; ++i) dot += ap[i] * bj[i];
+          bj[p] = (bj[p] - dot) / diag_coeff(a, diag, p);
+        }
+      } else if (uplo == Uplo::Upper && trans == Trans::No) {
+        for (index_t p = n - 1; p >= 0; --p) {
+          if (diag == Diag::NonUnit) bj[p] /= a(p, p);
+          const double bpj = bj[p];
+          const double* ap = a.col(p);
+          for (index_t i = 0; i < p; ++i) bj[i] -= ap[i] * bpj;
+        }
+      } else {  // Upper, Trans
+        for (index_t p = 0; p < n; ++p) {
+          double dot = 0.0;
+          const double* ap = a.col(p);
+          for (index_t i = 0; i < p; ++i) dot += ap[i] * bj[i];
+          bj[p] = (bj[p] - dot) / diag_coeff(a, diag, p);
+        }
+      }
+    }
+    return;
+  }
+
+  // Side::Right: solve X * op(A) = B in-place, column-by-column of X.
+  const index_t rows = b.rows();
+  auto axpy_col = [&](double coeff, index_t src, index_t dst) {
+    if (coeff == 0.0) return;
+    const double* s = b.col(src);
+    double* d = b.col(dst);
+#pragma omp simd
+    for (index_t i = 0; i < rows; ++i) d[i] -= coeff * s[i];
+  };
+  auto div_col = [&](index_t j) {
+    if (diag == Diag::Unit) return;
+    const double inv = 1.0 / a(j, j);
+    double* d = b.col(j);
+    for (index_t i = 0; i < rows; ++i) d[i] *= inv;
+  };
+  const bool forward = (uplo == Uplo::Upper) == (trans == Trans::No);
+  if (forward) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t p = 0; p < j; ++p)
+        axpy_col(trans == Trans::No ? a(p, j) : a(j, p), p, j);
+      div_col(j);
+    }
+  } else {
+    for (index_t j = n - 1; j >= 0; --j) {
+      for (index_t p = j + 1; p < n; ++p)
+        axpy_col(trans == Trans::No ? a(p, j) : a(j, p), p, j);
+      div_col(j);
+    }
+  }
+}
+
+void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
+              MatrixView b) {
+  const index_t n = a.rows();
+  if (n <= kTriBase) {
+    trsm_unblocked(side, uplo, trans, diag, a, b);
+    return;
+  }
+  const index_t h = n / 2;
+  ConstMatrixView a11 = a.block(0, 0, h, h);
+  ConstMatrixView a12 = a.block(0, h, h, n - h);
+  ConstMatrixView a21 = a.block(h, 0, n - h, h);
+  ConstMatrixView a22 = a.block(h, h, n - h, n - h);
+
+  if (side == Side::Left) {
+    MatrixView b1 = b.block(0, 0, h, b.cols());
+    MatrixView b2 = b.block(h, 0, n - h, b.cols());
+    if (uplo == Uplo::Lower && trans == Trans::No) {
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::No, -1.0, a21, b1, 1.0, b2);
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+    } else if (uplo == Uplo::Lower && trans == Trans::Yes) {
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::Yes, Trans::No, -1.0, a21, b2, 1.0, b1);
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+    } else if (uplo == Uplo::Upper && trans == Trans::No) {
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::No, -1.0, a12, b2, 1.0, b1);
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+    } else {
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::Yes, Trans::No, -1.0, a12, b1, 1.0, b2);
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+    }
+  } else {
+    MatrixView b1 = b.block(0, 0, b.rows(), h);
+    MatrixView b2 = b.block(0, h, b.rows(), n - h);
+    if (uplo == Uplo::Upper && trans == Trans::No) {
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::No, -1.0, b1, a12, 1.0, b2);
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+    } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::Yes, -1.0, b2, a12, 1.0, b1);
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+    } else if (uplo == Uplo::Lower && trans == Trans::No) {
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::No, -1.0, b2, a21, 1.0, b1);
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+    } else {
+      trsm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::Yes, -1.0, b1, a21, 1.0, b2);
+      trsm_rec(side, uplo, trans, diag, a22, b2);
+    }
+  }
+}
+
+void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
+                    MatrixView b) {
+  const index_t n = a.rows();
+  util::flops::add(static_cast<std::uint64_t>(n) * n *
+                   ((side == Side::Left) ? b.cols() : b.rows()));
+
+  if (side == Side::Left) {
+    // Row i of the result mixes rows p of B; traversal order is chosen so
+    // every row is consumed before being overwritten.
+    const bool ascending = (uplo == Uplo::Upper) == (trans == Trans::No);
+    for (index_t j = 0; j < b.cols(); ++j) {
+      double* bj = b.col(j);
+      auto run = [&](index_t i) {
+        double s = diag_coeff(a, diag, i) * bj[i];
+        if (uplo == Uplo::Upper && trans == Trans::No) {
+          for (index_t p = i + 1; p < n; ++p) s += a(i, p) * bj[p];
+        } else if (uplo == Uplo::Lower && trans == Trans::No) {
+          for (index_t p = 0; p < i; ++p) s += a(i, p) * bj[p];
+        } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
+          for (index_t p = 0; p < i; ++p) s += a(p, i) * bj[p];
+        } else {
+          for (index_t p = i + 1; p < n; ++p) s += a(p, i) * bj[p];
+        }
+        bj[i] = s;
+      };
+      if (ascending)
+        for (index_t i = 0; i < n; ++i) run(i);
+      else
+        for (index_t i = n - 1; i >= 0; --i) run(i);
+    }
+  } else {
+    // Column j of the result mixes columns p of B.
+    const index_t rows = b.rows();
+    const bool ascending = (uplo == Uplo::Lower && trans == Trans::No) ||
+                           (uplo == Uplo::Upper && trans == Trans::Yes);
+    auto run = [&](index_t j) {
+      double* bj = b.col(j);
+      const double djj = diag_coeff(a, diag, j);
+      for (index_t i = 0; i < rows; ++i) bj[i] *= djj;
+      auto accumulate = [&](index_t p, double coeff) {
+        if (coeff == 0.0) return;
+        const double* bp = b.col(p);
+#pragma omp simd
+        for (index_t i = 0; i < rows; ++i) bj[i] += coeff * bp[i];
+      };
+      if (uplo == Uplo::Upper && trans == Trans::No)
+        for (index_t p = 0; p < j; ++p) accumulate(p, a(p, j));
+      else if (uplo == Uplo::Lower && trans == Trans::No)
+        for (index_t p = j + 1; p < n; ++p) accumulate(p, a(p, j));
+      else if (uplo == Uplo::Upper && trans == Trans::Yes)
+        for (index_t p = j + 1; p < n; ++p) accumulate(p, a(j, p));
+      else
+        for (index_t p = 0; p < j; ++p) accumulate(p, a(j, p));
+    };
+    if (ascending)
+      for (index_t j = 0; j < n; ++j) run(j);
+    else
+      for (index_t j = n - 1; j >= 0; --j) run(j);
+  }
+}
+
+void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
+              MatrixView b) {
+  const index_t n = a.rows();
+  if (n <= kTriBase) {
+    trmm_unblocked(side, uplo, trans, diag, a, b);
+    return;
+  }
+  const index_t h = n / 2;
+  ConstMatrixView a11 = a.block(0, 0, h, h);
+  ConstMatrixView a12 = a.block(0, h, h, n - h);
+  ConstMatrixView a21 = a.block(h, 0, n - h, h);
+  ConstMatrixView a22 = a.block(h, h, n - h, n - h);
+
+  if (side == Side::Left) {
+    MatrixView b1 = b.block(0, 0, h, b.cols());
+    MatrixView b2 = b.block(h, 0, n - h, b.cols());
+    if (uplo == Uplo::Upper && trans == Trans::No) {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::No, 1.0, a12, b2, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::Yes, Trans::No, 1.0, a12, b1, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    } else if (uplo == Uplo::Lower && trans == Trans::No) {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::No, 1.0, a21, b1, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    } else {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::Yes, Trans::No, 1.0, a21, b2, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    }
+  } else {
+    MatrixView b1 = b.block(0, 0, b.rows(), h);
+    MatrixView b2 = b.block(0, h, b.rows(), n - h);
+    if (uplo == Uplo::Upper && trans == Trans::No) {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::No, 1.0, b1, a12, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::Yes, 1.0, b2, a12, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    } else if (uplo == Uplo::Lower && trans == Trans::No) {
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+      gemm(Trans::No, Trans::No, 1.0, b2, a21, 1.0, b1);
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+    } else {
+      trmm_rec(side, uplo, trans, diag, a22, b2);
+      gemm(Trans::No, Trans::Yes, 1.0, b1, a21, 1.0, b2);
+      trmm_rec(side, uplo, trans, diag, a11, b1);
+    }
+  }
+}
+
+void trtri_unblocked(Uplo uplo, Diag diag, MatrixView a) {
+  const index_t n = a.rows();
+  util::flops::add(static_cast<std::uint64_t>(n) * n * n / 3);
+  if (uplo == Uplo::Upper) {
+    for (index_t j = 0; j < n; ++j) {
+      double ajj;
+      if (diag == Diag::NonUnit) {
+        FSI_CHECK(a(j, j) != 0.0, "trtri: singular triangular matrix");
+        a(j, j) = 1.0 / a(j, j);
+        ajj = -a(j, j);
+      } else {
+        ajj = -1.0;
+      }
+      // a(0:j, j) := ajj * T * a(0:j, j), T = already-inverted leading block.
+      for (index_t i = 0; i < j; ++i) {
+        double s = diag_coeff(a, diag, i) * a(i, j);
+        for (index_t p = i + 1; p < j; ++p) s += a(i, p) * a(p, j);
+        a(i, j) = s;
+      }
+      for (index_t i = 0; i < j; ++i) a(i, j) *= ajj;
+    }
+  } else {
+    for (index_t j = n - 1; j >= 0; --j) {
+      double ajj;
+      if (diag == Diag::NonUnit) {
+        FSI_CHECK(a(j, j) != 0.0, "trtri: singular triangular matrix");
+        a(j, j) = 1.0 / a(j, j);
+        ajj = -a(j, j);
+      } else {
+        ajj = -1.0;
+      }
+      for (index_t i = n - 1; i > j; --i) {
+        double s = diag_coeff(a, diag, i) * a(i, j);
+        for (index_t p = j + 1; p < i; ++p) s += a(i, p) * a(p, j);
+        a(i, j) = s;
+      }
+      for (index_t i = j + 1; i < n; ++i) a(i, j) *= ajj;
+    }
+  }
+}
+
+}  // namespace
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  FSI_CHECK(a.rows() == a.cols(), "trsm: A must be square");
+  const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
+  FSI_CHECK(a.rows() == expected, "trsm: dimension mismatch between A and B");
+  if (b.rows() == 0 || b.cols() == 0) return;
+  if (alpha != 1.0) scal(alpha, b);
+  trsm_rec(side, uplo, trans, diag, a, b);
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b) {
+  FSI_CHECK(a.rows() == a.cols(), "trmm: A must be square");
+  const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
+  FSI_CHECK(a.rows() == expected, "trmm: dimension mismatch between A and B");
+  if (b.rows() == 0 || b.cols() == 0) return;
+  trmm_rec(side, uplo, trans, diag, a, b);
+  if (alpha != 1.0) scal(alpha, b);
+}
+
+void trtri(Uplo uplo, Diag diag, MatrixView a) {
+  FSI_CHECK(a.rows() == a.cols(), "trtri: matrix must be square");
+  const index_t n = a.rows();
+  if (n <= kTriBase) {
+    trtri_unblocked(uplo, diag, a);
+    return;
+  }
+  const index_t h = n / 2;
+  MatrixView a11 = a.block(0, 0, h, h);
+  MatrixView a22 = a.block(h, h, n - h, n - h);
+  trtri(uplo, diag, a11);
+  trtri(uplo, diag, a22);
+  if (uplo == Uplo::Upper) {
+    // inv([[A11, A12], [0, A22]]) has top-right block -A11^-1 A12 A22^-1;
+    // a11/a22 hold the already-inverted triangles here.
+    MatrixView a12 = a.block(0, h, h, n - h);
+    trmm(Side::Left, Uplo::Upper, Trans::No, diag, 1.0, a11, a12);
+    trmm(Side::Right, Uplo::Upper, Trans::No, diag, -1.0, a22, a12);
+  } else {
+    // inv([[A11, 0], [A21, A22]]) has bottom-left block -A22^-1 A21 A11^-1.
+    MatrixView a21 = a.block(h, 0, n - h, h);
+    trmm(Side::Left, Uplo::Lower, Trans::No, diag, 1.0, a22, a21);
+    trmm(Side::Right, Uplo::Lower, Trans::No, diag, -1.0, a11, a21);
+  }
+}
+
+}  // namespace fsi::dense

@@ -1,0 +1,332 @@
+#include "fsi/selinv/fsi.hpp"
+
+#include <omp.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/util/flops.hpp"
+#include "fsi/util/timer.hpp"
+
+namespace fsi::selinv {
+
+using pcyclic::PCyclicMatrix;
+using pcyclic::SelectedInversion;
+using pcyclic::Selection;
+
+PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
+                      bool parallel) {
+  const index_t l = m.num_blocks();
+  FSI_CHECK(c > 0 && l % c == 0, "cluster: c must divide L");
+  FSI_CHECK(q >= 0 && q < c, "cluster: q must be in [0, c)");
+  const index_t b = l / c;
+  const index_t n = m.block_size();
+
+  PCyclicMatrix reduced(n, b);
+  // Cluster i covers the c consecutive blocks ending at j0 = c(i+1)-q-1:
+  //   B~_i = B[j0] B[j0-1] ... B[j0-c+1]  (indices cyclic).
+  // Clusters are data-independent: "iterations for clustering B_i's can be
+  // executed in embarrassingly parallel" (paper Sec. II-C).
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (index_t i = 0; i < b; ++i) {
+    const index_t j_lo = c * i - q;  // j0 - c + 1
+    dense::Matrix prod = dense::Matrix::copy_of(m.b(m.wrap(j_lo)));
+    dense::Matrix next(n, n);
+    for (index_t t = 1; t < c; ++t) {
+      dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, m.b(m.wrap(j_lo + t)),
+                  prod, 0.0, next);
+      std::swap(prod, next);
+    }
+    reduced.b_matrix(i) = std::move(prod);
+  }
+  return reduced;
+}
+
+namespace {
+
+/// Copy the seed block G~(k0, l0) out of the reduced inverse.
+dense::Matrix seed_block(const dense::Matrix& gtilde, index_t n, index_t k0,
+                         index_t l0) {
+  return dense::Matrix::copy_of(gtilde.block(k0 * n, l0 * n, n, n));
+}
+
+}  // namespace
+
+SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
+                       Pattern pattern, const Selection& sel, bool parallel) {
+  const index_t n = ops.block_size();
+  const index_t l = ops.num_blocks();
+  const index_t b = sel.b();
+  FSI_CHECK(gtilde.rows() == b * n && gtilde.cols() == b * n,
+            "wrap: reduced inverse has wrong dimensions");
+  FSI_CHECK(sel.l_total == l, "wrap: selection does not match the matrix");
+
+  SelectedInversion out(pattern, n, sel);
+  const auto idx = sel.indices();
+  const index_t up_steps = (sel.c - 1) / 2;
+  const index_t down_steps = sel.c / 2;
+
+  switch (pattern) {
+    case Pattern::Diagonal: {
+      // S1 is exactly the diagonal seeds — no adjacency moves needed.
+      for (index_t k0 = 0; k0 < b; ++k0)
+        out.slot(idx[k0], idx[k0]) = seed_block(gtilde, n, k0, k0);
+      break;
+    }
+    case Pattern::SubDiagonal: {
+      // One rightward move from each diagonal seed (skip k = L-1, whose
+      // sub-diagonal neighbour leaves the matrix per the paper's S2).
+#pragma omp parallel for schedule(dynamic) if (parallel)
+      for (index_t k0 = 0; k0 < b; ++k0) {
+        const index_t k = idx[k0];
+        if (k == l - 1) continue;
+        dense::Matrix seed = seed_block(gtilde, n, k0, k0);
+        out.slot(k, k + 1) = ops.right(k, k, seed);
+      }
+      break;
+    }
+    case Pattern::Columns: {
+      // Paper Alg. 2: each of the b^2 seeds fills the c rows around it in
+      // its column; two independent walks minimise error accumulation.
+#pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
+      for (index_t l0 = 0; l0 < b; ++l0) {
+        for (index_t k0 = 0; k0 < b; ++k0) {
+          const index_t col = idx[l0];
+          const index_t row = idx[k0];
+          dense::Matrix seed = seed_block(gtilde, n, k0, l0);
+          dense::Matrix cur = seed;
+          index_t k = row;
+          for (index_t s = 0; s < up_steps; ++s) {
+            cur = ops.up(k, col, cur);
+            k = ops.matrix().wrap(k - 1);
+            out.slot(k, col) = cur;
+          }
+          cur = std::move(seed);
+          k = row;
+          out.slot(k, col) = cur;
+          for (index_t s = 0; s < down_steps; ++s) {
+            cur = ops.down(k, col, cur);
+            k = ops.matrix().wrap(k + 1);
+            out.slot(k, col) = cur;
+          }
+        }
+      }
+      break;
+    }
+    case Pattern::AllDiagonals: {
+      // Diagonal walk: G(k+1,k+1) = B_{k+1} G(k,k) B_{k+1}^-1 and its
+      // inverse move, composed from one vertical and one horizontal
+      // adjacency step each (the "Hirsch wrapping" for equal-time blocks).
+#pragma omp parallel for schedule(dynamic) if (parallel)
+      for (index_t k0 = 0; k0 < b; ++k0) {
+        const index_t row = idx[k0];
+        dense::Matrix seed = seed_block(gtilde, n, k0, k0);
+        dense::Matrix cur = seed;
+        index_t k = row;
+        for (index_t s = 0; s < up_steps; ++s) {
+          // up-left: G(k-1, k-1) = B_k^-1 G(k, k) B_k.
+          cur = ops.up(k, k, cur);
+          cur = ops.left(ops.matrix().wrap(k - 1), k, cur);
+          k = ops.matrix().wrap(k - 1);
+          out.slot(k, k) = cur;
+        }
+        cur = std::move(seed);
+        k = row;
+        out.slot(k, k) = cur;
+        for (index_t s = 0; s < down_steps; ++s) {
+          // down-right: G(k+1, k+1) = B_{k+1} G(k, k) B_{k+1}^-1.
+          cur = ops.down(k, k, cur);
+          cur = ops.right(ops.matrix().wrap(k + 1), k, cur);
+          k = ops.matrix().wrap(k + 1);
+          out.slot(k, k) = cur;
+        }
+      }
+      break;
+    }
+    case Pattern::Rows: {
+      // Mirror of the column wrap using the horizontal relations (Eqs. 6/7).
+#pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
+      for (index_t k0 = 0; k0 < b; ++k0) {
+        for (index_t l0 = 0; l0 < b; ++l0) {
+          const index_t row = idx[k0];
+          const index_t col = idx[l0];
+          dense::Matrix seed = seed_block(gtilde, n, k0, l0);
+          dense::Matrix cur = seed;
+          index_t cl = col;
+          for (index_t s = 0; s < up_steps; ++s) {
+            cur = ops.left(row, cl, cur);
+            cl = ops.matrix().wrap(cl - 1);
+            out.slot(row, cl) = cur;
+          }
+          cur = std::move(seed);
+          cl = col;
+          out.slot(row, cl) = cur;
+          for (index_t s = 0; s < down_steps; ++s) {
+            cur = ops.right(row, cl, cur);
+            cl = ops.matrix().wrap(cl + 1);
+            out.slot(row, cl) = cur;
+          }
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
+                      const FsiOptions& opts, util::Rng& rng, FsiStats* stats) {
+  FSI_CHECK(&ops.matrix() == &m, "fsi: BlockOps must wrap the same matrix");
+  const index_t c = opts.c;
+  const index_t q =
+      (opts.q >= 0) ? opts.q : static_cast<index_t>(rng.below(static_cast<std::uint64_t>(c)));
+  Selection sel(m.num_blocks(), c, q);
+
+  FsiStats local;
+  local.q = q;
+
+  // Stage 1: CLS.
+  util::WallTimer timer;
+  util::flops::Scope cls_flops;
+  PCyclicMatrix reduced = cluster(m, c, q, opts.coarse_parallel);
+  local.seconds_cls = timer.seconds();
+  local.flops_cls = cls_flops.elapsed();
+
+  // Stage 2: BSOFI.
+  timer.reset();
+  util::flops::Scope bsofi_flops;
+  dense::Matrix gtilde = bsofi::invert(reduced);
+  local.seconds_bsofi = timer.seconds();
+  local.flops_bsofi = bsofi_flops.elapsed();
+
+  // Stage 3: WRP.
+  timer.reset();
+  util::flops::Scope wrap_flops;
+  SelectedInversion out = wrap(ops, gtilde, opts.pattern, sel, opts.coarse_parallel);
+  local.seconds_wrap = timer.seconds();
+  local.flops_wrap = wrap_flops.elapsed();
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+SelectedInversion fsi(const PCyclicMatrix& m, const FsiOptions& opts,
+                      util::Rng& rng, FsiStats* stats) {
+  const index_t c = opts.c;
+  const index_t q =
+      (opts.q >= 0) ? opts.q : static_cast<index_t>(rng.below(static_cast<std::uint64_t>(c)));
+  FsiOptions fixed = opts;
+  fixed.q = q;
+
+  FsiStats local;
+
+  util::WallTimer timer;
+  util::flops::Scope ops_flops;
+  pcyclic::BlockOps ops(m);
+  const double ops_seconds = timer.seconds();
+  const std::uint64_t ops_f = ops_flops.elapsed();
+
+  SelectedInversion out = fsi(m, ops, fixed, rng, &local);
+  // BlockOps factorisation feeds only the wrapping moves; attribute it there.
+  local.seconds_wrap += ops_seconds;
+  local.flops_wrap += ops_f;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
+                                         const pcyclic::BlockOps& ops,
+                                         const std::vector<Pattern>& patterns,
+                                         const FsiOptions& opts, util::Rng& rng,
+                                         FsiStats* stats) {
+  FSI_CHECK(&ops.matrix() == &m, "fsi_multi: BlockOps must wrap the same matrix");
+  FSI_CHECK(!patterns.empty(), "fsi_multi: need at least one pattern");
+  const index_t c = opts.c;
+  const index_t q =
+      (opts.q >= 0) ? opts.q : static_cast<index_t>(rng.below(static_cast<std::uint64_t>(c)));
+  Selection sel(m.num_blocks(), c, q);
+
+  FsiStats local;
+  local.q = q;
+
+  util::WallTimer timer;
+  util::flops::Scope cls_flops;
+  PCyclicMatrix reduced = cluster(m, c, q, opts.coarse_parallel);
+  local.seconds_cls = timer.seconds();
+  local.flops_cls = cls_flops.elapsed();
+
+  timer.reset();
+  util::flops::Scope bsofi_flops;
+  dense::Matrix gtilde = bsofi::invert(reduced);
+  local.seconds_bsofi = timer.seconds();
+  local.flops_bsofi = bsofi_flops.elapsed();
+
+  timer.reset();
+  util::flops::Scope wrap_flops;
+  std::vector<SelectedInversion> out;
+  out.reserve(patterns.size());
+  for (Pattern p : patterns)
+    out.push_back(wrap(ops, gtilde, p, sel, opts.coarse_parallel));
+  local.seconds_wrap = timer.seconds();
+  local.flops_wrap = wrap_flops.elapsed();
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+dense::Matrix equal_time_block(const PCyclicMatrix& m, index_t k, index_t c) {
+  const index_t l = m.num_blocks();
+  FSI_CHECK(k >= 0 && k < l, "equal_time_block: block index out of range");
+  FSI_CHECK(c > 0 && l % c == 0, "equal_time_block: c must divide L");
+  // Choose q so that k is a selected (seed) index: (k + q + 1) % c == 0.
+  const index_t q = m.wrap(-(k + 1)) % c;
+  Selection sel(l, c, q);
+  FSI_ASSERT(sel.contains(k));
+  // Seed position of k among the selected indices.
+  const index_t k0 = (k + q + 1) / c - 1;
+
+  PCyclicMatrix reduced = cluster(m, c, q);
+  bsofi::Bsofi factor(reduced);
+  dense::Matrix row = factor.inverse_block_row(k0);
+  const index_t n = m.block_size();
+  return dense::Matrix::copy_of(row.block(0, k0 * n, n, n));
+}
+
+double ComplexityModel::fsi_flops(Pattern pattern) const {
+  const double n3 = static_cast<double>(n_block) * n_block * n_block;
+  const double bd = static_cast<double>(b());
+  const double cd = static_cast<double>(c);
+  switch (pattern) {
+    case Pattern::Diagonal:
+      return (2.0 * (cd - 1.0) + 7.0 * bd) * bd * n3;
+    case Pattern::SubDiagonal:
+      return (2.0 * cd + 7.0 * bd) * bd * n3;
+    case Pattern::Columns:
+    case Pattern::Rows:
+      return 3.0 * bd * bd * cd * n3;
+    case Pattern::AllDiagonals:
+      // CLS + BSOFI as for S1, plus ~4 N^3 per composed diagonal move.
+      return (2.0 * (cd - 1.0) + 7.0 * bd) * bd * n3 +
+             4.0 * bd * (cd - 1.0) * n3;
+  }
+  return 0.0;
+}
+
+double ComplexityModel::explicit_flops(Pattern pattern) const {
+  const double n3 = static_cast<double>(n_block) * n_block * n_block;
+  const double bd = static_cast<double>(b());
+  const double cd = static_cast<double>(c);
+  switch (pattern) {
+    case Pattern::Diagonal:
+      return 2.0 * bd * bd * cd * n3;
+    case Pattern::SubDiagonal:
+      return 4.0 * bd * bd * cd * n3;
+    case Pattern::Columns:
+    case Pattern::Rows:
+      return bd * bd * bd * cd * cd * n3;
+    case Pattern::AllDiagonals:
+      // One W_k chain + inverse per diagonal block, L of them.
+      return 2.0 * bd * bd * cd * cd * n3;
+  }
+  return 0.0;
+}
+
+}  // namespace fsi::selinv

@@ -1,0 +1,105 @@
+#include "fsi/pcyclic/adjacency.hpp"
+
+#include <exception>
+
+#include <omp.h>
+
+#include "fsi/dense/blas.hpp"
+
+namespace fsi::pcyclic {
+namespace {
+
+/// g - I (g must be square).
+Matrix minus_identity(ConstMatrixView g) {
+  Matrix out = Matrix::copy_of(g);
+  for (index_t d = 0; d < out.rows(); ++d) out(d, d) -= 1.0;
+  return out;
+}
+
+}  // namespace
+
+BlockOps::BlockOps(const PCyclicMatrix& m) : m_(m) {
+  const index_t l = m.num_blocks();
+  lu_.resize(static_cast<std::size_t>(l));
+  // Factor the L independent B blocks in parallel; exceptions (singular
+  // blocks) must not escape the OpenMP region, so stash and rethrow.
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic)
+  for (index_t i = 0; i < l; ++i) {
+    try {
+      lu_[static_cast<std::size_t>(i)] =
+          std::make_unique<dense::LuFactorization>(m.b_matrix(i));
+    } catch (...) {
+#pragma omp critical
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+const dense::LuFactorization& BlockOps::lu(index_t i) const {
+  FSI_CHECK(i >= 0 && i < num_blocks(), "BlockOps: block index out of range");
+  return *lu_[static_cast<std::size_t>(i)];
+}
+
+// ---------------------------------------------------------------------------
+// 0-based boundary-case tables (derived from the explicit form, Eq. 3; see
+// tests/test_pcyclic_adjacency.cpp which checks every case against a dense
+// inverse).  B ranges over b(0..L-1) = paper's B_1..B_L; row/col indices are
+// 0-based so "first row k=1" becomes k=0 and "last row k=L" becomes k=L-1.
+// ---------------------------------------------------------------------------
+
+Matrix BlockOps::up(index_t k, index_t l, ConstMatrixView g) const {
+  //  k != l, k != 0 : G(k-1, l) =  B_k^-1  G(k, l)
+  //  k == l != 0    : G(k-1, l) =  B_k^-1 (G(k, k) - I)        [diagonal]
+  //  k == 0, l != 0 : G(L-1, l) = -B_0^-1  G(0, l)             [first row]
+  //  k == 0, l == 0 : G(L-1, 0) = -B_0^-1 (G(0, 0) - I)        [corner]
+  Matrix rhs = (k == l) ? minus_identity(g) : Matrix::copy_of(g);
+  if (k == 0) dense::scal(-1.0, rhs);
+  lu(k).solve(rhs);
+  return rhs;
+}
+
+Matrix BlockOps::down(index_t k, index_t l, ConstMatrixView g) const {
+  //  generic            : G(k+1, l) =  B_{k+1} G(k, l)
+  //  k+1 == l (k!=L-1)  : G(l, l)   =  B_l G(l-1, l) + I       [sub-diagonal]
+  //  k == L-1, l != 0   : G(0, l)   = -B_0 G(L-1, l)           [last row]
+  //  k == L-1, l == 0   : G(0, 0)   = -B_0 G(L-1, 0) + I       [corner]
+  const index_t lmax = num_blocks() - 1;
+  const index_t kn = m_.wrap(k + 1);
+  Matrix out(block_size(), block_size());
+  const double sign = (k == lmax) ? -1.0 : 1.0;
+  dense::gemm(dense::Trans::No, dense::Trans::No, sign, m_.b(kn), g, 0.0, out);
+  if (kn == l) {  // landed on the diagonal (covers the corner case too)
+    for (index_t d = 0; d < block_size(); ++d) out(d, d) += 1.0;
+  }
+  return out;
+}
+
+Matrix BlockOps::left(index_t k, index_t l, ConstMatrixView g) const {
+  //  generic            : G(k, l-1) =  G(k, l) B_l
+  //  l == k+1 (k!=L-1)  : G(k, k)   =  G(k, k+1) B_{k+1} + I   [sub-diagonal]
+  //  l == 0, k != L-1   : G(k, L-1) = -G(k, 0) B_0             [first column]
+  //  l == 0, k == L-1   : G(L-1,L-1)= -G(L-1, 0) B_0 + I       [corner]
+  Matrix out(block_size(), block_size());
+  const double sign = (l == 0) ? -1.0 : 1.0;
+  dense::gemm(dense::Trans::No, dense::Trans::No, sign, g, m_.b(l), 0.0, out);
+  if (m_.wrap(l - 1) == k) {  // landed on the diagonal
+    for (index_t d = 0; d < block_size(); ++d) out(d, d) += 1.0;
+  }
+  return out;
+}
+
+Matrix BlockOps::right(index_t k, index_t l, ConstMatrixView g) const {
+  //  k != l, l != L-1 : G(k, l+1) =  G(k, l) B_{l+1}^-1
+  //  k == l != L-1    : G(k, k+1) = (G(k, k) - I) B_{k+1}^-1   [diagonal]
+  //  l == L-1, k != l : G(k, 0)   = -G(k, L-1) B_0^-1          [last column]
+  //  k == l == L-1    : G(L-1, 0) = -(G(L-1,L-1) - I) B_0^-1   [corner]
+  const index_t ln = m_.wrap(l + 1);
+  Matrix rhs = (k == l) ? minus_identity(g) : Matrix::copy_of(g);
+  if (l == num_blocks() - 1) dense::scal(-1.0, rhs);
+  lu(ln).solve_right(rhs);
+  return rhs;
+}
+
+}  // namespace fsi::pcyclic

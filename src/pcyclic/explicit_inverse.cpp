@@ -1,0 +1,34 @@
+#include "fsi/pcyclic/explicit_inverse.hpp"
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/lu.hpp"
+
+namespace fsi::pcyclic {
+
+Matrix explicit_block(const PCyclicMatrix& m, index_t k, index_t l) {
+  FSI_CHECK(k >= 0 && k < m.num_blocks() && l >= 0 && l < m.num_blocks(),
+            "explicit_block: block index out of range");
+  Matrix z = chain_product(m, k, l);
+  if (k < l) dense::scal(-1.0, z);  // the chain wrapped through the corner
+  dense::LuFactorization lu(w_matrix(m, k));
+  lu.solve(z);
+  return z;
+}
+
+std::vector<Matrix> explicit_block_column(const PCyclicMatrix& m, index_t l) {
+  std::vector<Matrix> col;
+  col.reserve(static_cast<std::size_t>(m.num_blocks()));
+  for (index_t k = 0; k < m.num_blocks(); ++k)
+    col.push_back(explicit_block(m, k, l));
+  return col;
+}
+
+Matrix full_inverse_dense(const PCyclicMatrix& m) {
+  return dense::inverse(m.to_dense());
+}
+
+Matrix dense_block(const Matrix& g, index_t n, index_t k, index_t l) {
+  return Matrix::copy_of(g.block(k * n, l * n, n, n));
+}
+
+}  // namespace fsi::pcyclic

@@ -1,0 +1,52 @@
+#include "fsi/qmc/binning.hpp"
+
+#include <cmath>
+
+namespace fsi::qmc {
+
+BinnedScalar::BinnedScalar(std::size_t bin_capacity) : capacity_(bin_capacity) {
+  FSI_CHECK(bin_capacity >= 1, "BinnedScalar: bin capacity must be >= 1");
+}
+
+void BinnedScalar::add(double value) {
+  ++count_;
+  total_ += value;
+  current_sum_ += value;
+  if (++current_count_ == capacity_) {
+    bins_.push_back(current_sum_ / static_cast<double>(capacity_));
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+double BinnedScalar::mean() const {
+  return count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+}
+
+double BinnedScalar::error() const {
+  const std::size_t nb = bins_.size();
+  if (nb < 2) return 0.0;
+  double m = 0.0;
+  for (double b : bins_) m += b;
+  m /= static_cast<double>(nb);
+  double var = 0.0;
+  for (double b : bins_) var += (b - m) * (b - m);
+  var /= static_cast<double>(nb - 1);
+  return std::sqrt(var / static_cast<double>(nb));
+}
+
+BinnedScalar BinnedScalar::rebinned(std::size_t factor) const {
+  FSI_CHECK(factor >= 1, "rebinned: factor must be >= 1");
+  BinnedScalar out(capacity_ * factor);
+  const std::size_t usable = (bins_.size() / factor) * factor;
+  for (std::size_t g = 0; g < usable; g += factor) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < factor; ++i) s += bins_[g + i];
+    out.bins_.push_back(s / static_cast<double>(factor));
+    out.count_ += capacity_ * factor;
+    out.total_ += s * static_cast<double>(capacity_);
+  }
+  return out;
+}
+
+}  // namespace fsi::qmc

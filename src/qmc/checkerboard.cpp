@@ -1,0 +1,53 @@
+#include "fsi/qmc/checkerboard.hpp"
+
+#include <cmath>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::qmc {
+
+CheckerboardExpK::CheckerboardExpK(const Lattice& lattice, double coeff)
+    : n_(lattice.num_sites()), coeff_(coeff) {
+  ch_ = std::cosh(coeff);
+  sh_ = std::sinh(coeff);
+  // Enumerate each undirected bond once (i < j).
+  for (index_t i = 0; i < n_; ++i)
+    for (index_t j : lattice.neighbors(i))
+      if (i < j) bonds_.push_back({i, j});
+}
+
+void CheckerboardExpK::apply_left(dense::MatrixView g) const {
+  FSI_CHECK(g.rows() == n_, "checkerboard: row count mismatch");
+  // Each bond's exact 2x2 exponential [[ch, sh], [sh, ch]] mixes rows i, j.
+  for (const Bond& b : bonds_) {
+    for (index_t col = 0; col < g.cols(); ++col) {
+      double* column = g.col(col);
+      const double ri = column[b.i];
+      const double rj = column[b.j];
+      column[b.i] = ch_ * ri + sh_ * rj;
+      column[b.j] = sh_ * ri + ch_ * rj;
+    }
+  }
+}
+
+void CheckerboardExpK::apply_inverse_left(dense::MatrixView g) const {
+  FSI_CHECK(g.rows() == n_, "checkerboard: row count mismatch");
+  // Inverse: bonds in reverse order with the 2x2 inverse [[ch, -sh], [-sh, ch]].
+  for (auto it = bonds_.rbegin(); it != bonds_.rend(); ++it) {
+    for (index_t col = 0; col < g.cols(); ++col) {
+      double* column = g.col(col);
+      const double ri = column[it->i];
+      const double rj = column[it->j];
+      column[it->i] = ch_ * ri - sh_ * rj;
+      column[it->j] = -sh_ * ri + ch_ * rj;
+    }
+  }
+}
+
+dense::Matrix CheckerboardExpK::to_dense() const {
+  dense::Matrix m = dense::Matrix::identity(n_);
+  apply_left(m);
+  return m;
+}
+
+}  // namespace fsi::qmc

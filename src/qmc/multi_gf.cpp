@@ -1,0 +1,100 @@
+#include "fsi/qmc/multi_gf.hpp"
+
+#include "fsi/mpi/minimpi.hpp"
+#include "fsi/qmc/dqmc.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "fsi/util/flops.hpp"
+#include "fsi/util/timer.hpp"
+
+namespace fsi::qmc {
+
+MultiGfResult run_parallel_fsi(const HubbardModel& model,
+                               const MultiGfOptions& options) {
+  const index_t l = model.params().l;
+  const index_t n = model.num_sites();
+  const index_t m_total = options.num_matrices;
+  const int ranks = options.num_ranks;
+  FSI_CHECK(ranks > 0, "run_parallel_fsi: need at least one rank");
+  FSI_CHECK(m_total % ranks == 0,
+            "run_parallel_fsi: num_matrices must be divisible by num_ranks");
+  const index_t c = (options.cluster_size > 0) ? options.cluster_size
+                                               : default_cluster_size(l);
+  FSI_CHECK(l % c == 0, "run_parallel_fsi: cluster size must divide L");
+  const index_t per_rank = m_total / ranks;
+  const std::size_t field_len = static_cast<std::size_t>(l) * n;
+  const index_t dmax = model.lattice().num_distance_classes();
+
+  MultiGfResult result{Measurements(l, dmax), 0.0, 0};
+  util::flops::reset();
+  util::WallTimer timer;
+
+  mpi::run(
+      ranks,
+      [&](mpi::Communicator& comm) {
+        // --- On MPI_root: generate all HS fields, scatter them (Alg. 3:
+        // "generate a set of random parameters h on the MPI root process
+        // and scatter h to other MPI processes").
+        std::vector<double> all_fields;
+        if (comm.rank() == 0) {
+          util::Rng root_rng(options.seed);
+          all_fields.reserve(static_cast<std::size_t>(m_total) * field_len);
+          for (index_t i = 0; i < m_total; ++i) {
+            HsField f(l, n, root_rng);
+            const auto buf = f.serialize();
+            all_fields.insert(all_fields.end(), buf.begin(), buf.end());
+          }
+        }
+        const std::vector<double> my_fields = comm.scatter(
+            all_fields, static_cast<std::size_t>(per_rank) * field_len, 0);
+
+        // --- On each MPI_process: per-matrix FSI + local measurements.
+        Measurements local(l, dmax);
+        util::Rng rank_rng(options.seed, static_cast<std::uint64_t>(comm.rank()) + 1);
+        for (index_t it = 0; it < per_rank; ++it) {
+          const HsField field = HsField::deserialize(
+              l, n, my_fields.data() + static_cast<std::size_t>(it) * field_len,
+              field_len);
+          const index_t q =
+              static_cast<index_t>(rank_rng.below(static_cast<std::uint64_t>(c)));
+          const pcyclic::Selection sel(l, c, q);
+
+          // Per spin: build M, CLS, BSOFI, then the three wrapping passes.
+          struct SpinBlocks {
+            pcyclic::SelectedInversion diag, rows, cols;
+          };
+          auto compute = [&](Spin spin) {
+            const pcyclic::PCyclicMatrix mat = model.build_m(field, spin);
+            const pcyclic::BlockOps ops(mat);
+            const pcyclic::PCyclicMatrix reduced = selinv::cluster(mat, c, q);
+            const dense::Matrix gtilde = bsofi::invert(reduced);
+            return SpinBlocks{
+                selinv::wrap(ops, gtilde, pcyclic::Pattern::AllDiagonals, sel),
+                selinv::wrap(ops, gtilde, pcyclic::Pattern::Rows, sel),
+                selinv::wrap(ops, gtilde, pcyclic::Pattern::Columns, sel)};
+          };
+          const SpinBlocks up = compute(Spin::Up);
+          const SpinBlocks dn = compute(Spin::Down);
+
+          // Local measurement quantities, computed in the OpenMP region.
+          local.add_sample(1.0);
+          accumulate_equal_time(model.lattice(), up.diag, dn.diag,
+                                model.params().t, 1.0, true, local);
+          if (options.measure_time_dependent)
+            accumulate_spxx(model.lattice(), up.rows, up.cols, dn.rows, dn.cols,
+                            1.0, true, local);
+        }
+
+        // --- MPI_Reduce of the local measurement quantities to the root.
+        const std::vector<double> reduced =
+            comm.reduce_sum(local.serialize(), 0);
+        if (comm.rank() == 0)
+          result.global = Measurements::deserialize(l, dmax, reduced);
+      },
+      options.omp_threads_per_rank);
+
+  result.seconds = timer.seconds();
+  result.flops = util::flops::total();
+  return result;
+}
+
+}  // namespace fsi::qmc

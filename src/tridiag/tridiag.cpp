@@ -1,0 +1,192 @@
+#include "fsi/tridiag/tridiag.hpp"
+
+#include "fsi/dense/blas.hpp"
+
+namespace fsi::tridiag {
+
+BlockTridiagonalMatrix::BlockTridiagonalMatrix(index_t block_size,
+                                               index_t num_blocks)
+    : n_(block_size), l_(num_blocks) {
+  FSI_CHECK(block_size > 0 && num_blocks > 0,
+            "BlockTridiagonalMatrix: need positive dimensions");
+  diag_.reserve(static_cast<std::size_t>(l_));
+  for (index_t i = 0; i < l_; ++i) diag_.emplace_back(n_, n_);
+  if (l_ > 1) {
+    sub_.reserve(static_cast<std::size_t>(l_ - 1));
+    super_.reserve(static_cast<std::size_t>(l_ - 1));
+    for (index_t i = 1; i < l_; ++i) {
+      sub_.emplace_back(n_, n_);
+      super_.emplace_back(n_, n_);
+    }
+  }
+}
+
+BlockTridiagonalMatrix BlockTridiagonalMatrix::random(index_t block_size,
+                                                      index_t num_blocks,
+                                                      util::Rng& rng) {
+  BlockTridiagonalMatrix t(block_size, num_blocks);
+  auto fill = [&](MatrixView v, double scale) {
+    for (index_t j = 0; j < v.cols(); ++j)
+      for (index_t i = 0; i < v.rows(); ++i) v(i, j) = rng.uniform(-scale, scale);
+  };
+  for (index_t i = 0; i < num_blocks; ++i) {
+    fill(t.d(i), 0.5);
+    // Diagonal dominance across the block row keeps every Schur complement
+    // of the recurrences nonsingular.
+    for (index_t k = 0; k < block_size; ++k) t.d(i)(k, k) += 3.0;
+  }
+  for (index_t i = 1; i < num_blocks; ++i) {
+    fill(t.a(i), 0.5);
+    fill(t.c(i), 0.5);
+  }
+  return t;
+}
+
+MatrixView BlockTridiagonalMatrix::d(index_t i) {
+  FSI_CHECK(i >= 0 && i < l_, "tridiag: diagonal index out of range");
+  return diag_[static_cast<std::size_t>(i)].view();
+}
+ConstMatrixView BlockTridiagonalMatrix::d(index_t i) const {
+  FSI_CHECK(i >= 0 && i < l_, "tridiag: diagonal index out of range");
+  return diag_[static_cast<std::size_t>(i)].view();
+}
+MatrixView BlockTridiagonalMatrix::a(index_t i) {
+  FSI_CHECK(i >= 1 && i < l_, "tridiag: sub-diagonal index out of range");
+  return sub_[static_cast<std::size_t>(i - 1)].view();
+}
+ConstMatrixView BlockTridiagonalMatrix::a(index_t i) const {
+  FSI_CHECK(i >= 1 && i < l_, "tridiag: sub-diagonal index out of range");
+  return sub_[static_cast<std::size_t>(i - 1)].view();
+}
+MatrixView BlockTridiagonalMatrix::c(index_t i) {
+  FSI_CHECK(i >= 1 && i < l_, "tridiag: super-diagonal index out of range");
+  return super_[static_cast<std::size_t>(i - 1)].view();
+}
+ConstMatrixView BlockTridiagonalMatrix::c(index_t i) const {
+  FSI_CHECK(i >= 1 && i < l_, "tridiag: super-diagonal index out of range");
+  return super_[static_cast<std::size_t>(i - 1)].view();
+}
+
+Matrix BlockTridiagonalMatrix::to_dense() const {
+  Matrix m(dim(), dim());
+  for (index_t i = 0; i < l_; ++i) {
+    dense::copy(d(i), m.block(i * n_, i * n_, n_, n_));
+    if (i >= 1) {
+      dense::copy(a(i), m.block(i * n_, (i - 1) * n_, n_, n_));
+      dense::copy(c(i), m.block((i - 1) * n_, i * n_, n_, n_));
+    }
+  }
+  return m;
+}
+
+TridiagSelectedInverse::TridiagSelectedInverse(const BlockTridiagonalMatrix& t)
+    : t_(t) {
+  const index_t l = t.num_blocks();
+  const index_t n = t.block_size();
+  gl_.reserve(static_cast<std::size_t>(l));
+  gr_.resize(static_cast<std::size_t>(l));
+
+  // Left-connected: gL_0 = D_0^-1; gL_i = (D_i - A_i gL_{i-1} C_i)^-1.
+  for (index_t i = 0; i < l; ++i) {
+    Matrix m = Matrix::copy_of(t.d(i));
+    if (i > 0) {
+      Matrix w = dense::matmul(gl_[static_cast<std::size_t>(i - 1)],
+                               Matrix::copy_of(t.c(i)));
+      dense::gemm(dense::Trans::No, dense::Trans::No, -1.0, t.a(i), w, 1.0, m);
+    }
+    gl_.push_back(dense::inverse(m));
+  }
+
+  // Right-connected: gR_{L-1} = D_{L-1}^-1; gR_i = (D_i - C_{i+1} gR_{i+1} A_{i+1})^-1.
+  for (index_t i = l - 1; i >= 0; --i) {
+    Matrix m = Matrix::copy_of(t.d(i));
+    if (i + 1 < l) {
+      Matrix w = dense::matmul(gr_[static_cast<std::size_t>(i + 1)],
+                               Matrix::copy_of(t.a(i + 1)));
+      dense::gemm(dense::Trans::No, dense::Trans::No, -1.0, t.c(i + 1), w, 1.0, m);
+    }
+    gr_[static_cast<std::size_t>(i)] = dense::inverse(m);
+  }
+
+  // Diagonal anchors: LU of D_i - A_i gL_{i-1} C_i - C_{i+1} gR_{i+1} A_{i+1}.
+  diag_lu_.resize(static_cast<std::size_t>(l));
+  for (index_t i = 0; i < l; ++i) {
+    Matrix m = Matrix::copy_of(t.d(i));
+    if (i > 0) {
+      Matrix w = dense::matmul(gl_[static_cast<std::size_t>(i - 1)],
+                               Matrix::copy_of(t.c(i)));
+      dense::gemm(dense::Trans::No, dense::Trans::No, -1.0, t.a(i), w, 1.0, m);
+    }
+    if (i + 1 < l) {
+      Matrix w = dense::matmul(gr_[static_cast<std::size_t>(i + 1)],
+                               Matrix::copy_of(t.a(i + 1)));
+      dense::gemm(dense::Trans::No, dense::Trans::No, -1.0, t.c(i + 1), w, 1.0, m);
+    }
+    diag_lu_[static_cast<std::size_t>(i)] =
+        std::make_unique<dense::LuFactorization>(std::move(m));
+  }
+
+  // Move operators: up_op_[i] = -gL_{i-1} C_i, down_op_[i] = -gR_{i+1} A_{i+1}.
+  up_op_.resize(static_cast<std::size_t>(l));
+  down_op_.resize(static_cast<std::size_t>(l));
+  for (index_t i = 1; i < l; ++i) {
+    Matrix u(n, n);
+    dense::gemm(dense::Trans::No, dense::Trans::No, -1.0,
+                gl_[static_cast<std::size_t>(i - 1)], t.c(i), 0.0, u);
+    up_op_[static_cast<std::size_t>(i)] = std::move(u);
+  }
+  for (index_t i = 0; i + 1 < l; ++i) {
+    Matrix v(n, n);
+    dense::gemm(dense::Trans::No, dense::Trans::No, -1.0,
+                gr_[static_cast<std::size_t>(i + 1)], t.a(i + 1), 0.0, v);
+    down_op_[static_cast<std::size_t>(i)] = std::move(v);
+  }
+}
+
+Matrix TridiagSelectedInverse::diag_block(index_t i) const {
+  FSI_CHECK(i >= 0 && i < num_blocks(), "diag_block: index out of range");
+  Matrix g = Matrix::identity(block_size());
+  diag_lu_[static_cast<std::size_t>(i)]->solve(g);
+  return g;
+}
+
+Matrix TridiagSelectedInverse::down(index_t i, index_t j, ConstMatrixView g) const {
+  FSI_CHECK(i + 1 < num_blocks(), "down: already at the last block row");
+  FSI_CHECK(i >= j, "down: move is only valid at or below the diagonal");
+  return dense::matmul(down_op_[static_cast<std::size_t>(i)], g);
+}
+
+Matrix TridiagSelectedInverse::up(index_t i, index_t j, ConstMatrixView g) const {
+  FSI_CHECK(i > 0, "up: already at the first block row");
+  FSI_CHECK(i <= j, "up: move is only valid at or above the diagonal");
+  return dense::matmul(up_op_[static_cast<std::size_t>(i)], g);
+}
+
+Matrix TridiagSelectedInverse::block(index_t i, index_t j) const {
+  FSI_CHECK(i >= 0 && i < num_blocks() && j >= 0 && j < num_blocks(),
+            "block: index out of range");
+  Matrix g = diag_block(j);
+  for (index_t r = j; r < i; ++r) g = down(r, j, g);
+  for (index_t r = j; r > i; --r) g = up(r, j, g);
+  return g;
+}
+
+std::vector<Matrix> TridiagSelectedInverse::column(index_t j) const {
+  FSI_CHECK(j >= 0 && j < num_blocks(), "column: index out of range");
+  const index_t l = num_blocks();
+  std::vector<Matrix> col(static_cast<std::size_t>(l));
+  col[static_cast<std::size_t>(j)] = diag_block(j);
+  for (index_t i = j; i + 1 < l; ++i)
+    col[static_cast<std::size_t>(i + 1)] =
+        down(i, j, col[static_cast<std::size_t>(i)]);
+  for (index_t i = j; i > 0; --i)
+    col[static_cast<std::size_t>(i - 1)] =
+        up(i, j, col[static_cast<std::size_t>(i)]);
+  return col;
+}
+
+Matrix invert_dense_lu(const BlockTridiagonalMatrix& t) {
+  return dense::inverse(t.to_dense());
+}
+
+}  // namespace fsi::tridiag

@@ -1,0 +1,42 @@
+#include "fsi/util/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fsi::util {
+
+Cli::Cli(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+const char* Cli::find(const std::string& name) const {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc_; ++i) {
+    const char* arg = argv_[i];
+    if (std::strncmp(arg, flag.c_str(), flag.size()) != 0) continue;
+    const char* rest = arg + flag.size();
+    if (*rest == '=') return rest + 1;
+    if (*rest == '\0') {
+      if (i + 1 < argc_ && argv_[i + 1][0] != '-') return argv_[i + 1];
+      return "";  // bare flag
+    }
+  }
+  return nullptr;
+}
+
+int Cli::get_int(const std::string& name, int fallback) const {
+  const char* v = find(name);
+  return (v != nullptr && *v != '\0') ? std::atoi(v) : fallback;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const char* v = find(name);
+  return (v != nullptr && *v != '\0') ? std::atof(v) : fallback;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  const char* v = find(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+bool Cli::has(const std::string& name) const { return find(name) != nullptr; }
+
+}  // namespace fsi::util

@@ -1,0 +1,56 @@
+#include "fsi/util/flops.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace fsi::util::flops {
+namespace {
+
+// Per-thread slot.  Slots are heap-allocated and intentionally never freed
+// (they are tiny and must outlive the thread so that total() still sees the
+// work of joined OpenMP workers).  The registry is only touched on first use
+// per thread, so the hot path is a single relaxed atomic increment.
+struct Slot {
+  std::atomic<std::uint64_t> count{0};
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Slot*>& registry() {
+  static std::vector<Slot*> r;
+  return r;
+}
+
+Slot& local_slot() {
+  thread_local Slot* slot = [] {
+    auto* s = new Slot();
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(s);
+    return s;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+void add(std::uint64_t n) noexcept {
+  local_slot().count.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t total() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::uint64_t sum = 0;
+  for (const Slot* s : registry()) sum += s->count.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Slot* s : registry()) s->count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fsi::util::flops

@@ -1,0 +1,20 @@
+#include "fsi/util/fpenv.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <omp.h>
+
+namespace fsi::util {
+
+void enable_flush_to_zero() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  // Set on every OpenMP worker of the default team as well as the caller:
+  // MXCSR is per-thread state.
+#pragma omp parallel
+  { _mm_setcsr(_mm_getcsr() | 0x8040u); }  // FTZ (bit 15) | DAZ (bit 6)
+#endif
+}
+
+}  // namespace fsi::util

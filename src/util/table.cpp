@@ -1,0 +1,65 @@
+#include "fsi/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FSI_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FSI_CHECK(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(width[c])) << cells[c] << " |";
+    os << '\n';
+  };
+  hline();
+  line(headers_);
+  hline();
+  for (const auto& row : rows_) line(row);
+  hline();
+  return os.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace fsi::util

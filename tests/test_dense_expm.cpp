@@ -1,0 +1,104 @@
+/// Unit tests for the matrix exponential (kinetic propagator substrate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/expm.hpp"
+#include "fsi/dense/lu.hpp"
+#include "fsi/dense/norms.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::dense;
+using fsi::testing::expect_close;
+using fsi::testing::random_matrix;
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  Matrix a(5, 5);
+  expect_close(expm(a), Matrix::identity(5), 1e-15, "e^0 = I");
+}
+
+TEST(Expm, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 0.5;
+  Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-13);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-13);
+  EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-13);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentMatrixMatchesTruncatedSeries) {
+  // For strictly upper triangular (nilpotent) N: e^N = I + N + N^2/2.
+  Matrix a(3, 3);
+  a(0, 1) = 2.0;
+  a(1, 2) = 3.0;
+  Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 1), 2.0, 1e-13);
+  EXPECT_NEAR(e(1, 2), 3.0, 1e-13);
+  EXPECT_NEAR(e(0, 2), 3.0, 1e-13);  // N^2/2 term: 2*3/2
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-13);
+}
+
+TEST(Expm, InverseIsExpOfNegative) {
+  util::Rng rng(31);
+  Matrix a = random_matrix(20, 20, rng);
+  Matrix e = expm(a);
+  scal(-1.0, a);
+  Matrix einv = expm(a);
+  expect_close(matmul(e, einv), Matrix::identity(20), 1e-11,
+               "e^A e^-A = I");
+}
+
+TEST(Expm, SquaringProperty) {
+  // e^{2A} = (e^A)^2 — exercises the scaling/squaring branch with a norm
+  // large enough to force s > 0.
+  util::Rng rng(32);
+  Matrix a = random_matrix(16, 16, rng);
+  scal(3.0, a);  // one-norm ~ 24 > theta13
+  Matrix e1 = expm(a);
+  Matrix a2 = a;
+  scal(2.0, a2);
+  Matrix e2 = expm(a2);
+  expect_close(e2, matmul(e1, e1), 1e-9, "e^{2A} = (e^A)^2");
+}
+
+TEST(Expm, SymmetricKineticMatrixPropagator) {
+  // e^{t dtau K} for a 1D 4-site periodic chain; compare against the
+  // analytic eigendecomposition: eigenvalues 2 cos(2 pi k / n).
+  const index_t n = 4;
+  Matrix k(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    k(i, (i + 1) % n) += 1.0;
+    k(i, (i + n - 1) % n) += 1.0;
+  }
+  const double tdtau = 0.125;
+  Matrix kd = k;
+  scal(tdtau, kd);
+  Matrix e = expm(kd);
+
+  // Analytic: E(i,j) = (1/n) sum_q e^{tdtau * 2 cos(2 pi q / n)} cos(2 pi q (i-j)/n)
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      for (index_t q = 0; q < n; ++q) {
+        const double lam = 2.0 * std::cos(2.0 * M_PI * q / n);
+        v += std::exp(tdtau * lam) * std::cos(2.0 * M_PI * q * (i - j) / n);
+      }
+      v /= n;
+      EXPECT_NEAR(e(i, j), v, 1e-12);
+    }
+  }
+}
+
+TEST(Expm, NonSquareThrows) {
+  EXPECT_THROW(expm(Matrix(2, 3)), util::CheckError);
+}
+
+}  // namespace

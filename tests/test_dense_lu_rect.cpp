@@ -1,0 +1,74 @@
+/// Tests for the rectangular cases of the blocked getrf (the factorisation
+/// core must handle m != n even though the library's drivers are square).
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/lu.hpp"
+#include "fsi/dense/norms.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::dense;
+using fsi::testing::expect_close;
+using fsi::testing::random_matrix;
+
+/// Reconstruct P^T L U from packed getrf output and compare with A.
+void check_reconstruction(const Matrix& a) {
+  const index_t m = a.rows(), n = a.cols();
+  const index_t k = std::min(m, n);
+  Matrix packed = a;
+  std::vector<index_t> ipiv;
+  getrf(packed, ipiv);
+  ASSERT_EQ(ipiv.size(), static_cast<std::size_t>(k));
+
+  // L: m x k unit lower trapezoidal; U: k x n upper trapezoidal.
+  Matrix l(m, k), u(k, n);
+  for (index_t j = 0; j < k; ++j) {
+    l(j, j) = 1.0;
+    for (index_t i = j + 1; i < m; ++i) l(i, j) = packed(i, j);
+  }
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, k - 1); ++i) u(i, j) = packed(i, j);
+
+  Matrix lu_prod(m, n);
+  gemm(Trans::No, Trans::No, 1.0, l, u, 0.0, lu_prod);
+  // Undo pivoting (reverse swaps).
+  for (index_t i = k - 1; i >= 0; --i) {
+    const index_t p = ipiv[static_cast<std::size_t>(i)];
+    if (p == i) continue;
+    for (index_t c = 0; c < n; ++c) std::swap(lu_prod(i, c), lu_prod(p, c));
+  }
+  expect_close(lu_prod, a, 1e-11, "P^T L U = A");
+}
+
+TEST(LuRect, TallMatrices) {
+  util::Rng rng(41);
+  check_reconstruction(random_matrix(7, 3, rng));
+  check_reconstruction(random_matrix(130, 40, rng));
+  check_reconstruction(random_matrix(65, 64, rng));
+}
+
+TEST(LuRect, WideMatrices) {
+  util::Rng rng(42);
+  check_reconstruction(random_matrix(3, 7, rng));
+  check_reconstruction(random_matrix(40, 130, rng));
+  check_reconstruction(random_matrix(64, 65, rng));
+}
+
+TEST(LuRect, SingleRowAndColumn) {
+  util::Rng rng(43);
+  check_reconstruction(random_matrix(1, 9, rng));
+  check_reconstruction(random_matrix(9, 1, rng));
+}
+
+TEST(LuRect, PanelBoundaryCrossing) {
+  // Sizes straddling the 64-wide LU panel, both orientations.
+  util::Rng rng(44);
+  check_reconstruction(random_matrix(129, 127, rng));
+  check_reconstruction(random_matrix(127, 129, rng));
+}
+
+}  // namespace

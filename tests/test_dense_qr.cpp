@@ -1,0 +1,129 @@
+/// Unit tests for the Householder QR: reconstruction, orthogonality,
+/// and all four ormqr application modes (needed by BSOFI).
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/dense/qr.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::dense;
+using fsi::testing::expect_close;
+using fsi::testing::random_matrix;
+
+struct QrShape {
+  index_t m, n;
+};
+
+class QrShapes : public ::testing::TestWithParam<QrShape> {};
+
+TEST_P(QrShapes, ReconstructsA) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(21, static_cast<std::uint64_t>(m * 1000 + n));
+  Matrix a = random_matrix(m, n, rng);
+  QrFactorization qr(Matrix::copy_of(a));
+
+  // Q * [R; 0] should equal A.
+  Matrix r_full(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, m - 1); ++i) r_full(i, j) = qr.packed()(i, j);
+  qr.apply_q(Side::Left, Trans::No, r_full);
+  expect_close(r_full, a, 1e-11, "Q R = A");
+}
+
+TEST_P(QrShapes, QIsOrthogonal) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(22, static_cast<std::uint64_t>(m * 1000 + n));
+  Matrix a = random_matrix(m, n, rng);
+  QrFactorization qr(std::move(a));
+  Matrix q = qr.q();
+  Matrix qtq(m, m);
+  gemm(Trans::Yes, Trans::No, 1.0, q, q, 0.0, qtq);
+  expect_close(qtq, Matrix::identity(m), 1e-11, "Q^T Q = I");
+}
+
+TEST_P(QrShapes, QtAEqualsR) {
+  const auto [m, n] = GetParam();
+  util::Rng rng(23, static_cast<std::uint64_t>(m * 1000 + n));
+  Matrix a = random_matrix(m, n, rng);
+  QrFactorization qr(Matrix::copy_of(a));
+  Matrix qta = a;
+  qr.apply_q(Side::Left, Trans::Yes, qta);
+  // Q^T A should be upper triangular with R on top and ~0 below.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < m; ++i) EXPECT_NEAR(qta(i, j), 0.0, 1e-10);
+  Matrix r = qr.r();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) EXPECT_NEAR(qta(i, j), r(i, j), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(QrShape{1, 1}, QrShape{5, 3},
+                                           QrShape{48, 48}, QrShape{64, 64},
+                                           QrShape{100, 50}, QrShape{129, 97},
+                                           // The BSOFI panel shape: 2N x N.
+                                           QrShape{256, 128}),
+                         [](const auto& info) {
+                           return "m" + std::to_string(info.param.m) + "n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Qr, RightApplicationMatchesExplicitQ) {
+  // BSOFI computes G = R^-1 Q^T via right-multiplications by Q_i^T;
+  // check C op(Q) against multiplication with the explicit Q.
+  const index_t m = 90, n = 45;
+  util::Rng rng(24);
+  Matrix a = random_matrix(m, n, rng);
+  QrFactorization qr(std::move(a));
+  Matrix q = qr.q();
+
+  for (Trans trans : {Trans::No, Trans::Yes}) {
+    Matrix c = random_matrix(30, m, rng);
+    Matrix expected(30, m);
+    gemm(Trans::No, trans, 1.0, c, q, 0.0, expected);
+    Matrix actual = c;
+    qr.apply_q(Side::Right, trans, actual);
+    expect_close(actual, expected, 1e-11,
+                 trans == Trans::No ? "C Q" : "C Q^T");
+  }
+}
+
+TEST(Qr, LeftApplicationMatchesExplicitQ) {
+  const index_t m = 70, n = 33;
+  util::Rng rng(25);
+  Matrix a = random_matrix(m, n, rng);
+  QrFactorization qr(std::move(a));
+  Matrix q = qr.q();
+
+  for (Trans trans : {Trans::No, Trans::Yes}) {
+    Matrix c = random_matrix(m, 12, rng);
+    Matrix expected(m, 12);
+    gemm(trans, Trans::No, 1.0, q, c, 0.0, expected);
+    Matrix actual = c;
+    qr.apply_q(Side::Left, trans, actual);
+    expect_close(actual, expected, 1e-11, "op(Q) C");
+  }
+}
+
+TEST(Qr, AlreadyTriangularInputGivesZeroTaus) {
+  // An upper-triangular A needs no reflections in exact arithmetic;
+  // the zero-column guard in larfg must not produce NaNs.
+  Matrix a = Matrix::identity(6);
+  a(0, 5) = 3.0;
+  QrFactorization qr(Matrix::copy_of(a));
+  Matrix r_full(6, 6);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = qr.packed()(i, j);
+  qr.apply_q(Side::Left, Trans::No, r_full);
+  expect_close(r_full, a, 1e-13, "triangular input");
+}
+
+TEST(Qr, WideMatrixThrows) {
+  EXPECT_THROW(QrFactorization(Matrix(3, 5)), util::CheckError);
+}
+
+}  // namespace

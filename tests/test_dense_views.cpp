@@ -1,0 +1,158 @@
+/// Tests that every dense kernel honours non-compact leading dimensions —
+/// the FSI code paths constantly hand kernels N x N sub-blocks of larger
+/// (bN x bN or NL x NL) matrices, so ld > rows is the common case, not the
+/// exception.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/lu.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/dense/qr.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::dense;
+using fsi::testing::expect_close;
+using fsi::testing::naive_gemm;
+using fsi::testing::random_matrix;
+
+/// Host matrix with a marked interior window; checks writes stay inside.
+struct Window {
+  Matrix host;
+  index_t i0, j0, m, n;
+
+  Window(index_t hm, index_t hn, index_t i0_, index_t j0_, index_t m_,
+         index_t n_, std::uint64_t seed)
+      : host(hm, hn), i0(i0_), j0(j0_), m(m_), n(n_) {
+    util::Rng rng(seed);
+    for (index_t j = 0; j < hn; ++j)
+      for (index_t i = 0; i < hm; ++i) host(i, j) = rng.uniform(-1, 1);
+    snapshot = host;
+  }
+
+  MatrixView view() { return host.block(i0, j0, m, n); }
+  ConstMatrixView cview() const { return host.block(i0, j0, m, n); }
+
+  /// All entries outside the window are untouched.
+  void expect_frame_intact() const {
+    for (index_t j = 0; j < host.cols(); ++j)
+      for (index_t i = 0; i < host.rows(); ++i) {
+        const bool inside =
+            i >= i0 && i < i0 + m && j >= j0 && j < j0 + n;
+        if (!inside) {
+          ASSERT_EQ(host(i, j), snapshot(i, j))
+              << "frame corrupted at (" << i << "," << j << ")";
+        }
+      }
+  }
+
+  Matrix snapshot;
+};
+
+TEST(Views, GemmReadsAndWritesThroughStrides) {
+  // Large enough to hit the packed parallel path.
+  Window wa(200, 300, 7, 11, 130, 257, 1);
+  Window wb(300, 200, 3, 5, 257, 126, 2);
+  Window wc(160, 140, 9, 4, 130, 126, 3);
+
+  Matrix a = Matrix::copy_of(wa.cview());
+  Matrix b = Matrix::copy_of(wb.cview());
+  Matrix c_ref = Matrix::copy_of(wc.cview());
+  naive_gemm(Trans::No, Trans::No, 1.5, a, b, -0.5, c_ref);
+
+  gemm(Trans::No, Trans::No, 1.5, wa.cview(), wb.cview(), -0.5, wc.view());
+  expect_close(wc.cview(), c_ref, 1e-12, "strided gemm");
+  wc.expect_frame_intact();
+  wa.expect_frame_intact();
+  wb.expect_frame_intact();
+}
+
+TEST(Views, GemmTransposedStridedOperands) {
+  Window wa(300, 200, 2, 2, 257, 90, 4);   // op(A) = A^T: 90 x 257
+  Window wb(250, 300, 1, 6, 101, 257, 5);  // op(B) = B^T: 257 x 101
+  Window wc(100, 110, 5, 3, 90, 101, 6);
+
+  Matrix c_ref = Matrix::copy_of(wc.cview());
+  naive_gemm(Trans::Yes, Trans::Yes, 1.0, Matrix::copy_of(wa.cview()),
+             Matrix::copy_of(wb.cview()), 1.0, c_ref);
+  gemm(Trans::Yes, Trans::Yes, 1.0, wa.cview(), wb.cview(), 1.0, wc.view());
+  expect_close(wc.cview(), c_ref, 1e-12, "strided gemm TT");
+  wc.expect_frame_intact();
+}
+
+TEST(Views, TrsmOnSubBlocks) {
+  util::Rng rng(7);
+  Matrix host(120, 120);
+  for (index_t j = 0; j < 120; ++j)
+    for (index_t i = 0; i < 120; ++i) host(i, j) = rng.uniform(-1, 1);
+  MatrixView a = host.block(10, 10, 90, 90);
+  for (index_t i = 0; i < 90; ++i) a(i, i) = 3.0 + rng.uniform();
+
+  Window wb(130, 40, 15, 2, 90, 21, 8);
+  Matrix b0 = Matrix::copy_of(wb.cview());
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, a, wb.view());
+  // Multiply back with trmm on the same strided views.
+  Matrix x = Matrix::copy_of(wb.cview());
+  trmm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, a, x);
+  expect_close(x, b0, 1e-10, "strided trsm round trip");
+  wb.expect_frame_intact();
+}
+
+TEST(Views, CopyTransposeIdentityHelpers) {
+  Window src(60, 50, 4, 3, 33, 21, 9);
+  Matrix dst_host(70, 70);
+  MatrixView dst = dst_host.block(5, 6, 21, 33);
+  transpose_into(src.cview(), dst);
+  for (index_t j = 0; j < 21; ++j)
+    for (index_t i = 0; i < 33; ++i)
+      ASSERT_EQ(dst(j, i), src.cview()(i, j));
+
+  MatrixView sq = dst_host.block(40, 40, 20, 20);
+  set_identity(sq);
+  EXPECT_EQ(sq(3, 3), 1.0);
+  EXPECT_EQ(sq(3, 4), 0.0);
+  EXPECT_EQ(dst_host(39, 40), 0.0);  // outside untouched (zero-init host)
+}
+
+TEST(Views, BlockOfBlockComposes) {
+  util::Rng rng(10);
+  Matrix host = random_matrix(40, 40, rng);
+  ConstMatrixView outer = host.block(4, 8, 30, 30);
+  ConstMatrixView inner = outer.block(2, 3, 5, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 5; ++i)
+      ASSERT_EQ(inner(i, j), host(4 + 2 + i, 8 + 3 + j));
+}
+
+TEST(Views, LuSolveIntoStridedRhs) {
+  util::Rng rng(11);
+  Matrix a = fsi::testing::random_dd_matrix(50, rng);
+  LuFactorization lu = LuFactorization::of(a);
+
+  Window wb(80, 30, 12, 4, 50, 9, 12);
+  Matrix b0 = Matrix::copy_of(wb.cview());
+  lu.solve(wb.view());
+  Matrix ax(50, 9);
+  gemm(Trans::No, Trans::No, 1.0, a, wb.cview(), 0.0, ax);
+  expect_close(ax, b0, 1e-10, "strided LU solve");
+  wb.expect_frame_intact();
+}
+
+TEST(Views, OrmqrOnStridedC) {
+  util::Rng rng(13);
+  Matrix a = random_matrix(60, 25, rng);
+  QrFactorization qr(Matrix::copy_of(a));
+
+  Window wc(90, 40, 8, 7, 60, 12, 14);
+  Matrix c0 = Matrix::copy_of(wc.cview());
+  qr.apply_q(Side::Left, Trans::Yes, wc.view());
+  // Undo with Q.
+  qr.apply_q(Side::Left, Trans::No, wc.view());
+  expect_close(wc.cview(), c0, 1e-11, "Q Q^T C on strided C");
+  wc.expect_frame_intact();
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+/// Tests for the flush-to-zero floating-point mode used by the benches.
+/// Kept in its own binary: enable_flush_to_zero() changes per-thread FP
+/// state for the rest of the process.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fsi/util/fpenv.hpp"
+
+namespace {
+
+volatile double sink;  // defeat constant folding
+
+TEST(Fpenv, DenormalsExistUnderStrictIeee) {
+  volatile double tiny = std::numeric_limits<double>::min();  // smallest normal
+  volatile double denormal = tiny / 4.0;
+  sink = denormal;
+  EXPECT_GT(denormal, 0.0);  // strict IEEE keeps subnormals
+}
+
+TEST(Fpenv, FlushToZeroEliminatesDenormals) {
+  fsi::util::enable_flush_to_zero();
+  volatile double tiny = std::numeric_limits<double>::min();
+  volatile double denormal = tiny / 4.0;  // FTZ: result flushed to 0
+  sink = denormal;
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_EQ(denormal, 0.0);
+#else
+  GTEST_SKIP() << "FTZ control is x86-only";
+#endif
+}
+
+TEST(Fpenv, NormalArithmeticUnaffected) {
+  fsi::util::enable_flush_to_zero();
+  volatile double a = 1.5, b = 2.25;
+  EXPECT_DOUBLE_EQ(a * b, 3.375);
+  EXPECT_DOUBLE_EQ(a + b, 3.75);
+}
+
+TEST(Fpenv, IdempotentCalls) {
+  fsi::util::enable_flush_to_zero();
+  fsi::util::enable_flush_to_zero();  // must not crash or toggle back
+  volatile double tiny = std::numeric_limits<double>::min();
+  volatile double denormal = tiny / 4.0;
+  sink = denormal;
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_EQ(denormal, 0.0);
+#endif
+}
+
+}  // namespace

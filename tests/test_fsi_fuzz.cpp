@@ -1,0 +1,82 @@
+/// Randomised configuration fuzzing for the full FSI pipeline: many random
+/// (N, L, c, q, pattern, matrix) combinations, every selected block checked
+/// against a dense inverse.  A broad safety net behind the targeted tests —
+/// deterministic seeds keep failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/norms.hpp"
+#include "fsi/pcyclic/explicit_inverse.hpp"
+#include "fsi/qmc/hubbard.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using dense::index_t;
+using dense::Matrix;
+using fsi::testing::expect_close;
+
+/// Divisors of l, excluding 1 and l (interesting cluster sizes).
+std::vector<index_t> proper_divisors(index_t l) {
+  std::vector<index_t> out;
+  for (index_t c = 2; c < l; ++c)
+    if (l % c == 0) out.push_back(c);
+  if (out.empty()) out.push_back(l);  // prime L: fall back to c = L
+  return out;
+}
+
+TEST(FsiFuzz, RandomConfigurationsAllMatchDenseInverses) {
+  util::Rng config_rng(0xF52);
+  const pcyclic::Pattern patterns[] = {
+      pcyclic::Pattern::Diagonal, pcyclic::Pattern::SubDiagonal,
+      pcyclic::Pattern::Columns, pcyclic::Pattern::Rows,
+      pcyclic::Pattern::AllDiagonals};
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const index_t n = 2 + static_cast<index_t>(config_rng.below(9));    // 2..10
+    const index_t l = 4 + static_cast<index_t>(config_rng.below(13));   // 4..16
+    const auto divisors = proper_divisors(l);
+    const index_t c =
+        divisors[static_cast<std::size_t>(config_rng.below(divisors.size()))];
+    const index_t q = static_cast<index_t>(config_rng.below(
+        static_cast<std::uint64_t>(c)));
+    const auto pattern = patterns[config_rng.below(5)];
+
+    // Alternate random p-cyclic matrices and physical Hubbard matrices.
+    pcyclic::PCyclicMatrix m = [&] {
+      if (trial % 2 == 0) {
+        util::Rng mat_rng(1000 + trial);
+        return pcyclic::PCyclicMatrix::random(n, l, mat_rng);
+      }
+      qmc::HubbardParams p;
+      p.u = config_rng.uniform(0.5, 5.0);
+      p.beta = config_rng.uniform(0.5, 3.0);
+      p.l = l;
+      qmc::HubbardModel model(qmc::Lattice::chain(n), p);
+      util::Rng field_rng(2000 + trial);
+      qmc::HsField field(l, n, field_rng);
+      return model.build_m(field, qmc::Spin::Down);
+    }();
+
+    Matrix g = pcyclic::full_inverse_dense(m);
+    selinv::FsiOptions opts;
+    opts.c = c;
+    opts.q = q;
+    opts.pattern = pattern;
+    util::Rng rng(3000 + trial);
+    auto s = selinv::fsi(m, opts, rng);
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + ": N=" + std::to_string(n) +
+                 " L=" + std::to_string(l) + " c=" + std::to_string(c) + " q=" +
+                 std::to_string(q) + " pattern=" + pcyclic::pattern_name(pattern));
+    ASSERT_EQ(s.size(),
+              pcyclic::Selection(l, c, q).block_count(pattern));
+    for (const auto& [k, col] : s.keys())
+      expect_close(s.at(k, col), pcyclic::dense_block(g, n, k, col), 5e-8,
+                   "fuzzed block");
+  }
+}
+
+}  // namespace

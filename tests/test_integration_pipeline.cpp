@@ -1,0 +1,163 @@
+/// End-to-end integration tests across module boundaries: Hubbard model ->
+/// FSI -> measurements, q-translation invariance, coarse-parallel equality,
+/// and measured-flops-vs-model consistency.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/norms.hpp"
+#include "fsi/pcyclic/explicit_inverse.hpp"
+#include "fsi/qmc/hubbard.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "fsi/util/flops.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using dense::index_t;
+using dense::Matrix;
+using fsi::testing::expect_close;
+
+pcyclic::PCyclicMatrix hubbard(index_t n, index_t l, std::uint64_t seed) {
+  qmc::HubbardParams p;
+  p.u = 3.0;
+  p.beta = 2.0;
+  p.l = l;
+  qmc::HubbardModel model(qmc::Lattice::chain(n), p);
+  util::Rng rng(seed);
+  qmc::HsField field(l, n, rng);
+  return model.build_m(field, qmc::Spin::Up);
+}
+
+TEST(Pipeline, DifferentQAgreeOnSharedBlocks) {
+  // Column selections for different q are different block sets, but any
+  // block present in both must be numerically identical (both are blocks of
+  // the same G).  Diagonal blocks of G computed through AllDiagonals are in
+  // every selection — compare them across all q.
+  const index_t n = 6, l = 12, c = 4;
+  pcyclic::PCyclicMatrix m = hubbard(n, l, 21);
+  util::Rng rng(1);
+
+  std::vector<pcyclic::SelectedInversion> results;
+  for (index_t q = 0; q < c; ++q) {
+    selinv::FsiOptions opts;
+    opts.c = c;
+    opts.q = q;
+    opts.pattern = pcyclic::Pattern::AllDiagonals;
+    results.push_back(selinv::fsi(m, opts, rng));
+  }
+  for (index_t q = 1; q < c; ++q)
+    for (index_t k = 0; k < l; ++k)
+      expect_close(results[static_cast<std::size_t>(q)].at(k, k),
+                   results[0].at(k, k), 1e-9, "q invariance of G(k,k)");
+}
+
+TEST(Pipeline, CoarseParallelOffGivesIdenticalBlocks) {
+  const index_t n = 8, l = 12, c = 3;
+  pcyclic::PCyclicMatrix m = hubbard(n, l, 22);
+  util::Rng rng(2);
+  for (auto pattern : {pcyclic::Pattern::Columns, pcyclic::Pattern::Rows,
+                       pcyclic::Pattern::AllDiagonals}) {
+    selinv::FsiOptions par;
+    par.c = c;
+    par.q = 1;
+    par.pattern = pattern;
+    par.coarse_parallel = true;
+    selinv::FsiOptions ser = par;
+    ser.coarse_parallel = false;
+    auto sp = selinv::fsi(m, par, rng);
+    auto ss = selinv::fsi(m, ser, rng);
+    for (const auto& [k, col] : sp.keys())
+      expect_close(sp.at(k, col), ss.at(k, col), 0.0,
+                   "parallel/serial must be bitwise-identical per block");
+  }
+}
+
+TEST(Pipeline, MeasuredFlopsTrackTheComplexityModel) {
+  // The instrumented flop counts must agree with the paper's closed forms
+  // to within their known constant-factor slack (< 2.5x, and never below
+  // the leading term's 0.8x).
+  const index_t n = 16, l = 32, c = 4;
+  pcyclic::PCyclicMatrix m = hubbard(n, l, 23);
+  pcyclic::BlockOps ops(m);
+  util::Rng rng(3);
+  selinv::ComplexityModel model{n, l, c};
+
+  for (auto pattern : {pcyclic::Pattern::Diagonal, pcyclic::Pattern::Columns,
+                       pcyclic::Pattern::Rows}) {
+    selinv::FsiOptions opts;
+    opts.c = c;
+    opts.q = 0;
+    opts.pattern = pattern;
+    selinv::FsiStats stats;
+    (void)selinv::fsi(m, ops, opts, rng, &stats);
+    const double ratio =
+        static_cast<double>(stats.flops_total()) / model.fsi_flops(pattern);
+    EXPECT_GT(ratio, 0.8) << pcyclic::pattern_name(pattern);
+    EXPECT_LT(ratio, 2.5) << pcyclic::pattern_name(pattern);
+  }
+}
+
+TEST(Pipeline, SpinUpAndDownInversesAreDifferentButConsistent) {
+  const index_t n = 5, l = 8;
+  qmc::HubbardParams p;
+  p.u = 4.0;
+  p.l = l;
+  qmc::HubbardModel model(qmc::Lattice::chain(n), p);
+  util::Rng rng(24);
+  qmc::HsField field(l, n, rng);
+
+  auto mu = model.build_m(field, qmc::Spin::Up);
+  auto md = model.build_m(field, qmc::Spin::Down);
+  Matrix gu = pcyclic::full_inverse_dense(mu);
+  Matrix gd = pcyclic::full_inverse_dense(md);
+  // Different HS couplings -> different inverses...
+  EXPECT_GT(dense::fro_distance(gu, gd), 1e-3);
+  // ...but both are true inverses of their matrices.
+  expect_close(dense::matmul(mu.to_dense(), gu), Matrix::identity(n * l),
+               1e-9, "up");
+  expect_close(dense::matmul(md.to_dense(), gd), Matrix::identity(n * l),
+               1e-9, "down");
+}
+
+TEST(Pipeline, SelectedInversionIsIndependentOfBlockOpsSharing) {
+  // Sharing one BlockOps across patterns (the DQMC fast path) must give the
+  // same blocks as fresh construction per call.
+  const index_t n = 6, l = 8, c = 2;
+  pcyclic::PCyclicMatrix m = hubbard(n, l, 25);
+  pcyclic::BlockOps shared(m);
+  util::Rng rng(4);
+
+  selinv::FsiOptions opts;
+  opts.c = c;
+  opts.q = 1;
+  opts.pattern = pcyclic::Pattern::Columns;
+  auto with_shared = selinv::fsi(m, shared, opts, rng);
+  auto standalone = selinv::fsi(m, opts, rng);
+  for (const auto& [k, col] : with_shared.keys())
+    expect_close(with_shared.at(k, col), standalone.at(k, col), 0.0,
+                 "BlockOps sharing");
+}
+
+TEST(Pipeline, FlopCounterIsolationAcrossRuns) {
+  // FsiStats must reflect only its own run even when other work happened
+  // in between (the counters are global but scoped per stage).
+  const index_t n = 8, l = 8, c = 2;
+  pcyclic::PCyclicMatrix m = hubbard(n, l, 26);
+  util::Rng rng(5);
+  selinv::FsiOptions opts;
+  opts.c = c;
+  opts.q = 0;
+  opts.pattern = pcyclic::Pattern::Diagonal;
+
+  selinv::FsiStats first, second;
+  (void)selinv::fsi(m, opts, rng, &first);
+  // Unrelated flop activity:
+  Matrix a = Matrix::identity(64);
+  dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, a, a, 0.0, a);
+  (void)selinv::fsi(m, opts, rng, &second);
+  EXPECT_EQ(first.flops_cls, second.flops_cls);
+  EXPECT_EQ(first.flops_bsofi, second.flops_bsofi);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+/// Tests for the binary persistence layer: round trips, corruption and
+/// type-confusion detection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fsi/dense/norms.hpp"
+#include "fsi/io/binary_io.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using dense::index_t;
+using dense::Matrix;
+using fsi::testing::expect_close;
+
+/// Unique temp path per test; removed on destruction.
+struct TempFile {
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + "fsi_io_" + name + ".bin") {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(BinaryIo, MatrixRoundTrip) {
+  TempFile tmp("matrix");
+  util::Rng rng(71);
+  Matrix m = fsi::testing::random_matrix(17, 9, rng);
+  io::save_matrix(tmp.path, m);
+  Matrix back = io::load_matrix(tmp.path);
+  expect_close(back, m, 0.0, "matrix round trip must be exact");
+}
+
+TEST(BinaryIo, StridedViewIsCompacted) {
+  TempFile tmp("view");
+  util::Rng rng(72);
+  Matrix host = fsi::testing::random_matrix(20, 20, rng);
+  io::save_matrix(tmp.path, host.block(3, 4, 7, 6));
+  Matrix back = io::load_matrix(tmp.path);
+  ASSERT_EQ(back.rows(), 7);
+  ASSERT_EQ(back.cols(), 6);
+  expect_close(back, Matrix::copy_of(host.block(3, 4, 7, 6)), 0.0, "view");
+}
+
+TEST(BinaryIo, PCyclicRoundTrip) {
+  TempFile tmp("pcyclic");
+  util::Rng rng(73);
+  pcyclic::PCyclicMatrix m = pcyclic::PCyclicMatrix::random(5, 7, rng);
+  io::save_pcyclic(tmp.path, m);
+  pcyclic::PCyclicMatrix back = io::load_pcyclic(tmp.path);
+  ASSERT_EQ(back.block_size(), 5);
+  ASSERT_EQ(back.num_blocks(), 7);
+  for (index_t i = 0; i < 7; ++i)
+    expect_close(Matrix::copy_of(back.b(i)), Matrix::copy_of(m.b(i)), 0.0,
+                 "p-cyclic block");
+}
+
+TEST(BinaryIo, FieldRoundTrip) {
+  TempFile tmp("field");
+  util::Rng rng(74);
+  qmc::HsField f(6, 9, rng);
+  io::save_field(tmp.path, f);
+  qmc::HsField back = io::load_field(tmp.path);
+  for (index_t l = 0; l < 6; ++l)
+    for (index_t i = 0; i < 9; ++i) EXPECT_EQ(back.at(l, i), f.at(l, i));
+}
+
+TEST(BinaryIo, MeasurementsRoundTrip) {
+  TempFile tmp("meas");
+  qmc::Measurements m(4, 3);
+  m.add_sample(1.0);
+  m.add_density(0.4, 0.6);
+  m.add_af_structure_factor(1.25);
+  m.add_spxx(2, 1, -0.5);
+  io::save_measurements(tmp.path, m);
+  qmc::Measurements back = io::load_measurements(tmp.path);
+  EXPECT_DOUBLE_EQ(back.density(), m.density());
+  EXPECT_DOUBLE_EQ(back.af_structure_factor(), 1.25);
+  EXPECT_DOUBLE_EQ(back.spxx(2, 1), -0.5);
+}
+
+TEST(BinaryIo, SelectedInversionRoundTrip) {
+  TempFile tmp("selinv");
+  util::Rng rng(75);
+  pcyclic::PCyclicMatrix m = pcyclic::PCyclicMatrix::random(4, 8, rng);
+  selinv::FsiOptions opts;
+  opts.c = 4;
+  opts.q = 2;
+  opts.pattern = pcyclic::Pattern::Columns;
+  auto s = selinv::fsi(m, opts, rng);
+
+  io::save_selected_inversion(tmp.path, s);
+  auto back = io::load_selected_inversion(tmp.path);
+  EXPECT_EQ(back.pattern(), s.pattern());
+  EXPECT_EQ(back.selection().q, 2);
+  ASSERT_EQ(back.size(), s.size());
+  for (const auto& [k, col] : s.keys())
+    expect_close(back.at(k, col), s.at(k, col), 0.0, "selected block");
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(io::load_matrix("/nonexistent/fsi_no_such_file.bin"),
+               util::CheckError);
+}
+
+TEST(BinaryIo, TypeConfusionDetected) {
+  TempFile tmp("confusion");
+  util::Rng rng(76);
+  Matrix m = fsi::testing::random_matrix(3, 3, rng);
+  io::save_matrix(tmp.path, m);
+  EXPECT_THROW(io::load_pcyclic(tmp.path), util::CheckError);
+  EXPECT_THROW(io::load_field(tmp.path), util::CheckError);
+}
+
+TEST(BinaryIo, CorruptMagicDetected) {
+  TempFile tmp("magic");
+  {
+    std::ofstream out(tmp.path, std::ios::binary);
+    out << "NOTFSI_GARBAGE_____";
+  }
+  EXPECT_THROW(io::load_matrix(tmp.path), util::CheckError);
+}
+
+TEST(BinaryIo, TruncationDetected) {
+  TempFile tmp("trunc");
+  util::Rng rng(77);
+  Matrix m = fsi::testing::random_matrix(30, 30, rng);
+  io::save_matrix(tmp.path, m);
+  // Truncate the file to half its size.
+  std::ifstream in(tmp.path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(tmp.path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(io::load_matrix(tmp.path), util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+/// Tests for the mini-MPI runtime: point-to-point semantics, collectives,
+/// barrier ordering, exception propagation, and the Edison memory model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "fsi/mpi/edison_model.hpp"
+#include "fsi/mpi/minimpi.hpp"
+
+namespace {
+
+using namespace fsi;
+
+TEST(MiniMpi, RankAndSize) {
+  std::atomic<int> sum{0};
+  mpi::run(4, [&](mpi::Communicator& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MiniMpi, SendRecvDeliversInOrder) {
+  mpi::run(2, [](mpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/7, {1.0, 2.0});
+      comm.send(1, /*tag=*/7, {3.0});
+    } else {
+      auto first = comm.recv(0, 7);
+      auto second = comm.recv(0, 7);
+      ASSERT_EQ(first.size(), 2u);
+      EXPECT_EQ(first[0], 1.0);
+      ASSERT_EQ(second.size(), 1u);
+      EXPECT_EQ(second[0], 3.0);
+    }
+  });
+}
+
+TEST(MiniMpi, TagsSeparateStreams) {
+  mpi::run(2, [](mpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {10.0});
+      comm.send(1, 2, {20.0});
+    } else {
+      // Receive in the opposite order of sending: tags must match.
+      auto t2 = comm.recv(0, 2);
+      auto t1 = comm.recv(0, 1);
+      EXPECT_EQ(t2[0], 20.0);
+      EXPECT_EQ(t1[0], 10.0);
+    }
+  });
+}
+
+TEST(MiniMpi, BcastFromEveryRoot) {
+  for (int root = 0; root < 3; ++root) {
+    mpi::run(3, [root](mpi::Communicator& comm) {
+      std::vector<double> data;
+      if (comm.rank() == root) data = {double(root), 42.0};
+      comm.bcast(data, root);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_EQ(data[0], double(root));
+      EXPECT_EQ(data[1], 42.0);
+    });
+  }
+}
+
+TEST(MiniMpi, ScatterDistributesChunks) {
+  mpi::run(4, [](mpi::Communicator& comm) {
+    std::vector<double> send;
+    if (comm.rank() == 2) {  // non-zero root
+      for (int i = 0; i < 12; ++i) send.push_back(double(i));
+    }
+    auto chunk = comm.scatter(send, 3, /*root=*/2);
+    ASSERT_EQ(chunk.size(), 3u);
+    EXPECT_EQ(chunk[0], double(3 * comm.rank()));
+    EXPECT_EQ(chunk[2], double(3 * comm.rank() + 2));
+  });
+}
+
+TEST(MiniMpi, ReduceSumsContributions) {
+  mpi::run(5, [](mpi::Communicator& comm) {
+    std::vector<double> local = {double(comm.rank()), 1.0};
+    auto total = comm.reduce_sum(local, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(total.size(), 2u);
+      EXPECT_EQ(total[0], 0 + 1 + 2 + 3 + 4);
+      EXPECT_EQ(total[1], 5.0);
+    } else {
+      EXPECT_TRUE(total.empty());
+    }
+  });
+}
+
+TEST(MiniMpi, AllreduceGivesEveryRankTheSum) {
+  mpi::run(4, [](mpi::Communicator& comm) {
+    std::vector<double> local = {std::pow(2.0, comm.rank())};
+    auto total = comm.allreduce_sum(local);
+    ASSERT_EQ(total.size(), 1u);
+    EXPECT_EQ(total[0], 1 + 2 + 4 + 8);
+  });
+}
+
+TEST(MiniMpi, GatherConcatenatesByRank) {
+  mpi::run(3, [](mpi::Communicator& comm) {
+    std::vector<double> local = {double(comm.rank() * 10),
+                                 double(comm.rank() * 10 + 1)};
+    auto all = comm.gather(local, 1);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(all.size(), 6u);
+      EXPECT_EQ(all[0], 0.0);
+      EXPECT_EQ(all[2], 10.0);
+      EXPECT_EQ(all[5], 21.0);
+    }
+  });
+}
+
+TEST(MiniMpi, RepeatedCollectivesDoNotInterfere) {
+  mpi::run(3, [](mpi::Communicator& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<double> local = {double(comm.rank() + iter)};
+      auto total = comm.allreduce_sum(local);
+      EXPECT_EQ(total[0], 3.0 * iter + 3.0);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(MiniMpi, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Communicator& comm) {
+                          if (comm.rank() == 1)
+                            throw std::runtime_error("rank 1 failed");
+                          comm.barrier();  // must not deadlock
+                        }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, InvalidArgumentsThrow) {
+  EXPECT_THROW(mpi::run(0, [](mpi::Communicator&) {}), util::CheckError);
+  EXPECT_THROW(mpi::run(2,
+                        [](mpi::Communicator& comm) {
+                          if (comm.rank() == 0) comm.send(5, 0, {});
+                          // other rank exits immediately
+                        }),
+               util::CheckError);
+}
+
+TEST(EdisonModel, MatchesPaperMemoryNumbers) {
+  // Paper: selected inversion for (N, L, c) = (576, 100, 10) needs ~2.65 GB.
+  const std::size_t bytes =
+      mpi::fsi_rank_bytes(576, 100, 10, pcyclic::Pattern::Columns);
+  const double gb = double(bytes) / (1024.0 * 1024 * 1024);
+  EXPECT_GT(gb, 2.6);
+  EXPECT_LT(gb, 3.6);  // selected inversion plus working set
+
+  // Paper: 12 ranks/socket (24/node) at N=576 exceed the node memory; the
+  // hybrid configs (12 ranks x 2 threads, ...) fit.
+  EXPECT_FALSE(mpi::config_fits(24, bytes));
+  EXPECT_TRUE(mpi::config_fits(12, bytes));
+
+  // N = 400 fits even in pure-MPI mode (the paper's fastest config).
+  const std::size_t bytes400 =
+      mpi::fsi_rank_bytes(400, 100, 10, pcyclic::Pattern::Columns);
+  EXPECT_TRUE(mpi::config_fits(24, bytes400));
+}
+
+TEST(EdisonModel, DiagonalPatternIsTiny) {
+  const std::size_t diag =
+      mpi::fsi_rank_bytes(576, 100, 10, pcyclic::Pattern::Diagonal);
+  const std::size_t cols =
+      mpi::fsi_rank_bytes(576, 100, 10, pcyclic::Pattern::Columns);
+  EXPECT_LT(diag, cols / 2);
+}
+
+}  // namespace

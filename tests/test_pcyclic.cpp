@@ -1,0 +1,145 @@
+/// Structure tests: PCyclicMatrix assembly, chain products, W matrices,
+/// and the explicit inverse (Eqs. 2/3) against a dense LU inverse.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/lu.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/pcyclic/explicit_inverse.hpp"
+#include "fsi/pcyclic/pcyclic.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::pcyclic;
+using fsi::testing::expect_close;
+
+TEST(PCyclic, DenseAssemblyHasNormalForm) {
+  util::Rng rng(101);
+  const index_t n = 3, l = 4;
+  PCyclicMatrix m = PCyclicMatrix::random(n, l, rng);
+  Matrix d = m.to_dense();
+
+  // Identity diagonal blocks.
+  for (index_t i = 0; i < l; ++i)
+    expect_close(Matrix::copy_of(d.block(i * n, i * n, n, n)),
+                 Matrix::identity(n), 0.0, "diag");
+  // Subdiagonal -B_{i+1}.
+  for (index_t i = 1; i < l; ++i) {
+    Matrix expected = Matrix::copy_of(m.b(i));
+    dense::scal(-1.0, expected);
+    expect_close(Matrix::copy_of(d.block(i * n, (i - 1) * n, n, n)), expected,
+                 0.0, "subdiag");
+  }
+  // Corner +B_1.
+  expect_close(Matrix::copy_of(d.block(0, (l - 1) * n, n, n)),
+               Matrix::copy_of(m.b(0)), 0.0, "corner");
+  // Everything else zero.
+  EXPECT_EQ(d(0, n), 0.0);
+  EXPECT_EQ(d(2 * n, 0), 0.0);
+}
+
+TEST(PCyclic, WrapIsTorus) {
+  util::Rng rng(102);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 5, rng);
+  EXPECT_EQ(m.wrap(5), 0);
+  EXPECT_EQ(m.wrap(-1), 4);
+  EXPECT_EQ(m.wrap(12), 2);
+  EXPECT_EQ(m.wrap(0), 0);
+}
+
+TEST(PCyclic, ChainProductMatchesManualProduct) {
+  util::Rng rng(103);
+  const index_t n = 4, l = 6;
+  PCyclicMatrix m = PCyclicMatrix::random(n, l, rng);
+
+  // k > l: B_4 B_3 (0-based b(4) b(3)) for k=4, l=2.
+  Matrix manual = dense::matmul(m.b(4), m.b(3));
+  expect_close(chain_product(m, 4, 2), manual, 1e-14, "forward chain");
+
+  // Wrapped chain k=1, l=4: B_1 B_0 B_5 (3 factors).
+  Matrix w1 = dense::matmul(m.b(0), m.b(5));
+  Matrix manual2 = dense::matmul(m.b(1), w1);
+  expect_close(chain_product(m, 1, 4), manual2, 1e-14, "wrapped chain");
+
+  // Empty chain.
+  expect_close(chain_product(m, 3, 3), Matrix::identity(n), 0.0, "empty chain");
+}
+
+TEST(PCyclic, WMatrixIsIdentityPlusFullChain) {
+  util::Rng rng(104);
+  const index_t n = 3, l = 5;
+  PCyclicMatrix m = PCyclicMatrix::random(n, l, rng);
+  for (index_t k = 0; k < l; ++k) {
+    // Full chain starting at k: B_k B_{k-1} ... B_{k+1}.
+    Matrix prod = Matrix::identity(n);
+    for (index_t t = 0; t < l; ++t) {
+      prod = dense::matmul(m.b(m.wrap(k + 1 + t)), prod);
+    }
+    for (index_t d = 0; d < n; ++d) prod(d, d) += 1.0;
+    expect_close(w_matrix(m, k), prod, 1e-13, "W_k");
+  }
+}
+
+class ExplicitInverseSizes
+    : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(ExplicitInverseSizes, MatchesDenseLuInverseEverywhere) {
+  const auto [n, l] = GetParam();
+  util::Rng rng(105, static_cast<std::uint64_t>(n * 100 + l));
+  PCyclicMatrix m = PCyclicMatrix::random(n, l, rng);
+  Matrix gd = full_inverse_dense(m);
+
+  for (index_t k = 0; k < l; ++k) {
+    for (index_t col = 0; col < l; ++col) {
+      Matrix expected = dense_block(gd, n, k, col);
+      Matrix actual = explicit_block(m, k, col);
+      expect_close(actual, expected, 1e-9,
+                   ("block (" + std::to_string(k) + "," + std::to_string(col) +
+                    ")").c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExplicitInverseSizes,
+                         ::testing::Values(std::make_pair(index_t{1}, index_t{1}),
+                                           std::make_pair(index_t{2}, index_t{2}),
+                                           std::make_pair(index_t{3}, index_t{7}),
+                                           std::make_pair(index_t{8}, index_t{5}),
+                                           std::make_pair(index_t{16}, index_t{4})),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.first) + "L" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(PCyclic, ExplicitColumnMatchesDense) {
+  util::Rng rng(106);
+  const index_t n = 5, l = 6;
+  PCyclicMatrix m = PCyclicMatrix::random(n, l, rng);
+  Matrix gd = full_inverse_dense(m);
+  const index_t col = 2;
+  auto column = explicit_block_column(m, col);
+  ASSERT_EQ(column.size(), static_cast<std::size_t>(l));
+  for (index_t k = 0; k < l; ++k)
+    expect_close(column[k], dense_block(gd, n, k, col), 1e-10, "column block");
+}
+
+TEST(PCyclic, InverseOfDenseAssemblyIsActualInverse) {
+  util::Rng rng(107);
+  PCyclicMatrix m = PCyclicMatrix::random(6, 4, rng);
+  Matrix md = m.to_dense();
+  Matrix g = full_inverse_dense(m);
+  expect_close(dense::matmul(md, g), Matrix::identity(m.dim()), 1e-10, "M G = I");
+}
+
+TEST(PCyclic, BlockIndexOutOfRangeThrows) {
+  util::Rng rng(108);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 3, rng);
+  EXPECT_THROW(m.b(3), util::CheckError);
+  EXPECT_THROW(m.b(-1), util::CheckError);
+  EXPECT_THROW(explicit_block(m, 0, 5), util::CheckError);
+}
+
+}  // namespace

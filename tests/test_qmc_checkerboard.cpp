@@ -1,0 +1,153 @@
+/// Tests for the checkerboard kinetic propagator (QUEST-style extension).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/expm.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/qmc/checkerboard.hpp"
+#include "fsi/qmc/dqmc.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::qmc;
+using fsi::testing::expect_close;
+
+TEST(Checkerboard, BondCountMatchesLattice) {
+  CheckerboardExpK chain(Lattice::chain(6), 0.1);
+  EXPECT_EQ(chain.num_bonds(), 6);  // periodic chain: N bonds
+  CheckerboardExpK rect(Lattice::rectangle(4, 4), 0.1);
+  EXPECT_EQ(rect.num_bonds(), 32);  // 2 N bonds on the periodic square
+}
+
+TEST(Checkerboard, SingleBondIsExact) {
+  // Two sites, one bond: the checkerboard product IS e^{coeff K}.
+  const double coeff = 0.3;
+  CheckerboardExpK cb(Lattice::chain(2), coeff);
+  Matrix k(2, 2);
+  k(0, 1) = k(1, 0) = coeff;
+  expect_close(cb.to_dense(), dense::expm(k), 1e-14, "single bond");
+}
+
+TEST(Checkerboard, ApplyMatchesDenseMultiply) {
+  util::Rng rng(901);
+  Lattice lat = Lattice::rectangle(3, 3);
+  CheckerboardExpK cb(lat, 0.125);
+  Matrix g = fsi::testing::random_matrix(9, 5, rng);
+  Matrix expected = dense::matmul(cb.to_dense(), g);
+  Matrix actual = g;
+  cb.apply_left(actual);
+  expect_close(actual, expected, 1e-13, "apply_left");
+}
+
+TEST(Checkerboard, InverseUndoesApply) {
+  util::Rng rng(902);
+  CheckerboardExpK cb(Lattice::rectangle(4, 3), 0.2);
+  Matrix g = fsi::testing::random_matrix(12, 4, rng);
+  Matrix round = g;
+  cb.apply_left(round);
+  cb.apply_inverse_left(round);
+  expect_close(round, g, 1e-13, "B^-1 B g = g");
+}
+
+TEST(Checkerboard, TrotterErrorIsSecondOrder) {
+  // || cb(dtau) - expm(dtau K) || = O(dtau^2): halving dtau should cut the
+  // error by ~4x (between 3x and 6x allows higher-order contamination).
+  Lattice lat = Lattice::rectangle(4, 4);
+  Matrix k(16, 16);
+  dense::copy(lat.adjacency(), k);
+
+  auto error_at = [&](double dtau) {
+    Matrix kd = Matrix::copy_of(k.view());
+    dense::scal(dtau, kd);
+    Matrix exact = dense::expm(kd);
+    CheckerboardExpK cb(lat, dtau);
+    return dense::fro_distance(cb.to_dense(), exact) /
+           dense::frobenius_norm(exact);
+  };
+
+  const double e1 = error_at(0.2);
+  const double e2 = error_at(0.1);
+  EXPECT_GT(e1, 1e-6);  // there IS an approximation error
+  const double ratio = e1 / e2;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Checkerboard, SmallCoeffIsAccurateEnoughForDqmc) {
+  // At DQMC-typical t*dtau ~ 0.01 the approximation error sits far below
+  // the physical Trotter error of the simulation itself.
+  Lattice lat = Lattice::rectangle(4, 4);
+  Matrix kd(16, 16);
+  dense::copy(lat.adjacency(), kd);
+  dense::scal(0.01, kd);
+  CheckerboardExpK cb(lat, 0.01);
+  EXPECT_LT(dense::rel_fro_error(cb.to_dense(), dense::expm(kd)), 1e-3);
+}
+
+TEST(Checkerboard, HubbardModelKineticModeWorksEndToEnd) {
+  // A model built with the checkerboard kinetic mode must behave like the
+  // exact model up to the O(dtau^2) bond-split error, and its B-matrix
+  // inverse identity must hold exactly (the inverse uses the same splitting).
+  HubbardParams exact_p;
+  exact_p.u = 2.0;
+  exact_p.beta = 1.0;
+  exact_p.l = 16;
+  HubbardParams cb_p = exact_p;
+  cb_p.kinetic = Kinetic::Checkerboard;
+
+  Lattice lat = Lattice::rectangle(3, 3);
+  HubbardModel exact(lat, exact_p);
+  HubbardModel cb(lat, cb_p);
+
+  // expK agrees to the splitting error ~ (t dtau)^2 * ||commutators||.
+  EXPECT_LT(dense::rel_fro_error(cb.expk(), exact.expk()), 3e-2);
+  EXPECT_GT(dense::rel_fro_error(cb.expk(), exact.expk()), 1e-5);
+  // B * B^-1 = I holds exactly for the checkerboard realisation too.
+  util::Rng rng(903);
+  HsField h(16, 9, rng);
+  Matrix prod = dense::matmul(cb.b_matrix(h, 3, Spin::Up),
+                              cb.b_matrix_inv(h, 3, Spin::Up));
+  expect_close(prod, Matrix::identity(9), 1e-12, "checkerboard B B^-1");
+}
+
+TEST(Checkerboard, DqmcObservablesCloseToExactKinetic) {
+  // Full DQMC with both kinetic modes: same seed, observables within the
+  // splitting error + Monte Carlo noise envelope.
+  HubbardParams p;
+  p.u = 2.0;
+  p.beta = 1.0;
+  p.l = 8;
+  Lattice lat = Lattice::rectangle(2, 2);
+
+  auto run = [&](Kinetic k) {
+    HubbardParams q = p;
+    q.kinetic = k;
+    HubbardModel model(lat, q);
+    qmc::DqmcOptions opt;
+    opt.warmup_sweeps = 10;
+    opt.measurement_sweeps = 40;
+    opt.cluster_size = 4;
+    opt.measure_time_dependent = false;
+    opt.seed = 9;
+    return qmc::run_dqmc(model, opt);
+  };
+  auto exact = run(Kinetic::Exact);
+  auto cb = run(Kinetic::Checkerboard);
+  EXPECT_NEAR(exact.measurements.density(), cb.measurements.density(), 0.1);
+  EXPECT_NEAR(exact.measurements.double_occupancy(),
+              cb.measurements.double_occupancy(), 0.05);
+}
+
+TEST(Checkerboard, DimensionMismatchThrows) {
+  CheckerboardExpK cb(Lattice::chain(4), 0.1);
+  Matrix wrong(3, 3);
+  dense::MatrixView v = wrong;
+  EXPECT_THROW(cb.apply_left(v), util::CheckError);
+}
+
+}  // namespace

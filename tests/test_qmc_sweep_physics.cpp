@@ -1,0 +1,146 @@
+/// Physics invariants of the Metropolis sweep: U=0 triviality, half-filling
+/// sign-problem freedom, particle-hole symmetry of the spin ratios, and
+/// temperature trends of the observables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fsi/qmc/dqmc.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::qmc;
+
+TEST(SweepPhysics, UZeroRatiosAreAllUnity) {
+  // At U = 0 the HS field decouples: every flip ratio must be exactly 1
+  // and every proposal is accepted.
+  HubbardParams p;
+  p.u = 0.0;
+  p.beta = 1.0;
+  p.l = 6;
+  HubbardModel model(Lattice::chain(4), p);
+  util::Rng rng(61);
+  HsField field(6, 4, rng);
+  EqualTimeGreens g_up(model, field, Spin::Up, 3);
+  EqualTimeGreens g_dn(model, field, Spin::Down, 3);
+
+  for (index_t i = 0; i < 4; ++i) {
+    const double a = g_up.flip_alpha(i);
+    EXPECT_DOUBLE_EQ(a, 0.0);
+    EXPECT_DOUBLE_EQ(g_up.flip_ratio(i, a), 1.0);
+  }
+  double sign = 1.0;
+  const index_t acc = metropolis_sweep(model, field, g_up, g_dn, rng, sign);
+  EXPECT_EQ(acc, 6 * 4);  // r = 1 -> always accepted
+  EXPECT_DOUBLE_EQ(sign, 1.0);
+}
+
+TEST(SweepPhysics, HalfFillingSpinRatiosAreConjugate) {
+  // Particle-hole symmetry at mu = 0 on a bipartite lattice implies
+  // r_up * r_dn > 0 for every proposal (sign-problem-free); verify over a
+  // long random sequence of states and proposals.
+  HubbardParams p;
+  p.u = 5.0;
+  p.beta = 2.0;
+  p.l = 8;
+  HubbardModel model(Lattice::rectangle(2, 3), p);
+  util::Rng rng(62);
+  HsField field(8, 6, rng);
+  EqualTimeGreens g_up(model, field, Spin::Up, 4);
+  EqualTimeGreens g_dn(model, field, Spin::Down, 4);
+
+  double sign = 1.0;
+  for (int sweep = 0; sweep < 3; ++sweep)
+    metropolis_sweep(model, field, g_up, g_dn, rng, sign);
+  EXPECT_DOUBLE_EQ(sign, 1.0);
+
+  for (index_t i = 0; i < 6; ++i) {
+    const double r =
+        g_up.flip_ratio(i, g_up.flip_alpha(i)) *
+        g_dn.flip_ratio(i, g_dn.flip_alpha(i));
+    EXPECT_GT(r, 0.0) << "negative weight at half filling, site " << i;
+  }
+}
+
+TEST(SweepPhysics, StrongerCouplingSuppressesDoubleOccupancy) {
+  auto docc_at = [](double u) {
+    HubbardParams p;
+    p.u = u;
+    p.beta = 2.0;
+    p.l = 8;
+    HubbardModel model(Lattice::rectangle(2, 2), p);
+    DqmcOptions opt;
+    opt.warmup_sweeps = 30;
+    opt.measurement_sweeps = 120;
+    opt.cluster_size = 4;
+    opt.measure_time_dependent = false;
+    opt.seed = 63;
+    return run_dqmc(model, opt).measurements.double_occupancy();
+  };
+  const double weak = docc_at(1.0);
+  const double strong = docc_at(8.0);
+  EXPECT_LT(strong, weak - 0.03)
+      << "U suppresses double occupancy (weak=" << weak
+      << ", strong=" << strong << ")";
+  EXPECT_LT(weak, 0.26);   // below/near the uncorrelated 1/4
+  EXPECT_GT(strong, 0.0);
+}
+
+TEST(SweepPhysics, LocalMomentGrowsWithCoupling) {
+  auto moment_at = [](double u) {
+    HubbardParams p;
+    p.u = u;
+    p.beta = 2.0;
+    p.l = 8;
+    HubbardModel model(Lattice::rectangle(2, 2), p);
+    DqmcOptions opt;
+    opt.warmup_sweeps = 30;
+    opt.measurement_sweeps = 120;
+    opt.cluster_size = 4;
+    opt.measure_time_dependent = false;
+    opt.seed = 64;
+    return run_dqmc(model, opt).measurements.local_moment();
+  };
+  EXPECT_GT(moment_at(8.0), moment_at(1.0) + 0.05);
+}
+
+TEST(SweepPhysics, EnginesStayInLockstep) {
+  HubbardParams p;
+  p.u = 3.0;
+  p.l = 10;
+  HubbardModel model(Lattice::chain(5), p);
+  util::Rng rng(65);
+  HsField field(10, 5, rng);
+  EqualTimeGreens g_up(model, field, Spin::Up, 5);
+  EqualTimeGreens g_dn(model, field, Spin::Down, 5);
+  double sign = 1.0;
+  for (int s = 0; s < 2; ++s) {
+    metropolis_sweep(model, field, g_up, g_dn, rng, sign);
+    EXPECT_EQ(g_up.slice(), g_dn.slice());
+    EXPECT_EQ(g_up.slice(), 0);  // full sweeps return to slice 0
+  }
+}
+
+TEST(SweepPhysics, AcceptanceDropsAtStrongCoupling) {
+  auto acceptance_at = [](double u) {
+    HubbardParams p;
+    p.u = u;
+    p.beta = 2.0;
+    p.l = 8;
+    HubbardModel model(Lattice::rectangle(2, 2), p);
+    DqmcOptions opt;
+    opt.warmup_sweeps = 10;
+    opt.measurement_sweeps = 30;
+    opt.cluster_size = 4;
+    opt.measure_time_dependent = false;
+    opt.seed = 66;
+    return run_dqmc(model, opt).acceptance_rate;
+  };
+  // Stronger coupling -> stiffer field -> fewer accepted flips.
+  EXPECT_GT(acceptance_at(1.0), acceptance_at(10.0) + 0.05);
+}
+
+}  // namespace

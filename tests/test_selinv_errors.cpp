@@ -1,0 +1,114 @@
+/// Error-path and contract tests for the selected-inversion layer: every
+/// FSI_CHECK on the public API boundary must fire for malformed input, and
+/// q-randomisation must be uniform enough for the paper's "blocks selected
+/// uniformly across a set of Green's functions" purpose.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "fsi/selinv/fsi.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using dense::index_t;
+using dense::Matrix;
+using pcyclic::PCyclicMatrix;
+using pcyclic::Selection;
+
+TEST(SelinvErrors, WrapRejectsWrongReducedDimensions) {
+  util::Rng rng(51);
+  PCyclicMatrix m = PCyclicMatrix::random(3, 8, rng);
+  pcyclic::BlockOps ops(m);
+  Selection sel(8, 4, 0);
+  Matrix wrong(5, 5);  // not (b*N)^2 = 6x6
+  EXPECT_THROW(selinv::wrap(ops, wrong, pcyclic::Pattern::Columns, sel),
+               util::CheckError);
+}
+
+TEST(SelinvErrors, WrapRejectsMismatchedSelection) {
+  util::Rng rng(52);
+  PCyclicMatrix m = PCyclicMatrix::random(3, 8, rng);
+  pcyclic::BlockOps ops(m);
+  Selection wrong_l(12, 4, 0);  // selection for a different L
+  Matrix gtilde(9, 9);          // b=3 blocks of 3x3
+  EXPECT_THROW(selinv::wrap(ops, gtilde, pcyclic::Pattern::Columns, wrong_l),
+               util::CheckError);
+}
+
+TEST(SelinvErrors, FsiRejectsBadClusterSize) {
+  util::Rng rng(53);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 10, rng);
+  selinv::FsiOptions opts;
+  opts.c = 4;  // does not divide 10
+  opts.q = 0;
+  EXPECT_THROW(selinv::fsi(m, opts, rng), util::CheckError);
+  opts.c = 0;
+  EXPECT_THROW(selinv::fsi(m, opts, rng), util::CheckError);
+}
+
+TEST(SelinvErrors, FsiRejectsOutOfRangeQ) {
+  util::Rng rng(54);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 8, rng);
+  selinv::FsiOptions opts;
+  opts.c = 4;
+  opts.q = 4;  // must be < c
+  EXPECT_THROW(selinv::fsi(m, opts, rng), util::CheckError);
+}
+
+TEST(SelinvErrors, QRandomisationIsRoughlyUniform) {
+  // The paper: "q is chosen in the uniform distribution to allow blocks to
+  // be selected uniformly across a set of Green's functions."
+  util::Rng rng(55);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 8, rng);
+  selinv::FsiOptions opts;
+  opts.c = 4;
+  opts.q = -1;
+  opts.pattern = pcyclic::Pattern::Diagonal;
+
+  std::array<int, 4> counts{};
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    selinv::FsiStats stats;
+    (void)selinv::fsi(m, opts, rng, &stats);
+    ASSERT_GE(stats.q, 0);
+    ASSERT_LT(stats.q, 4);
+    ++counts[static_cast<std::size_t>(stats.q)];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(counts[static_cast<std::size_t>(q)], reps / 4 - 60) << "q=" << q;
+    EXPECT_LT(counts[static_cast<std::size_t>(q)], reps / 4 + 60) << "q=" << q;
+  }
+}
+
+TEST(SelinvErrors, StatsPointerIsOptional) {
+  util::Rng rng(56);
+  PCyclicMatrix m = PCyclicMatrix::random(2, 4, rng);
+  selinv::FsiOptions opts;
+  opts.c = 2;
+  opts.q = 0;
+  EXPECT_NO_THROW(selinv::fsi(m, opts, rng, nullptr));
+}
+
+TEST(SelinvErrors, AllPatternsSurviveCEqualsL) {
+  // Degenerate reduction to a single cluster (b = 1): every pattern must
+  // still produce correct block counts and not crash.
+  util::Rng rng(57);
+  PCyclicMatrix m = PCyclicMatrix::random(3, 6, rng);
+  for (auto pat :
+       {pcyclic::Pattern::Diagonal, pcyclic::Pattern::SubDiagonal,
+        pcyclic::Pattern::Columns, pcyclic::Pattern::Rows,
+        pcyclic::Pattern::AllDiagonals}) {
+    selinv::FsiOptions opts;
+    opts.c = 6;
+    opts.q = 0;
+    opts.pattern = pat;
+    auto s = selinv::fsi(m, opts, rng);
+    EXPECT_EQ(s.size(), Selection(6, 6, 0).block_count(pat))
+        << pcyclic::pattern_name(pat);
+  }
+}
+
+}  // namespace

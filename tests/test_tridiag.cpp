@@ -1,0 +1,137 @@
+/// Tests for the block-tridiagonal selected inversion (the paper's
+/// future-work extension): every block against a dense inverse, move
+/// validity, and the column walk.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/tridiag/tridiag.hpp"
+#include "testing.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::tridiag;
+using fsi::testing::expect_close;
+
+Matrix dense_block(const Matrix& g, index_t n, index_t i, index_t j) {
+  return Matrix::copy_of(g.block(i * n, j * n, n, n));
+}
+
+TEST(BlockTridiagonal, DenseAssembly) {
+  util::Rng rng(801);
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(3, 4, rng);
+  Matrix d = t.to_dense();
+  ASSERT_EQ(d.rows(), 12);
+  expect_close(dense_block(d, 3, 1, 1), Matrix::copy_of(t.d(1)), 0.0, "D");
+  expect_close(dense_block(d, 3, 2, 1), Matrix::copy_of(t.a(2)), 0.0, "A");
+  expect_close(dense_block(d, 3, 1, 2), Matrix::copy_of(t.c(2)), 0.0, "C");
+  EXPECT_EQ(d(0, 6), 0.0);  // outside the tridiagonal band
+  EXPECT_EQ(d(9, 0), 0.0);
+}
+
+TEST(BlockTridiagonal, AccessorBounds) {
+  util::Rng rng(802);
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(2, 3, rng);
+  EXPECT_THROW(t.d(3), util::CheckError);
+  EXPECT_THROW(t.a(0), util::CheckError);  // A_0 does not exist
+  EXPECT_THROW(t.c(3), util::CheckError);
+}
+
+class TridiagSizes : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(TridiagSizes, DiagonalBlocksMatchDenseInverse) {
+  const auto [n, l] = GetParam();
+  util::Rng rng(803, static_cast<std::uint64_t>(n * 100 + l));
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(n, l, rng);
+  Matrix g = invert_dense_lu(t);
+  TridiagSelectedInverse sel(t);
+  for (index_t i = 0; i < l; ++i)
+    expect_close(sel.diag_block(i), dense_block(g, n, i, i), 1e-10,
+                 "diag block");
+}
+
+TEST_P(TridiagSizes, EveryBlockMatchesDenseInverse) {
+  const auto [n, l] = GetParam();
+  util::Rng rng(804, static_cast<std::uint64_t>(n * 100 + l));
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(n, l, rng);
+  Matrix g = invert_dense_lu(t);
+  TridiagSelectedInverse sel(t);
+  for (index_t i = 0; i < l; ++i)
+    for (index_t j = 0; j < l; ++j)
+      expect_close(sel.block(i, j), dense_block(g, n, i, j), 1e-9,
+                   ("block (" + std::to_string(i) + "," + std::to_string(j) +
+                    ")").c_str());
+}
+
+TEST_P(TridiagSizes, ColumnMatchesDenseInverse) {
+  const auto [n, l] = GetParam();
+  util::Rng rng(805, static_cast<std::uint64_t>(n * 100 + l));
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(n, l, rng);
+  Matrix g = invert_dense_lu(t);
+  TridiagSelectedInverse sel(t);
+  for (index_t j : {index_t{0}, l / 2, l - 1}) {
+    auto col = sel.column(j);
+    ASSERT_EQ(col.size(), static_cast<std::size_t>(l));
+    for (index_t i = 0; i < l; ++i)
+      expect_close(col[static_cast<std::size_t>(i)], dense_block(g, n, i, j),
+                   1e-9, "column block");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizes,
+                         ::testing::Values(std::make_pair(index_t{1}, index_t{1}),
+                                           std::make_pair(index_t{3}, index_t{2}),
+                                           std::make_pair(index_t{4}, index_t{7}),
+                                           std::make_pair(index_t{8}, index_t{5})),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.first) + "L" +
+                                  std::to_string(info.param.second);
+                         });
+
+TEST(Tridiag, MoveValidityIsEnforced) {
+  util::Rng rng(806);
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(2, 4, rng);
+  TridiagSelectedInverse sel(t);
+  Matrix g = sel.diag_block(1);
+  EXPECT_THROW(sel.up(1, 0, g), util::CheckError);    // up above the diagonal side
+  EXPECT_THROW(sel.down(1, 2, g), util::CheckError);  // down on the wrong side
+  EXPECT_THROW(sel.up(0, 0, g), util::CheckError);    // off the top
+  EXPECT_THROW(sel.down(3, 0, g), util::CheckError);  // off the bottom
+}
+
+TEST(Tridiag, ScalarTridiagonalKnownInverse) {
+  // 1x1 blocks: T = tridiag(-1, 2, -1) of size 3 has inverse
+  // [[0.75, 0.5, 0.25], [0.5, 1.0, 0.5], [0.25, 0.5, 0.75]].
+  BlockTridiagonalMatrix t(1, 3);
+  for (index_t i = 0; i < 3; ++i) t.d(i)(0, 0) = 2.0;
+  for (index_t i = 1; i < 3; ++i) {
+    t.a(i)(0, 0) = -1.0;
+    t.c(i)(0, 0) = -1.0;
+  }
+  TridiagSelectedInverse sel(t);
+  EXPECT_NEAR(sel.block(0, 0)(0, 0), 0.75, 1e-14);
+  EXPECT_NEAR(sel.block(1, 1)(0, 0), 1.00, 1e-14);
+  EXPECT_NEAR(sel.block(0, 2)(0, 0), 0.25, 1e-14);
+  EXPECT_NEAR(sel.block(2, 0)(0, 0), 0.25, 1e-14);
+}
+
+TEST(Tridiag, InverseTimesMatrixIsIdentityViaColumns) {
+  util::Rng rng(807);
+  const index_t n = 5, l = 6;
+  BlockTridiagonalMatrix t = BlockTridiagonalMatrix::random(n, l, rng);
+  TridiagSelectedInverse sel(t);
+  // Assemble the full inverse from columns and check T * G = I.
+  Matrix g(n * l, n * l);
+  for (index_t j = 0; j < l; ++j) {
+    auto col = sel.column(j);
+    for (index_t i = 0; i < l; ++i)
+      dense::copy(col[static_cast<std::size_t>(i)],
+                  g.block(i * n, j * n, n, n));
+  }
+  Matrix prod = dense::matmul(t.to_dense(), g);
+  expect_close(prod, Matrix::identity(n * l), 1e-9, "T G = I");
+}
+
+}  // namespace

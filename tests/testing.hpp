@@ -1,0 +1,60 @@
+#pragma once
+/// \file testing.hpp
+/// \brief Shared helpers for the FSI test suite.
+
+#include <gtest/gtest.h>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/matrix.hpp"
+#include "fsi/dense/norms.hpp"
+#include "fsi/util/rng.hpp"
+
+namespace fsi::testing {
+
+/// Uniform random matrix with entries in [-1, 1).
+inline dense::Matrix random_matrix(dense::index_t m, dense::index_t n,
+                                   util::Rng& rng) {
+  dense::Matrix a(m, n);
+  for (dense::index_t j = 0; j < n; ++j)
+    for (dense::index_t i = 0; i < m; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+/// Random diagonally-dominant matrix (well-conditioned, safe to invert).
+inline dense::Matrix random_dd_matrix(dense::index_t n, util::Rng& rng) {
+  dense::Matrix a = random_matrix(n, n, rng);
+  for (dense::index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+/// Reference three-loop GEMM: C := alpha op(A) op(B) + beta C.
+inline void naive_gemm(dense::Trans ta, dense::Trans tb, double alpha,
+                       dense::ConstMatrixView a, dense::ConstMatrixView b,
+                       double beta, dense::MatrixView c) {
+  using dense::index_t;
+  const index_t m = c.rows(), n = c.cols();
+  const index_t k = (ta == dense::Trans::No) ? a.cols() : a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (index_t p = 0; p < k; ++p) {
+        const double av = (ta == dense::Trans::No) ? a(i, p) : a(p, i);
+        const double bv = (tb == dense::Trans::No) ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+  }
+}
+
+/// EXPECT helper: Frobenius-relative difference below tolerance.
+inline void expect_close(dense::ConstMatrixView actual,
+                         dense::ConstMatrixView expected, double tol,
+                         const char* what = "") {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  const double err = dense::rel_fro_error(actual, expected);
+  EXPECT_LE(err, tol) << what << " rel_fro_error=" << err;
+}
+
+}  // namespace fsi::testing
