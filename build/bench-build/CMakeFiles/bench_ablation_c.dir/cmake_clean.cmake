@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_c"
+  "../bench/bench_ablation_c.pdb"
+  "CMakeFiles/bench_ablation_c.dir/bench_ablation_c.cpp.o"
+  "CMakeFiles/bench_ablation_c.dir/bench_ablation_c.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

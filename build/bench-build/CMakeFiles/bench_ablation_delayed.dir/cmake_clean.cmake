@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_delayed"
+  "../bench/bench_ablation_delayed.pdb"
+  "CMakeFiles/bench_ablation_delayed.dir/bench_ablation_delayed.cpp.o"
+  "CMakeFiles/bench_ablation_delayed.dir/bench_ablation_delayed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delayed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reduced_inv"
+  "../bench/bench_ablation_reduced_inv.pdb"
+  "CMakeFiles/bench_ablation_reduced_inv.dir/bench_ablation_reduced_inv.cpp.o"
+  "CMakeFiles/bench_ablation_reduced_inv.dir/bench_ablation_reduced_inv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reduced_inv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

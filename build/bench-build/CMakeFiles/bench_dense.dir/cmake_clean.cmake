@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dense"
+  "../bench/bench_dense.pdb"
+  "CMakeFiles/bench_dense.dir/bench_dense.cpp.o"
+  "CMakeFiles/bench_dense.dir/bench_dense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_dqmc"
+  "../bench/bench_fig11_dqmc.pdb"
+  "CMakeFiles/bench_fig11_dqmc.dir/bench_fig11_dqmc.cpp.o"
+  "CMakeFiles/bench_fig11_dqmc.dir/bench_fig11_dqmc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dqmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

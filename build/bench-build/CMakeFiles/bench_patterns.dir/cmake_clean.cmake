@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_patterns"
+  "../bench/bench_patterns.pdb"
+  "CMakeFiles/bench_patterns.dir/bench_patterns.cpp.o"
+  "CMakeFiles/bench_patterns.dir/bench_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

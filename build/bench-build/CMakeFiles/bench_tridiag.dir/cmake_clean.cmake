@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tridiag"
+  "../bench/bench_tridiag.pdb"
+  "CMakeFiles/bench_tridiag.dir/bench_tridiag.cpp.o"
+  "CMakeFiles/bench_tridiag.dir/bench_tridiag.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqmc_hubbard.dir/dqmc_hubbard.cpp.o"
+  "CMakeFiles/dqmc_hubbard.dir/dqmc_hubbard.cpp.o.d"
+  "dqmc_hubbard"
+  "dqmc_hubbard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqmc_hubbard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dqmc_hubbard.
+# This may be replaced when dependencies are built.

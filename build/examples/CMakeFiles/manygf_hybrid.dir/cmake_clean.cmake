@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manygf_hybrid.dir/manygf_hybrid.cpp.o"
+  "CMakeFiles/manygf_hybrid.dir/manygf_hybrid.cpp.o.d"
+  "manygf_hybrid"
+  "manygf_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manygf_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selected_patterns.dir/selected_patterns.cpp.o"
+  "CMakeFiles/selected_patterns.dir/selected_patterns.cpp.o.d"
+  "selected_patterns"
+  "selected_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selected_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

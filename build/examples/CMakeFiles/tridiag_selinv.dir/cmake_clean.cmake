@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiag_selinv.dir/tridiag_selinv.cpp.o"
+  "CMakeFiles/tridiag_selinv.dir/tridiag_selinv.cpp.o.d"
+  "tridiag_selinv"
+  "tridiag_selinv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiag_selinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

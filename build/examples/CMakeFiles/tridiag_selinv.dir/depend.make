@@ -1,0 +1,2 @@
+# Empty dependencies file for tridiag_selinv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_bsofi.dir/bsofi.cpp.o"
+  "CMakeFiles/fsi_bsofi.dir/bsofi.cpp.o.d"
+  "libfsi_bsofi.a"
+  "libfsi_bsofi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_bsofi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

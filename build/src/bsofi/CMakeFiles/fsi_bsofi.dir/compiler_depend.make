@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fsi_bsofi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fsi_bsofi.
+# This may be replaced when dependencies are built.

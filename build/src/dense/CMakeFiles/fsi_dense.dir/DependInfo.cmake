@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dense/blas12.cpp" "src/dense/CMakeFiles/fsi_dense.dir/blas12.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/blas12.cpp.o.d"
+  "/root/repo/src/dense/expm.cpp" "src/dense/CMakeFiles/fsi_dense.dir/expm.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/expm.cpp.o.d"
+  "/root/repo/src/dense/gemm.cpp" "src/dense/CMakeFiles/fsi_dense.dir/gemm.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/gemm.cpp.o.d"
+  "/root/repo/src/dense/lu.cpp" "src/dense/CMakeFiles/fsi_dense.dir/lu.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/lu.cpp.o.d"
+  "/root/repo/src/dense/matrix.cpp" "src/dense/CMakeFiles/fsi_dense.dir/matrix.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/matrix.cpp.o.d"
+  "/root/repo/src/dense/norms.cpp" "src/dense/CMakeFiles/fsi_dense.dir/norms.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/norms.cpp.o.d"
+  "/root/repo/src/dense/qr.cpp" "src/dense/CMakeFiles/fsi_dense.dir/qr.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/qr.cpp.o.d"
+  "/root/repo/src/dense/triangular.cpp" "src/dense/CMakeFiles/fsi_dense.dir/triangular.cpp.o" "gcc" "src/dense/CMakeFiles/fsi_dense.dir/triangular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_dense.dir/blas12.cpp.o"
+  "CMakeFiles/fsi_dense.dir/blas12.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/expm.cpp.o"
+  "CMakeFiles/fsi_dense.dir/expm.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/gemm.cpp.o"
+  "CMakeFiles/fsi_dense.dir/gemm.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/lu.cpp.o"
+  "CMakeFiles/fsi_dense.dir/lu.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/matrix.cpp.o"
+  "CMakeFiles/fsi_dense.dir/matrix.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/norms.cpp.o"
+  "CMakeFiles/fsi_dense.dir/norms.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/qr.cpp.o"
+  "CMakeFiles/fsi_dense.dir/qr.cpp.o.d"
+  "CMakeFiles/fsi_dense.dir/triangular.cpp.o"
+  "CMakeFiles/fsi_dense.dir/triangular.cpp.o.d"
+  "libfsi_dense.a"
+  "libfsi_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_core.dir/fsi.cpp.o"
+  "CMakeFiles/fsi_core.dir/fsi.cpp.o.d"
+  "CMakeFiles/fsi_core.dir/perfmodel.cpp.o"
+  "CMakeFiles/fsi_core.dir/perfmodel.cpp.o.d"
+  "libfsi_core.a"
+  "libfsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_io.dir/binary_io.cpp.o"
+  "CMakeFiles/fsi_io.dir/binary_io.cpp.o.d"
+  "libfsi_io.a"
+  "libfsi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

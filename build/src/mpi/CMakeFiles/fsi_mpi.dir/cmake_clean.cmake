@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_mpi.dir/edison_model.cpp.o"
+  "CMakeFiles/fsi_mpi.dir/edison_model.cpp.o.d"
+  "CMakeFiles/fsi_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/fsi_mpi.dir/minimpi.cpp.o.d"
+  "libfsi_mpi.a"
+  "libfsi_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsi_mpi.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcyclic/adjacency.cpp" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/adjacency.cpp.o" "gcc" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/adjacency.cpp.o.d"
+  "/root/repo/src/pcyclic/explicit_inverse.cpp" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/explicit_inverse.cpp.o" "gcc" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/explicit_inverse.cpp.o.d"
+  "/root/repo/src/pcyclic/patterns.cpp" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/patterns.cpp.o" "gcc" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/patterns.cpp.o.d"
+  "/root/repo/src/pcyclic/pcyclic.cpp" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/pcyclic.cpp.o" "gcc" "src/pcyclic/CMakeFiles/fsi_pcyclic.dir/pcyclic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dense/CMakeFiles/fsi_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_pcyclic.dir/adjacency.cpp.o"
+  "CMakeFiles/fsi_pcyclic.dir/adjacency.cpp.o.d"
+  "CMakeFiles/fsi_pcyclic.dir/explicit_inverse.cpp.o"
+  "CMakeFiles/fsi_pcyclic.dir/explicit_inverse.cpp.o.d"
+  "CMakeFiles/fsi_pcyclic.dir/patterns.cpp.o"
+  "CMakeFiles/fsi_pcyclic.dir/patterns.cpp.o.d"
+  "CMakeFiles/fsi_pcyclic.dir/pcyclic.cpp.o"
+  "CMakeFiles/fsi_pcyclic.dir/pcyclic.cpp.o.d"
+  "libfsi_pcyclic.a"
+  "libfsi_pcyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_pcyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qmc/binning.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/binning.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/binning.cpp.o.d"
+  "/root/repo/src/qmc/checkerboard.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/checkerboard.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/checkerboard.cpp.o.d"
+  "/root/repo/src/qmc/dqmc.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/dqmc.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/dqmc.cpp.o.d"
+  "/root/repo/src/qmc/greens.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/greens.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/greens.cpp.o.d"
+  "/root/repo/src/qmc/hubbard.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/hubbard.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/hubbard.cpp.o.d"
+  "/root/repo/src/qmc/lattice.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/lattice.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/lattice.cpp.o.d"
+  "/root/repo/src/qmc/measurements.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/measurements.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/measurements.cpp.o.d"
+  "/root/repo/src/qmc/multi_gf.cpp" "src/qmc/CMakeFiles/fsi_qmc.dir/multi_gf.cpp.o" "gcc" "src/qmc/CMakeFiles/fsi_qmc.dir/multi_gf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsi/CMakeFiles/fsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fsi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsofi/CMakeFiles/fsi_bsofi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcyclic/CMakeFiles/fsi_pcyclic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/fsi_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_qmc.dir/binning.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/binning.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/checkerboard.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/checkerboard.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/dqmc.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/dqmc.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/greens.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/greens.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/hubbard.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/hubbard.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/lattice.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/lattice.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/measurements.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/measurements.cpp.o.d"
+  "CMakeFiles/fsi_qmc.dir/multi_gf.cpp.o"
+  "CMakeFiles/fsi_qmc.dir/multi_gf.cpp.o.d"
+  "libfsi_qmc.a"
+  "libfsi_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_tridiag.dir/tridiag.cpp.o"
+  "CMakeFiles/fsi_tridiag.dir/tridiag.cpp.o.d"
+  "libfsi_tridiag.a"
+  "libfsi_tridiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

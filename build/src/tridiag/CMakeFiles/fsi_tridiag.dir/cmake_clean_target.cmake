@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsi_tridiag.a"
+)

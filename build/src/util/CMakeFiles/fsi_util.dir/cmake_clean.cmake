@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsi_util.dir/cli.cpp.o"
+  "CMakeFiles/fsi_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fsi_util.dir/flops.cpp.o"
+  "CMakeFiles/fsi_util.dir/flops.cpp.o.d"
+  "CMakeFiles/fsi_util.dir/fpenv.cpp.o"
+  "CMakeFiles/fsi_util.dir/fpenv.cpp.o.d"
+  "CMakeFiles/fsi_util.dir/table.cpp.o"
+  "CMakeFiles/fsi_util.dir/table.cpp.o.d"
+  "libfsi_util.a"
+  "libfsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

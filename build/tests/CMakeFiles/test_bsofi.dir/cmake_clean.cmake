@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsofi.dir/test_bsofi.cpp.o"
+  "CMakeFiles/test_bsofi.dir/test_bsofi.cpp.o.d"
+  "test_bsofi"
+  "test_bsofi.pdb"
+  "test_bsofi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsofi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

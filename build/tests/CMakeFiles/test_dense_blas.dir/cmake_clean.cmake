@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_blas.dir/test_dense_blas.cpp.o"
+  "CMakeFiles/test_dense_blas.dir/test_dense_blas.cpp.o.d"
+  "test_dense_blas"
+  "test_dense_blas.pdb"
+  "test_dense_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_expm.dir/test_dense_expm.cpp.o"
+  "CMakeFiles/test_dense_expm.dir/test_dense_expm.cpp.o.d"
+  "test_dense_expm"
+  "test_dense_expm.pdb"
+  "test_dense_expm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_expm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_lu_rect.dir/test_dense_lu_rect.cpp.o"
+  "CMakeFiles/test_dense_lu_rect.dir/test_dense_lu_rect.cpp.o.d"
+  "test_dense_lu_rect"
+  "test_dense_lu_rect.pdb"
+  "test_dense_lu_rect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_lu_rect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

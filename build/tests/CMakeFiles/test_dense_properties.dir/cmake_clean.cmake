@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_properties.dir/test_dense_properties.cpp.o"
+  "CMakeFiles/test_dense_properties.dir/test_dense_properties.cpp.o.d"
+  "test_dense_properties"
+  "test_dense_properties.pdb"
+  "test_dense_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

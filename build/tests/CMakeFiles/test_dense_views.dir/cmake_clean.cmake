@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_views.dir/test_dense_views.cpp.o"
+  "CMakeFiles/test_dense_views.dir/test_dense_views.cpp.o.d"
+  "test_dense_views"
+  "test_dense_views.pdb"
+  "test_dense_views[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

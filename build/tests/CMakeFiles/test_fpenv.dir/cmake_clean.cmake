@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpenv.dir/test_fpenv.cpp.o"
+  "CMakeFiles/test_fpenv.dir/test_fpenv.cpp.o.d"
+  "test_fpenv"
+  "test_fpenv.pdb"
+  "test_fpenv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

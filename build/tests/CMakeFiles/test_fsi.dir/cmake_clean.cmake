@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsi.dir/test_fsi.cpp.o"
+  "CMakeFiles/test_fsi.dir/test_fsi.cpp.o.d"
+  "test_fsi"
+  "test_fsi.pdb"
+  "test_fsi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsi_fuzz.dir/test_fsi_fuzz.cpp.o"
+  "CMakeFiles/test_fsi_fuzz.dir/test_fsi_fuzz.cpp.o.d"
+  "test_fsi_fuzz"
+  "test_fsi_fuzz.pdb"
+  "test_fsi_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsi_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsi_multi.dir/test_fsi_multi.cpp.o"
+  "CMakeFiles/test_fsi_multi.dir/test_fsi_multi.cpp.o.d"
+  "test_fsi_multi"
+  "test_fsi_multi.pdb"
+  "test_fsi_multi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsi_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

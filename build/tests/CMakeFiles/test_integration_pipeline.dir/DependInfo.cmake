@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration_pipeline.cpp" "tests/CMakeFiles/test_integration_pipeline.dir/test_integration_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_integration_pipeline.dir/test_integration_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qmc/CMakeFiles/fsi_qmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsi/CMakeFiles/fsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/fsi_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsofi/CMakeFiles/fsi_bsofi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcyclic/CMakeFiles/fsi_pcyclic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/fsi_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

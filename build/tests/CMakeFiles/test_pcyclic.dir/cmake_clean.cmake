@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcyclic.dir/test_pcyclic.cpp.o"
+  "CMakeFiles/test_pcyclic.dir/test_pcyclic.cpp.o.d"
+  "test_pcyclic"
+  "test_pcyclic.pdb"
+  "test_pcyclic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcyclic_adjacency.dir/test_pcyclic_adjacency.cpp.o"
+  "CMakeFiles/test_pcyclic_adjacency.dir/test_pcyclic_adjacency.cpp.o.d"
+  "test_pcyclic_adjacency"
+  "test_pcyclic_adjacency.pdb"
+  "test_pcyclic_adjacency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcyclic_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_binning.dir/test_qmc_binning.cpp.o"
+  "CMakeFiles/test_qmc_binning.dir/test_qmc_binning.cpp.o.d"
+  "test_qmc_binning"
+  "test_qmc_binning.pdb"
+  "test_qmc_binning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_binning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_checkerboard.dir/test_qmc_checkerboard.cpp.o"
+  "CMakeFiles/test_qmc_checkerboard.dir/test_qmc_checkerboard.cpp.o.d"
+  "test_qmc_checkerboard"
+  "test_qmc_checkerboard.pdb"
+  "test_qmc_checkerboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_checkerboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

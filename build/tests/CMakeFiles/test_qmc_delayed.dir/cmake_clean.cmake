@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_delayed.dir/test_qmc_delayed.cpp.o"
+  "CMakeFiles/test_qmc_delayed.dir/test_qmc_delayed.cpp.o.d"
+  "test_qmc_delayed"
+  "test_qmc_delayed.pdb"
+  "test_qmc_delayed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_delayed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qmc_delayed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_dqmc.dir/test_qmc_dqmc.cpp.o"
+  "CMakeFiles/test_qmc_dqmc.dir/test_qmc_dqmc.cpp.o.d"
+  "test_qmc_dqmc"
+  "test_qmc_dqmc.pdb"
+  "test_qmc_dqmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_dqmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_greens.dir/test_qmc_greens.cpp.o"
+  "CMakeFiles/test_qmc_greens.dir/test_qmc_greens.cpp.o.d"
+  "test_qmc_greens"
+  "test_qmc_greens.pdb"
+  "test_qmc_greens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_greens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_qmc_greens.
+# This may be replaced when dependencies are built.

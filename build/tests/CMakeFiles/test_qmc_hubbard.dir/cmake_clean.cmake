@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_hubbard.dir/test_qmc_hubbard.cpp.o"
+  "CMakeFiles/test_qmc_hubbard.dir/test_qmc_hubbard.cpp.o.d"
+  "test_qmc_hubbard"
+  "test_qmc_hubbard.pdb"
+  "test_qmc_hubbard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_hubbard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

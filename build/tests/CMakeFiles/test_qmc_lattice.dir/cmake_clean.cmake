@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_lattice.dir/test_qmc_lattice.cpp.o"
+  "CMakeFiles/test_qmc_lattice.dir/test_qmc_lattice.cpp.o.d"
+  "test_qmc_lattice"
+  "test_qmc_lattice.pdb"
+  "test_qmc_lattice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

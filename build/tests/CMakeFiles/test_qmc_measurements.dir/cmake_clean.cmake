@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_measurements.dir/test_qmc_measurements.cpp.o"
+  "CMakeFiles/test_qmc_measurements.dir/test_qmc_measurements.cpp.o.d"
+  "test_qmc_measurements"
+  "test_qmc_measurements.pdb"
+  "test_qmc_measurements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

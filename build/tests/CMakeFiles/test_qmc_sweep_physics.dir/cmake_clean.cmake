@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmc_sweep_physics.dir/test_qmc_sweep_physics.cpp.o"
+  "CMakeFiles/test_qmc_sweep_physics.dir/test_qmc_sweep_physics.cpp.o.d"
+  "test_qmc_sweep_physics"
+  "test_qmc_sweep_physics.pdb"
+  "test_qmc_sweep_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmc_sweep_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selinv_errors.dir/test_selinv_errors.cpp.o"
+  "CMakeFiles/test_selinv_errors.dir/test_selinv_errors.cpp.o.d"
+  "test_selinv_errors"
+  "test_selinv_errors.pdb"
+  "test_selinv_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selinv_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

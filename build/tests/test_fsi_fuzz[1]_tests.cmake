@@ -1,0 +1,3 @@
+add_test([=[FsiFuzz.RandomConfigurationsAllMatchDenseInverses]=]  /root/repo/build/tests/test_fsi_fuzz [==[--gtest_filter=FsiFuzz.RandomConfigurationsAllMatchDenseInverses]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FsiFuzz.RandomConfigurationsAllMatchDenseInverses]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_fsi_fuzz_TESTS FsiFuzz.RandomConfigurationsAllMatchDenseInverses)
