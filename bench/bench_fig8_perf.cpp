@@ -10,7 +10,10 @@
 /// Default sizes are scaled for a single core; --paper restores the paper's
 /// N in {256, 400, 576, 784, 1024} (several minutes).
 ///
-///   ./bench_fig8_perf [--paper] [--L 100] [--c 10]
+///   ./bench_fig8_perf [--paper] [--L 100] [--c 10] [--trace]
+///
+/// With --trace (or FSI_TRACE=1) every FSI stage and per-cluster/per-seed
+/// iteration is recorded and exported as bench_fig8_perf.trace.json.
 
 #include <vector>
 
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const index_t l = cli.get_int("L", 100);
   const index_t c = cli.get_int("c", 10);
+  init_trace(cli);
 
   std::vector<index_t> sizes = {64, 96, 128, 192, 256};
   if (cli.has("paper")) sizes = {256, 400, 576, 784, 1024};
@@ -50,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nshape check (paper): BSOFI column < CLS/WRP columns ~ DGEMM column;\n"
       "FSI total approaches the DGEMM practical peak as N grows.\n");
+  finish_trace("bench_fig8_perf");
   return 0;
 }

@@ -13,6 +13,9 @@
 #include <string>
 
 #include "fsi/dense/blas.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/report.hpp"
+#include "fsi/obs/trace.hpp"
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/selinv/perfmodel.hpp"
@@ -43,10 +46,21 @@ inline pcyclic::PCyclicMatrix make_hubbard(index_t n, index_t l,
   return model.build_m(field, spin);
 }
 
-/// Timed + flop-counted run of one FSI call; returns the per-stage profile.
+/// Timed + flop-counted run of one FSI call; a thin view over FsiStats (the
+/// field-by-field copying this used to do lives in selinv::fsi now).
 struct StageProfile {
+  selinv::FsiStats stats;
   selinv::StageTimes seconds;
   std::uint64_t flops_cls = 0, flops_bsofi = 0, flops_wrap = 0;
+
+  StageProfile() = default;
+  explicit StageProfile(const selinv::FsiStats& s)
+      : stats(s),
+        seconds{s.seconds_cls, s.seconds_bsofi, s.seconds_wrap},
+        flops_cls(s.flops_cls),
+        flops_bsofi(s.flops_bsofi),
+        flops_wrap(s.flops_wrap) {}
+
   double gflops(double s, std::uint64_t f) const {
     return s > 0 ? static_cast<double>(f) / s * 1e-9 : 0.0;
   }
@@ -68,12 +82,26 @@ inline StageProfile profile_fsi(const pcyclic::PCyclicMatrix& m, index_t c,
   // stage then counts only the paper's 3(bL - b^2) N^3 move flops.
   pcyclic::BlockOps ops(m);
   (void)selinv::fsi(m, ops, opts, rng, &stats);
-  StageProfile p;
-  p.seconds = {stats.seconds_cls, stats.seconds_bsofi, stats.seconds_wrap};
-  p.flops_cls = stats.flops_cls;
-  p.flops_bsofi = stats.flops_bsofi;
-  p.flops_wrap = stats.flops_wrap;
-  return p;
+  return StageProfile(stats);
+}
+
+/// Enable span tracing when --trace is given (FSI_TRACE=1 also works via
+/// the environment); returns whether tracing is on.
+inline bool init_trace(const util::Cli& cli) {
+  if (cli.has("trace")) obs::set_enabled(true);
+  return obs::enabled();
+}
+
+/// If tracing is on: print the per-span summary and write the
+/// chrome://tracing JSON artifact (to $FSI_TRACE_FILE, default
+/// "<bench_name>.trace.json").  Call once at the end of a bench.
+inline void finish_trace(const std::string& bench_name) {
+  if (!obs::enabled()) return;
+  std::printf("\n[trace] per-span summary:\n%s", obs::summary_str().c_str());
+  const std::string path = obs::write_trace_if_enabled(bench_name);
+  if (!path.empty())
+    std::printf("[trace] chrome://tracing JSON written to %s (open in "
+                "chrome://tracing or ui.perfetto.dev)\n", path.c_str());
 }
 
 /// Measured DGEMM rate at block size n (the "practical peak" reference of

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "fsi/obs/trace.hpp"
 #include "fsi/util/fpenv.hpp"
 #include "fsi/dense/norms.hpp"
 #include "fsi/pcyclic/explicit_inverse.hpp"
@@ -67,5 +68,11 @@ int main(int argc, char** argv) {
   std::printf("  memory: selected %.2f MB vs full inverse %.2f MB (%.0fx less)\n",
               s.bytes() / 1048576.0, g.bytes() / 1048576.0,
               double(g.bytes()) / double(s.bytes()));
+
+  // 5. With FSI_TRACE=1 the run was recorded; export it for chrome://tracing.
+  const std::string trace_path = obs::write_trace_if_enabled("quickstart");
+  if (!trace_path.empty())
+    std::printf("  trace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
   return worst < 1e-10 ? 0 : 1;
 }

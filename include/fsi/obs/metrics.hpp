@@ -1,0 +1,70 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Always-on, OpenMP-safe performance counters.
+///
+/// One registry of per-thread counter slots covering the quantities the
+/// paper's performance figures are built from: floating-point operations,
+/// bytes moved through the dense kernels, kernel invocations, and mini-MPI
+/// traffic.  fsi::util::flops is a thin façade over the Flops counter here,
+/// so flop accounting and the tracing subsystem share a single registry.
+///
+/// Concurrency model (the result of the PR-1 audit of util/flops under the
+/// OpenMP loops in cluster()/wrap()): accumulation is strictly thread-local —
+/// each thread owns a heap-allocated slot that only it writes — and totals
+/// are merged on read.  The owner updates its slot with a plain
+/// load-then-store of a relaxed atomic (no read-modify-write, so no lock
+/// prefix on the hot path); concurrent readers see a torn-free value via the
+/// atomic load.  reset() zeroes other threads' slots and therefore must not
+/// race with counting (same contract as the previous implementation).
+///
+/// Counters are always on: an add() is a thread-local increment, cheap
+/// enough for release builds, and the benches rely on flop totals even when
+/// tracing is disabled.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fsi::obs::metrics {
+
+/// The tracked quantities.  kCount is the slot-array size, not a counter.
+enum class Counter : int {
+  Flops = 0,       ///< floating point operations (textbook counts)
+  BytesMoved,      ///< bytes read+written by dense kernels (model, not HW)
+  KernelCalls,     ///< dense kernel invocations (gemm/trsm/ormqr/...)
+  MpiMessages,     ///< mini-MPI point-to-point messages sent
+  MpiBytes,        ///< mini-MPI point-to-point payload bytes sent
+  kCount
+};
+
+/// Human-readable name of a counter (e.g. "flops", "bytes_moved").
+const char* name(Counter c) noexcept;
+
+/// Add \p n to the calling thread's slot for counter \p c.
+void add(Counter c, std::uint64_t n) noexcept;
+
+/// Merge-on-read sum of all threads' slots for \p c since the last reset.
+/// Threads that have exited still contribute their counts.
+std::uint64_t total(Counter c) noexcept;
+
+/// Zero one counter, or all of them, across every thread's slot.
+/// Must not race with concurrent add() (updates may be lost, never torn).
+void reset(Counter c) noexcept;
+void reset_all() noexcept;
+
+/// Snapshot of every counter's total, in enum order.
+std::vector<std::pair<const char*, std::uint64_t>> snapshot();
+
+/// RAII helper measuring the global growth of one counter during its
+/// lifetime.  Not reentrant with reset().
+class Scope {
+ public:
+  explicit Scope(Counter c) : counter_(c), start_(total(c)) {}
+  std::uint64_t elapsed() const noexcept { return total(counter_) - start_; }
+
+ private:
+  Counter counter_;
+  std::uint64_t start_;
+};
+
+}  // namespace fsi::obs::metrics

@@ -1,0 +1,102 @@
+#pragma once
+/// \file report.hpp
+/// \brief Model-vs-measured stage reporting.
+///
+/// Joins measured stage wall times and flop counts (from trace spans and
+/// the metrics counters) against the paper's analytic per-stage flop model
+/// (CLS 2b(c-1)N^3, BSOFI 7b^2N^3, WRP 3(bL-b^2)N^3, Sec. II-C) and a
+/// reference kernel rate (typically the measured DGEMM GFLOP/s), to answer
+/// the question the paper's Figs. 8/10 answer: how close does each stage
+/// run to the speed the model says the hardware allows?
+///
+/// The Report class itself is generic (name + measured + predicted per
+/// stage); make_fsi_report() is the convenience adapter that builds one
+/// from selinv::FsiStats and selinv::ComplexityModel, preferring stage wall
+/// times aggregated from the trace when tracing was enabled.
+
+#include <string>
+#include <vector>
+
+#include "fsi/obs/trace.hpp"
+
+namespace fsi::obs {
+
+/// One pipeline stage joined against its analytic prediction.
+struct StageRow {
+  std::string name;
+  double measured_s = 0.0;       ///< measured wall time
+  double measured_flops = 0.0;   ///< flops actually counted
+  double predicted_flops = 0.0;  ///< analytic model flops
+
+  /// Measured rate in GFLOP/s.
+  double gflops() const {
+    return measured_s > 0.0 ? measured_flops / measured_s * 1e-9 : 0.0;
+  }
+  /// Model wall time at the reference rate.
+  double predicted_s(double ref_gflops) const {
+    return ref_gflops > 0.0 ? predicted_flops * 1e-9 / ref_gflops : 0.0;
+  }
+  /// Efficiency vs the model: 100% means the stage ran exactly as fast as
+  /// the model's flops at the reference rate; below 100% is slower.
+  double pct_of_predicted(double ref_gflops) const {
+    return measured_s > 0.0 ? predicted_s(ref_gflops) / measured_s * 100.0
+                            : 0.0;
+  }
+};
+
+/// Per-stage model-vs-measured report.
+class Report {
+ public:
+  /// \p ref_gflops: reference kernel rate the predictions are priced at.
+  explicit Report(double ref_gflops) : ref_gflops_(ref_gflops) {}
+
+  void add_stage(std::string name, double measured_s, double measured_flops,
+                 double predicted_flops);
+
+  const std::vector<StageRow>& rows() const { return rows_; }
+  double ref_gflops() const { return ref_gflops_; }
+  /// Sum row: total measured/predicted over all stages.
+  StageRow total() const;
+
+  /// Console table: stage, wall s, GFLOP/s, model s, % of model.
+  std::string str() const;
+  /// Machine-readable export of the same join.
+  std::string json() const;
+  void print() const;
+
+ private:
+  double ref_gflops_;
+  std::vector<StageRow> rows_;
+};
+
+}  // namespace fsi::obs
+
+// ---------------------------------------------------------------------------
+// FSI adapter (header-only so the obs library stays below selinv).
+
+#include "fsi/selinv/fsi.hpp"
+
+namespace fsi::obs {
+
+/// Build the CLS/BSOFI/WRP model-vs-measured report for one FSI run.
+/// Stage wall times come from the trace spans ("fsi.cls" etc.) when tracing
+/// recorded them, else from \p stats; flops come from \p stats; predictions
+/// from \p model at the paper's Sec. II-C complexities.
+inline Report make_fsi_report(const selinv::FsiStats& stats,
+                              const selinv::ComplexityModel& model,
+                              pcyclic::Pattern pattern, double ref_gflops) {
+  const double cls_s = total_seconds("fsi.cls");
+  const double bsofi_s = total_seconds("fsi.bsofi");
+  const double wrap_s = total_seconds("fsi.wrap");
+  Report r(ref_gflops);
+  r.add_stage("CLS", cls_s > 0.0 ? cls_s : stats.seconds_cls,
+              static_cast<double>(stats.flops_cls), model.cls_flops());
+  r.add_stage("BSOFI", bsofi_s > 0.0 ? bsofi_s : stats.seconds_bsofi,
+              static_cast<double>(stats.flops_bsofi), model.bsofi_flops());
+  r.add_stage("WRP", wrap_s > 0.0 ? wrap_s : stats.seconds_wrap,
+              static_cast<double>(stats.flops_wrap),
+              model.wrap_flops(pattern));
+  return r;
+}
+
+}  // namespace fsi::obs

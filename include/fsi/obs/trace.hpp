@@ -1,0 +1,117 @@
+#pragma once
+/// \file trace.hpp
+/// \brief RAII tracing spans with chrome://tracing export.
+///
+/// The paper's whole argument is a per-stage cost breakdown (CLS 2b(c-1)N^3,
+/// BSOFI 7b^2N^3, WRP 3(bL-b^2)N^3, Sec. II-C); this subsystem makes those
+/// stages first-class observable.  A Span records {name, start, duration,
+/// thread} into a lock-free per-thread ring buffer; the global registry can
+/// export every recorded event as chrome://tracing JSON (open in
+/// chrome://tracing or https://ui.perfetto.dev) or aggregate them into a
+/// per-span-name summary (count / total / min / max / p50).
+///
+/// Tracing is off by default and enabled at runtime by the FSI_TRACE=1
+/// environment variable or obs::set_enabled(true) (benches expose a --trace
+/// flag).  When disabled a Span costs one relaxed atomic load and a branch —
+/// cheap enough to leave spans compiled into release hot paths.
+///
+/// OpenMP-awareness: each event records both a stable per-thread id (the
+/// registration order of the recording thread, used as the chrome "tid") and
+/// the omp_get_thread_num() at span close, so imbalance across an
+/// `omp parallel for` is visible lane-by-lane in the trace viewer.
+///
+/// Layering: fsi::obs sits below fsi::util (utilities delegate their
+/// counters here) and depends only on the standard library.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsi::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when span recording is on (FSI_TRACE=1 at process start, or
+/// set_enabled(true) since).
+inline bool enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn span recording on or off at runtime (e.g. from a --trace CLI flag).
+void set_enabled(bool on) noexcept;
+
+/// Drop all recorded events (counters are untouched; see metrics.hpp).
+void clear() noexcept;
+
+/// Number of events discarded because a thread's ring buffer was full.
+std::uint64_t dropped_events() noexcept;
+
+/// RAII span: measures the enclosing scope and records it on destruction.
+/// \p name must be a string literal (or otherwise outlive the trace);
+/// events store the pointer, not a copy.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), active_(enabled()) {
+    if (active_) start_ns_ = now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (active_) record(name_, start_ns_, now_ns());
+  }
+
+ private:
+  static std::int64_t now_ns() noexcept;
+  static void record(const char* name, std::int64_t t0_ns,
+                     std::int64_t t1_ns) noexcept;
+
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  bool active_;
+};
+
+/// Aggregated statistics for one span name across all threads.
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double p50_s = 0.0;
+};
+
+/// Per-span-name aggregation of everything recorded so far, sorted by
+/// descending total time.
+std::vector<SpanStats> summary();
+
+/// Total recorded seconds for one span name (0 if never recorded) — the
+/// report layer uses this to pull per-stage wall times out of the trace.
+double total_seconds(const std::string& name);
+
+/// The summary() rendered as a console table.
+std::string summary_str();
+
+/// All recorded events as a chrome://tracing JSON document
+/// ({"traceEvents": [...]}, "X" complete events, microsecond timestamps).
+std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to \p path; returns false on I/O error.
+bool write_chrome_trace(const std::string& path);
+
+/// If tracing is enabled, write the trace next to the current process:
+/// to $FSI_TRACE_FILE when set, else "<basename>.trace.json".  Returns the
+/// path written, or "" when tracing is disabled or the write failed.
+/// Benches and examples call this once before exiting.
+std::string write_trace_if_enabled(const std::string& basename);
+
+}  // namespace fsi::obs
+
+/// Convenience macro for a scope-long span with a unique variable name.
+#define FSI_OBS_CONCAT_(a, b) a##b
+#define FSI_OBS_CONCAT(a, b) FSI_OBS_CONCAT_(a, b)
+#define FSI_OBS_SPAN(name) \
+  ::fsi::obs::Span FSI_OBS_CONCAT(fsi_obs_span_, __LINE__)(name)

@@ -122,6 +122,12 @@ dense::Matrix equal_time_block(const pcyclic::PCyclicMatrix& m, index_t k,
 struct ComplexityModel {
   index_t n_block, l_total, c;
   index_t b() const { return l_total / c; }
+  /// Per-stage flop predictions (paper Sec. II-C): CLS 2b(c-1)N^3,
+  /// BSOFI 7b^2N^3, WRP 3(bL-b^2)N^3 for the column/row patterns.
+  /// The obs report layer joins these against measured stage times.
+  double cls_flops() const;
+  double bsofi_flops() const;
+  double wrap_flops(Pattern pattern) const;
   /// FSI flops for the pattern (paper: [2(c-1)+7b]bN^3, [2c+7b]bN^3, 3b^2cN^3).
   double fsi_flops(Pattern pattern) const;
   /// Explicit-form flops (paper: 2b^2cN^3, 4b^2cN^3, b^3c^2N^3).

@@ -13,6 +13,10 @@
 /// The counter is thread-local with a global registry so that totals include
 /// work done by OpenMP worker threads and mini-MPI ranks.  add() is a single
 /// thread-local increment — cheap enough to keep enabled in release builds.
+///
+/// Since ISSUE 1 this is a façade over the unified observability registry
+/// (fsi/obs/metrics.hpp, Counter::Flops), so flop totals, byte counters and
+/// trace spans all come from one place.
 
 #include <cstdint>
 

@@ -3,6 +3,7 @@
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/lu.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/trace.hpp"
 
 namespace fsi::bsofi {
 
@@ -12,6 +13,7 @@ using dense::Trans;
 
 Bsofi::Bsofi(const pcyclic::PCyclicMatrix& m)
     : n_(m.block_size()), b_(m.num_blocks()) {
+  FSI_OBS_SPAN("bsofi.factor");
   const index_t n = n_;
   const index_t b = b_;
   panels_.reserve(static_cast<std::size_t>(b));
@@ -110,9 +112,11 @@ Matrix Bsofi::inverse() const {
   // ---- Stage 1: G := R^-1 (block upper triangular back-substitution). ----
   // Column j of R^-1: X_jj = R_jj^-1; X_ij = -R_ii^-1 (R_{i,i+1} X_{i+1,j}
   //                                   + [j == b-1] R_{i,b-1} X_{b-1,j}).
-  // Block columns are independent — parallelise across them.
+  // Block columns are independent — parallelise across them.  Per-column
+  // spans expose the back-substitution imbalance (late columns are longer).
 #pragma omp parallel for schedule(dynamic)
   for (index_t j = 0; j < b; ++j) {
+    FSI_OBS_SPAN("bsofi.rinv.col");
     // X_jj = R_jj^-1.
     MatrixView xjj = g.block(j * n, j * n, n, n);
     dense::set_identity(xjj);
@@ -136,6 +140,7 @@ Matrix Bsofi::inverse() const {
   // Q_i is embedded at block rows/cols (i, i+1); right-multiplying by Q_i^T
   // touches only block columns (i, i+1) of G.  The final panel (index b-1)
   // is N x N and touches only the last block column.
+  FSI_OBS_SPAN("bsofi.applyq");
   for (index_t i = b - 1; i >= 0; --i) {
     const index_t width = (i + 1 < b) ? 2 * n : n;
     dense::ormqr(Side::Right, Trans::Yes, panels_[static_cast<std::size_t>(i)],
@@ -146,6 +151,7 @@ Matrix Bsofi::inverse() const {
 }
 
 Matrix Bsofi::inverse_block_row(index_t k0) const {
+  FSI_OBS_SPAN("bsofi.block_row");
   FSI_CHECK(k0 >= 0 && k0 < b_, "inverse_block_row: row index out of range");
   const index_t n = n_, b = b_;
   const index_t dim = n * b;

@@ -18,6 +18,7 @@
 #include <omp.h>
 
 #include "fsi/dense/blas.hpp"
+#include "fsi/obs/metrics.hpp"
 #include "fsi/util/flops.hpp"
 
 namespace fsi::dense {
@@ -121,6 +122,12 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a, ConstMatrixView b
 
   const std::size_t work = 2ull * m * n * k;
   util::flops::add(work);
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
+  // Algorithmic traffic: read op(A), op(B), read+write C.
+  obs::metrics::add(obs::metrics::Counter::BytesMoved,
+                    sizeof(double) * (static_cast<std::uint64_t>(m) * k +
+                                      static_cast<std::uint64_t>(k) * n +
+                                      2ull * m * n));
 
   if (work < kParallelFlopThreshold) {
     gemm_small(ta, tb, alpha, a, b, c);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "fsi/obs/metrics.hpp"
 #include "fsi/util/flops.hpp"
 
 namespace fsi::dense {
@@ -67,6 +68,7 @@ void laswp(MatrixView a, const std::vector<index_t>& ipiv, index_t first,
 void getrf(MatrixView a, std::vector<index_t>& ipiv) {
   const index_t m = a.rows(), n = a.cols();
   const index_t k = std::min(m, n);
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
   ipiv.assign(static_cast<std::size_t>(k), 0);
 
   for (index_t jb = 0; jb < k; jb += kLuPanel) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fsi/obs/metrics.hpp"
 #include "fsi/util/flops.hpp"
 
 namespace fsi::dense {
@@ -105,6 +106,7 @@ void larfb(Side side, Trans trans, ConstMatrixView v, ConstMatrixView t,
 void geqrf(MatrixView a, std::vector<double>& tau) {
   const index_t m = a.rows(), n = a.cols();
   FSI_CHECK(m >= n, "geqrf: requires rows >= cols");
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
   tau.assign(static_cast<std::size_t>(n), 0.0);
   for (index_t jb = 0; jb < n; jb += kQrPanel) {
     const index_t nb = std::min(kQrPanel, n - jb);
@@ -128,6 +130,7 @@ void ormqr(Side side, Trans trans, ConstMatrixView vfull,
   FSI_CHECK(static_cast<index_t>(tau.size()) >= k, "ormqr: tau too short");
   FSI_CHECK((side == Side::Left ? c.rows() : c.cols()) == m,
             "ormqr: C dimension must match Q order");
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
 
   // Q = H_0 H_1 ... H_{k-1}.  Block application order (LAPACK dormqr):
   //   Left  + Trans::Yes (Q^T C): forward      Left  + No (Q C): backward

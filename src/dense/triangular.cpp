@@ -10,6 +10,7 @@
 /// correctly.
 
 #include "fsi/dense/blas.hpp"
+#include "fsi/obs/metrics.hpp"
 #include "fsi/util/flops.hpp"
 
 namespace fsi::dense {
@@ -315,6 +316,7 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
   const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
   FSI_CHECK(a.rows() == expected, "trsm: dimension mismatch between A and B");
   if (b.rows() == 0 || b.cols() == 0) return;
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
   if (alpha != 1.0) scal(alpha, b);
   trsm_rec(side, uplo, trans, diag, a, b);
 }
@@ -325,6 +327,7 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
   const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
   FSI_CHECK(a.rows() == expected, "trmm: dimension mismatch between A and B");
   if (b.rows() == 0 || b.cols() == 0) return;
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
   trmm_rec(side, uplo, trans, diag, a, b);
   if (alpha != 1.0) scal(alpha, b);
 }

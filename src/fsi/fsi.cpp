@@ -2,7 +2,10 @@
 
 #include <omp.h>
 
+#include <memory>
+
 #include "fsi/dense/blas.hpp"
+#include "fsi/obs/trace.hpp"
 #include "fsi/util/flops.hpp"
 #include "fsi/util/timer.hpp"
 
@@ -11,6 +14,31 @@ namespace fsi::selinv {
 using pcyclic::PCyclicMatrix;
 using pcyclic::SelectedInversion;
 using pcyclic::Selection;
+
+namespace {
+
+/// Meters one FSI stage: opens a trace span and, on destruction, adds the
+/// stage's wall time and flop delta to the FsiStats fields it was given.
+class StageMeter {
+ public:
+  StageMeter(const char* span_name, double& seconds, std::uint64_t& flops)
+      : span_(span_name), seconds_(seconds), flops_(flops) {}
+  StageMeter(const StageMeter&) = delete;
+  StageMeter& operator=(const StageMeter&) = delete;
+  ~StageMeter() {
+    seconds_ += timer_.seconds();
+    flops_ += flop_scope_.elapsed();
+  }
+
+ private:
+  obs::Span span_;
+  double& seconds_;
+  std::uint64_t& flops_;
+  util::WallTimer timer_;
+  util::flops::Scope flop_scope_;
+};
+
+}  // namespace
 
 PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
                       bool parallel) {
@@ -27,6 +55,7 @@ PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
   // executed in embarrassingly parallel" (paper Sec. II-C).
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (index_t i = 0; i < b; ++i) {
+    FSI_OBS_SPAN("cls.cluster");
     const index_t j_lo = c * i - q;  // j0 - c + 1
     dense::Matrix prod = dense::Matrix::copy_of(m.b(m.wrap(j_lo)));
     dense::Matrix next(n, n);
@@ -76,6 +105,7 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
       // sub-diagonal neighbour leaves the matrix per the paper's S2).
 #pragma omp parallel for schedule(dynamic) if (parallel)
       for (index_t k0 = 0; k0 < b; ++k0) {
+        FSI_OBS_SPAN("wrp.seed");
         const index_t k = idx[k0];
         if (k == l - 1) continue;
         dense::Matrix seed = seed_block(gtilde, n, k0, k0);
@@ -89,6 +119,7 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
 #pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
       for (index_t l0 = 0; l0 < b; ++l0) {
         for (index_t k0 = 0; k0 < b; ++k0) {
+          FSI_OBS_SPAN("wrp.seed");
           const index_t col = idx[l0];
           const index_t row = idx[k0];
           dense::Matrix seed = seed_block(gtilde, n, k0, l0);
@@ -117,6 +148,7 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
       // adjacency step each (the "Hirsch wrapping" for equal-time blocks).
 #pragma omp parallel for schedule(dynamic) if (parallel)
       for (index_t k0 = 0; k0 < b; ++k0) {
+        FSI_OBS_SPAN("wrp.seed");
         const index_t row = idx[k0];
         dense::Matrix seed = seed_block(gtilde, n, k0, k0);
         dense::Matrix cur = seed;
@@ -146,6 +178,7 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
 #pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
       for (index_t k0 = 0; k0 < b; ++k0) {
         for (index_t l0 = 0; l0 < b; ++l0) {
+          FSI_OBS_SPAN("wrp.seed");
           const index_t row = idx[k0];
           const index_t col = idx[l0];
           dense::Matrix seed = seed_block(gtilde, n, k0, l0);
@@ -183,26 +216,18 @@ SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
   FsiStats local;
   local.q = q;
 
-  // Stage 1: CLS.
-  util::WallTimer timer;
-  util::flops::Scope cls_flops;
-  PCyclicMatrix reduced = cluster(m, c, q, opts.coarse_parallel);
-  local.seconds_cls = timer.seconds();
-  local.flops_cls = cls_flops.elapsed();
-
-  // Stage 2: BSOFI.
-  timer.reset();
-  util::flops::Scope bsofi_flops;
-  dense::Matrix gtilde = bsofi::invert(reduced);
-  local.seconds_bsofi = timer.seconds();
-  local.flops_bsofi = bsofi_flops.elapsed();
-
-  // Stage 3: WRP.
-  timer.reset();
-  util::flops::Scope wrap_flops;
-  SelectedInversion out = wrap(ops, gtilde, opts.pattern, sel, opts.coarse_parallel);
-  local.seconds_wrap = timer.seconds();
-  local.flops_wrap = wrap_flops.elapsed();
+  PCyclicMatrix reduced = [&] {  // Stage 1: CLS.
+    StageMeter meter("fsi.cls", local.seconds_cls, local.flops_cls);
+    return cluster(m, c, q, opts.coarse_parallel);
+  }();
+  dense::Matrix gtilde = [&] {  // Stage 2: BSOFI.
+    StageMeter meter("fsi.bsofi", local.seconds_bsofi, local.flops_bsofi);
+    return bsofi::invert(reduced);
+  }();
+  SelectedInversion out = [&] {  // Stage 3: WRP.
+    StageMeter meter("fsi.wrap", local.seconds_wrap, local.flops_wrap);
+    return wrap(ops, gtilde, opts.pattern, sel, opts.coarse_parallel);
+  }();
 
   if (stats != nullptr) *stats = local;
   return out;
@@ -218,14 +243,16 @@ SelectedInversion fsi(const PCyclicMatrix& m, const FsiOptions& opts,
 
   FsiStats local;
 
-  util::WallTimer timer;
-  util::flops::Scope ops_flops;
-  pcyclic::BlockOps ops(m);
-  const double ops_seconds = timer.seconds();
-  const std::uint64_t ops_f = ops_flops.elapsed();
-
-  SelectedInversion out = fsi(m, ops, fixed, rng, &local);
   // BlockOps factorisation feeds only the wrapping moves; attribute it there.
+  double ops_seconds = 0.0;
+  std::uint64_t ops_f = 0;
+  std::unique_ptr<pcyclic::BlockOps> ops;
+  {
+    StageMeter meter("fsi.blockops", ops_seconds, ops_f);
+    ops = std::make_unique<pcyclic::BlockOps>(m);
+  }
+
+  SelectedInversion out = fsi(m, *ops, fixed, rng, &local);
   local.seconds_wrap += ops_seconds;
   local.flops_wrap += ops_f;
   if (stats != nullptr) *stats = local;
@@ -247,32 +274,29 @@ std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
   FsiStats local;
   local.q = q;
 
-  util::WallTimer timer;
-  util::flops::Scope cls_flops;
-  PCyclicMatrix reduced = cluster(m, c, q, opts.coarse_parallel);
-  local.seconds_cls = timer.seconds();
-  local.flops_cls = cls_flops.elapsed();
+  PCyclicMatrix reduced = [&] {
+    StageMeter meter("fsi.cls", local.seconds_cls, local.flops_cls);
+    return cluster(m, c, q, opts.coarse_parallel);
+  }();
+  dense::Matrix gtilde = [&] {
+    StageMeter meter("fsi.bsofi", local.seconds_bsofi, local.flops_bsofi);
+    return bsofi::invert(reduced);
+  }();
 
-  timer.reset();
-  util::flops::Scope bsofi_flops;
-  dense::Matrix gtilde = bsofi::invert(reduced);
-  local.seconds_bsofi = timer.seconds();
-  local.flops_bsofi = bsofi_flops.elapsed();
-
-  timer.reset();
-  util::flops::Scope wrap_flops;
   std::vector<SelectedInversion> out;
   out.reserve(patterns.size());
-  for (Pattern p : patterns)
-    out.push_back(wrap(ops, gtilde, p, sel, opts.coarse_parallel));
-  local.seconds_wrap = timer.seconds();
-  local.flops_wrap = wrap_flops.elapsed();
+  {
+    StageMeter meter("fsi.wrap", local.seconds_wrap, local.flops_wrap);
+    for (Pattern p : patterns)
+      out.push_back(wrap(ops, gtilde, p, sel, opts.coarse_parallel));
+  }
 
   if (stats != nullptr) *stats = local;
   return out;
 }
 
 dense::Matrix equal_time_block(const PCyclicMatrix& m, index_t k, index_t c) {
+  FSI_OBS_SPAN("fsi.equal_time_block");
   const index_t l = m.num_blocks();
   FSI_CHECK(k >= 0 && k < l, "equal_time_block: block index out of range");
   FSI_CHECK(c > 0 && l % c == 0, "equal_time_block: c must divide L");
@@ -288,6 +312,35 @@ dense::Matrix equal_time_block(const PCyclicMatrix& m, index_t k, index_t c) {
   dense::Matrix row = factor.inverse_block_row(k0);
   const index_t n = m.block_size();
   return dense::Matrix::copy_of(row.block(0, k0 * n, n, n));
+}
+
+double ComplexityModel::cls_flops() const {
+  const double n3 = static_cast<double>(n_block) * n_block * n_block;
+  return 2.0 * b() * (static_cast<double>(c) - 1.0) * n3;
+}
+
+double ComplexityModel::bsofi_flops() const {
+  const double n3 = static_cast<double>(n_block) * n_block * n_block;
+  return 7.0 * static_cast<double>(b()) * b() * n3;
+}
+
+double ComplexityModel::wrap_flops(Pattern pattern) const {
+  const double n3 = static_cast<double>(n_block) * n_block * n_block;
+  const double bd = static_cast<double>(b());
+  const double cd = static_cast<double>(c);
+  switch (pattern) {
+    case Pattern::Diagonal:
+      return 0.0;  // the seeds are the pattern
+    case Pattern::SubDiagonal:
+      return 2.0 * bd * n3;  // one adjacency move per seed
+    case Pattern::Columns:
+    case Pattern::Rows:
+      // 3(bL - b^2)N^3 with L = bc.
+      return 3.0 * (bd * (bd * cd) - bd * bd) * n3;
+    case Pattern::AllDiagonals:
+      return 4.0 * bd * (cd - 1.0) * n3;  // composed two-move diagonal steps
+  }
+  return 0.0;
 }
 
 double ComplexityModel::fsi_flops(Pattern pattern) const {

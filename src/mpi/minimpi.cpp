@@ -5,6 +5,9 @@
 
 #include <omp.h>
 
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
+
 namespace fsi::mpi {
 
 namespace detail {
@@ -62,7 +65,11 @@ using detail::Context;
 int Communicator::size() const { return ctx_->num_ranks; }
 
 void Communicator::send(int dest, int tag, std::vector<double> data) {
+  FSI_OBS_SPAN("mpi.send");
   FSI_CHECK(dest >= 0 && dest < size(), "send: invalid destination rank");
+  obs::metrics::add(obs::metrics::Counter::MpiMessages, 1);
+  obs::metrics::add(obs::metrics::Counter::MpiBytes,
+                    data.size() * sizeof(double));
   {
     std::lock_guard<std::mutex> lock(ctx_->mail_mutex);
     ctx_->mailbox[{rank_, dest, tag}].push_back(std::move(data));
@@ -71,6 +78,9 @@ void Communicator::send(int dest, int tag, std::vector<double> data) {
 }
 
 std::vector<double> Communicator::recv(int source, int tag) {
+  // The recv span includes the blocking wait, so sender/receiver imbalance
+  // shows up as long mpi.recv spans in the trace.
+  FSI_OBS_SPAN("mpi.recv");
   FSI_CHECK(source >= 0 && source < size(), "recv: invalid source rank");
   std::unique_lock<std::mutex> lock(ctx_->mail_mutex);
   const Context::Key key{source, rank_, tag};

@@ -1,0 +1,90 @@
+#include "fsi/obs/metrics.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace fsi::obs::metrics {
+namespace {
+
+constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+
+// Per-thread slot: one cell per counter.  Slots are heap-allocated and
+// intentionally never freed — they are tiny and must outlive the thread so
+// that total() still sees the work of joined OpenMP workers.  Only the
+// owning thread writes a slot; readers merge on read through the atomics.
+struct Slot {
+  std::atomic<std::uint64_t> cells[kNumCounters] = {};
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Slot*>& registry() {
+  static std::vector<Slot*> r;
+  return r;
+}
+
+Slot& local_slot() {
+  thread_local Slot* slot = [] {
+    auto* s = new Slot();
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(s);
+    return s;
+  }();
+  return *slot;
+}
+
+}  // namespace
+
+const char* name(Counter c) noexcept {
+  switch (c) {
+    case Counter::Flops: return "flops";
+    case Counter::BytesMoved: return "bytes_moved";
+    case Counter::KernelCalls: return "kernel_calls";
+    case Counter::MpiMessages: return "mpi_messages";
+    case Counter::MpiBytes: return "mpi_bytes";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+void add(Counter c, std::uint64_t n) noexcept {
+  // Owner-only write: load + store instead of fetch_add keeps the hot path
+  // free of locked read-modify-write instructions (the PR-1 flops audit).
+  std::atomic<std::uint64_t>& cell = local_slot().cells[static_cast<int>(c)];
+  cell.store(cell.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+std::uint64_t total(Counter c) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::uint64_t sum = 0;
+  for (const Slot* s : registry())
+    sum += s->cells[static_cast<int>(c)].load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset(Counter c) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Slot* s : registry())
+    s->cells[static_cast<int>(c)].store(0, std::memory_order_relaxed);
+}
+
+void reset_all() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Slot* s : registry())
+    for (auto& cell : s->cells) cell.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<const char*, std::uint64_t>> snapshot() {
+  std::vector<std::pair<const char*, std::uint64_t>> out;
+  out.reserve(kNumCounters);
+  for (int c = 0; c < kNumCounters; ++c)
+    out.emplace_back(name(static_cast<Counter>(c)),
+                     total(static_cast<Counter>(c)));
+  return out;
+}
+
+}  // namespace fsi::obs::metrics

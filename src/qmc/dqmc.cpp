@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "fsi/obs/trace.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/timer.hpp"
 
@@ -28,6 +29,7 @@ index_t default_cluster_size(index_t l) {
 index_t metropolis_sweep(const HubbardModel& /*model*/, HsField& field,
                          EqualTimeGreens& g_up, EqualTimeGreens& g_dn,
                          util::Rng& rng, double& sign) {
+  FSI_OBS_SPAN("dqmc.sweep");
   FSI_CHECK(g_up.slice() == g_dn.slice(),
             "metropolis_sweep: spin engines out of sync");
   const index_t l = field.num_slices();
@@ -71,6 +73,7 @@ struct GreenBlocks {
 GreenBlocks compute_green_blocks(const HubbardModel& model, const HsField& field,
                                  Spin spin, index_t c, index_t q,
                                  bool coarse_parallel, bool time_dependent) {
+  FSI_OBS_SPAN("dqmc.greens");
   const pcyclic::PCyclicMatrix m = model.build_m(field, spin);
   const pcyclic::BlockOps ops(m);
 
@@ -145,6 +148,7 @@ DqmcResult run_dqmc(const HubbardModel& model, const DqmcOptions& options) {
 
     // Physical measurements.
     phase.reset();
+    FSI_OBS_SPAN("dqmc.measure");
     result.measurements.add_sample(sign);
     accumulate_equal_time(model.lattice(), up.diag, dn.diag, model.params().t,
                           sign, coarse, result.measurements);

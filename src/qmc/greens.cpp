@@ -6,6 +6,7 @@
 #include "fsi/dense/lu.hpp"
 #include "fsi/dense/norms.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/trace.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/timer.hpp"
 
@@ -13,6 +14,7 @@ namespace fsi::qmc {
 
 Matrix equal_time_greens(const HubbardModel& model, const HsField& field,
                          Spin spin, index_t k, index_t cluster_size) {
+  FSI_OBS_SPAN("greens.qr_accumulate");
   const index_t l = field.num_slices();
   const index_t n = model.num_sites();
   FSI_CHECK(k >= 0 && k < l, "equal_time_greens: slice out of range");
@@ -171,6 +173,7 @@ void EqualTimeGreens::advance() {
 
 void EqualTimeGreens::recompute() {
   flush_delayed();
+  FSI_OBS_SPAN("greens.recompute");
   util::WallTimer timer;
   const index_t l = field_.num_slices();
   const index_t prev = (slice_ - 1 + l) % l;

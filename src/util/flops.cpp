@@ -1,56 +1,24 @@
 #include "fsi/util/flops.hpp"
 
-#include <atomic>
-#include <mutex>
-#include <vector>
+#include "fsi/obs/metrics.hpp"
+
+// PR-1 audit note (ISSUE 1): the previous standalone implementation was
+// already race-free — per-thread heap slots, merged on read — but used a
+// locked fetch_add on the hot path and kept a registry separate from the
+// observability counters.  flops is now a façade over the unified
+// fsi::obs::metrics registry, whose owner-only load+store accumulation
+// avoids the read-modify-write entirely (see metrics.hpp for the model).
 
 namespace fsi::util::flops {
-namespace {
-
-// Per-thread slot.  Slots are heap-allocated and intentionally never freed
-// (they are tiny and must outlive the thread so that total() still sees the
-// work of joined OpenMP workers).  The registry is only touched on first use
-// per thread, so the hot path is a single relaxed atomic increment.
-struct Slot {
-  std::atomic<std::uint64_t> count{0};
-};
-
-std::mutex& registry_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-std::vector<Slot*>& registry() {
-  static std::vector<Slot*> r;
-  return r;
-}
-
-Slot& local_slot() {
-  thread_local Slot* slot = [] {
-    auto* s = new Slot();
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry().push_back(s);
-    return s;
-  }();
-  return *slot;
-}
-
-}  // namespace
 
 void add(std::uint64_t n) noexcept {
-  local_slot().count.fetch_add(n, std::memory_order_relaxed);
+  obs::metrics::add(obs::metrics::Counter::Flops, n);
 }
 
 std::uint64_t total() noexcept {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  std::uint64_t sum = 0;
-  for (const Slot* s : registry()) sum += s->count.load(std::memory_order_relaxed);
-  return sum;
+  return obs::metrics::total(obs::metrics::Counter::Flops);
 }
 
-void reset() noexcept {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  for (Slot* s : registry()) s->count.store(0, std::memory_order_relaxed);
-}
+void reset() noexcept { obs::metrics::reset(obs::metrics::Counter::Flops); }
 
 }  // namespace fsi::util::flops

@@ -1,0 +1,317 @@
+/// Tests for the fsi::obs subsystem: span recording and nesting, thread
+/// attribution, counter merge across threads, disabled-mode no-op, and a
+/// schema validation of the exported chrome://tracing JSON for a real FSI
+/// run (it must parse and contain the CLS/BSOFI/WRP stage spans).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/report.hpp"
+#include "fsi/obs/trace.hpp"
+#include "fsi/selinv/fsi.hpp"
+#include "fsi/util/flops.hpp"
+
+namespace {
+
+using namespace fsi;
+
+/// Minimal recursive-descent JSON parser, sufficient to *validate* the
+/// exported trace and to pull out the span names and thread ids.  Not a
+/// general-purpose parser: numbers/strings are validated and skipped.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+  /// Parse the whole document; false on any syntax error or trailing junk.
+  bool parse() {
+    pos_ = 0;
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  /// String values seen for a given key (e.g. every event "name").
+  const std::set<std::string>& strings_for(const std::string& key) {
+    return by_key_[key];
+  }
+  /// Raw number literals seen for a given key (e.g. every "tid").
+  const std::set<std::string>& numbers_for(const std::string& key) {
+    return by_key_[key];
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    std::string v;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        pos_ += 2;
+        v += '?';  // escaped char; exact value irrelevant for validation
+      } else {
+        v += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    if (out != nullptr) *out = v;
+    return true;
+  }
+  bool number(std::string* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (!digits) return false;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      const std::size_t before = pos_;
+      eat_digits();
+      if (pos_ == before) return false;
+    }
+    if (out != nullptr) *out = s_.substr(start, pos_ - start);
+    return true;
+  }
+  bool value(const std::string& key = "") {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      std::string v;
+      if (!string(&v)) return false;
+      if (!key.empty()) by_key_[key].insert(v);
+      return true;
+    }
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    std::string num;
+    if (!number(&num)) return false;
+    if (!key.empty()) by_key_[key].insert(num);
+    return true;
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+      if (!value(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return s_[pos_++] == '}';
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return s_[pos_++] == ']';
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::set<std::string>> by_key_;
+};
+
+/// RAII: enable tracing on a clean slate, restore disabled + clean on exit.
+struct TraceSession {
+  TraceSession() {
+    obs::clear();
+    obs::set_enabled(true);
+  }
+  ~TraceSession() {
+    obs::set_enabled(false);
+    obs::clear();
+  }
+};
+
+TEST(ObsTrace, DisabledModeRecordsNothing) {
+  obs::set_enabled(false);
+  obs::clear();
+  {
+    obs::Span outer("noop.outer");
+    FSI_OBS_SPAN("noop.inner");
+  }
+  EXPECT_TRUE(obs::summary().empty());
+  EXPECT_EQ(obs::total_seconds("noop.outer"), 0.0);
+  // The exported document is still valid JSON, just with no events.
+  JsonChecker checker(obs::chrome_trace_json());
+  EXPECT_TRUE(checker.parse());
+}
+
+TEST(ObsTrace, SpanNestingAndSummary) {
+  TraceSession session;
+  {
+    obs::Span outer("nest.outer");
+    for (int i = 0; i < 3; ++i) {
+      FSI_OBS_SPAN("nest.inner");
+    }
+  }
+  const auto stats = obs::summary();
+  ASSERT_EQ(stats.size(), 2u);
+  double outer_total = 0.0, inner_total = 0.0;
+  std::uint64_t inner_count = 0;
+  for (const auto& s : stats) {
+    if (s.name == "nest.outer") outer_total = s.total_s;
+    if (s.name == "nest.inner") {
+      inner_total = s.total_s;
+      inner_count = s.count;
+      EXPECT_LE(s.min_s, s.p50_s);
+      EXPECT_LE(s.p50_s, s.max_s);
+    }
+  }
+  EXPECT_EQ(inner_count, 3u);
+  // The outer span encloses all inner spans.
+  EXPECT_GE(outer_total, inner_total);
+  EXPECT_DOUBLE_EQ(obs::total_seconds("nest.outer"), outer_total);
+}
+
+TEST(ObsTrace, ThreadAttribution) {
+  TraceSession session;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([] { FSI_OBS_SPAN("attr.worker"); });
+  for (auto& w : workers) w.join();
+
+  const auto stats = obs::summary();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, 4u);
+
+  // Each std::thread records under its own tid in the chrome export.
+  const std::string json = obs::chrome_trace_json();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.parse()) << json;
+  EXPECT_EQ(checker.numbers_for("tid").size(), 4u);
+}
+
+TEST(ObsTrace, CounterMergeAcrossThreads) {
+  namespace m = obs::metrics;
+  m::reset(m::Counter::MpiBytes);
+  m::Scope scope(m::Counter::MpiBytes);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([] { m::add(m::Counter::MpiBytes, 25); });
+  for (auto& w : workers) w.join();
+  m::add(m::Counter::MpiBytes, 1);
+  EXPECT_EQ(scope.elapsed(), 101u);
+
+  // The flops façade feeds the same registry.
+  util::flops::reset();
+  util::flops::add(42);
+  EXPECT_EQ(m::total(m::Counter::Flops), 42u);
+  EXPECT_EQ(util::flops::total(), 42u);
+
+  // snapshot() covers every counter with a stable name.
+  const auto snap = m::snapshot();
+  ASSERT_EQ(snap.size(), static_cast<std::size_t>(m::Counter::kCount));
+  EXPECT_STREQ(snap[0].first, "flops");
+}
+
+TEST(ObsTrace, ExportedFsiTraceIsValidAndContainsStageSpans) {
+  TraceSession session;
+
+  util::Rng rng(7);
+  const dense::index_t n = 4, l = 12, c = 3;
+  pcyclic::PCyclicMatrix m = pcyclic::PCyclicMatrix::random(n, l, rng);
+  pcyclic::BlockOps ops(m);
+  selinv::FsiOptions opts;
+  opts.c = c;
+  opts.q = 1;
+  selinv::FsiStats stats;
+  (void)selinv::fsi(m, ops, opts, rng, &stats);
+
+  const std::string json = obs::chrome_trace_json();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.parse()) << json;
+
+  // Schema: the CLS/BSOFI/WRP stage spans and their per-iteration children
+  // must be present by name.
+  const auto& names = checker.strings_for("name");
+  EXPECT_TRUE(names.count("fsi.cls")) << json;
+  EXPECT_TRUE(names.count("fsi.bsofi")) << json;
+  EXPECT_TRUE(names.count("fsi.wrap")) << json;
+  EXPECT_TRUE(names.count("cls.cluster"));
+  EXPECT_TRUE(names.count("wrp.seed"));
+  EXPECT_TRUE(names.count("bsofi.factor"));
+  // Chrome requires ph/ts/dur on complete events; all ours are "X".
+  EXPECT_TRUE(checker.strings_for("ph").count("X"));
+
+  // The span-derived stage time matches the FsiStats measurement.
+  EXPECT_NEAR(obs::total_seconds("fsi.cls"), stats.seconds_cls,
+              0.2 * stats.seconds_cls + 1e-4);
+
+  // Model-vs-measured report joins cleanly and prices the stages.
+  selinv::ComplexityModel cm{n, l, c};
+  obs::Report report =
+      obs::make_fsi_report(stats, cm, pcyclic::Pattern::Columns, 10.0);
+  ASSERT_EQ(report.rows().size(), 3u);
+  EXPECT_EQ(report.rows()[0].name, "CLS");
+  EXPECT_DOUBLE_EQ(report.rows()[0].predicted_flops, cm.cls_flops());
+  EXPECT_GT(report.total().measured_flops, 0.0);
+  JsonChecker report_checker(report.json());
+  EXPECT_TRUE(report_checker.parse()) << report.json();
+}
+
+TEST(ObsTrace, ClearResetsEventsButNotCounters) {
+  TraceSession session;
+  namespace m = obs::metrics;
+  m::reset(m::Counter::KernelCalls);
+  m::add(m::Counter::KernelCalls, 5);
+  { FSI_OBS_SPAN("clear.me"); }
+  EXPECT_FALSE(obs::summary().empty());
+  obs::clear();
+  EXPECT_TRUE(obs::summary().empty());
+  EXPECT_EQ(m::total(m::Counter::KernelCalls), 5u);
+}
+
+}  // namespace
