@@ -29,6 +29,12 @@ int main(int argc, char** argv) {
   const index_t l = cli.get_int("L", 64);
   const double u = cli.get_double("U", 6.0);
   const double beta = cli.get_double("beta", 6.0);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_ablation_c");
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("U", u);
+  telemetry.add_info("beta", beta);
 
   print_header("Ablation — cluster factor c (stability vs reduction)",
                "accuracy degrades as c grows; c ~ sqrt(L) balances flops "
@@ -41,6 +47,8 @@ int main(int argc, char** argv) {
 
   util::Table t({"c", "b", "max rel err", "CLS Gflop", "BSOFI Gflop",
                  "WRP Gflop", "total Gflop", "time s"});
+  double err_at_sqrt = 0.0, best_flops = 0.0;
+  index_t c_at_sqrt = 0, c_best_flops = 0;
   for (index_t c = 1; c <= l; ++c) {
     if (l % c != 0) continue;
     StageProfile p = profile_fsi(m, c, pcyclic::Pattern::Columns, 0);
@@ -63,8 +71,23 @@ int main(int argc, char** argv) {
                util::Table::num(p.flops_wrap * 1e-9, 2),
                util::Table::num(p.total_flops() * 1e-9, 2),
                util::Table::num(p.total_seconds(), 3)});
+    if (c_at_sqrt == 0 && static_cast<double>(c) >= std::sqrt(double(l))) {
+      c_at_sqrt = c;
+      err_at_sqrt = worst;
+    }
+    if (c_best_flops == 0 || p.total_flops() < best_flops) {
+      c_best_flops = c;
+      best_flops = static_cast<double>(p.total_flops());
+    }
   }
   t.print();
+  telemetry.add_info("c_at_sqrt", static_cast<double>(c_at_sqrt));
+  telemetry.add_info("c_min_flops", static_cast<double>(c_best_flops));
+  telemetry.add_metric("max_rel_err_at_sqrt_c", err_at_sqrt, "rel_err", false,
+                       /*higher_is_better=*/false);
+  telemetry.add_metric("min_total_gflop", best_flops * 1e-9, "gflop", false,
+                       /*higher_is_better=*/false);
+  finish_bench(telemetry);
   std::printf(
       "\nshape check: error grows with c (longer unorthogonalised chain\n"
       "products); total flops are minimised near c ~ sqrt(L) where the\n"

@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const index_t n = cli.get_int("N", 96);
   const index_t l = cli.get_int("L", 64);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_ablation_reduced_inv");
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
 
   print_header("Ablation — reduced-matrix inversion: BSOFI vs dense LU",
                "BSOFI: 7 b^2 N^3 structured flops vs 2 b^3 N^3 dense; "
@@ -53,10 +57,16 @@ int main(int argc, char** argv) {
                util::Table::num(t_lu, 3), util::Table::num(gf_lu, 2),
                util::Table::num(t_lu / t_bsofi, 2),
                util::Table::sci(dense::rel_fro_error(g_bsofi, g_lu))});
+    telemetry.add_metric("lu_over_bsofi_time_c" + std::to_string(c),
+                         t_lu / t_bsofi, "ratio");
+    telemetry.add_metric("rel_diff_c" + std::to_string(c),
+                         dense::rel_fro_error(g_bsofi, g_lu), "rel_err", false,
+                         /*higher_is_better=*/false);
   }
   t.print();
   std::printf(
       "\nshape check: the flop ratio grows like 2b/7, so dense LU falls\n"
       "behind as b = L/c grows; the two inverses agree to rounding.\n");
+  finish_bench(telemetry);
   return 0;
 }

@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
   const index_t l = cli.get_int("L", 64);
   const index_t c = cli.get_int("c", 8);
   const index_t b = l / c;
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_complexity");
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("c", static_cast<double>(c));
 
   print_header("Sec. II-C table — flop complexity, explicit form vs FSI",
                "for b block columns FSI uses ~bc/3 times fewer flops");
@@ -65,6 +70,11 @@ int main(int argc, char** argv) {
                util::Table::sci(fsi_model),
                util::Table::num(double(exp_meas) / fsi_prof.total_flops(), 1),
                util::Table::num(exp_model / fsi_model, 1)});
+    telemetry.add_metric(
+        std::string("flop_speedup_") + pcyclic::pattern_name(pat),
+        static_cast<double>(exp_meas) /
+            static_cast<double>(fsi_prof.total_flops()),
+        "ratio");
   }
   t.print();
 
@@ -75,5 +85,6 @@ int main(int argc, char** argv) {
       "b columns/rows the paper's headline ~bc/3 = %.1f ratio should match\n"
       "the 'model speedup' column and be of the same order as measured.\n",
       static_cast<double>(b) * c / 3.0);
+  finish_bench(telemetry);
   return 0;
 }

@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/lu.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/telemetry.hpp"
 #include "fsi/util/rng.hpp"
 
 namespace {
@@ -132,4 +135,19 @@ BENCHMARK(BM_Ger)->Arg(400);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus the repo-wide BENCH_<name>.json emitter.
+// Per-kernel numbers live in google-benchmark's own reporters
+// (--benchmark_format=json); the telemetry file records the build/health
+// context shared with the figure benches.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  fsi::obs::BenchTelemetry telemetry("bench_dense");
+  telemetry.add_info("metrics_note", "per-kernel rates via --benchmark_format=json");
+  const std::string path = telemetry.write();
+  if (!path.empty())
+    std::printf("[bench] telemetry written to %s\n", path.c_str());
+  return 0;
+}

@@ -128,9 +128,16 @@ int main(int argc, char** argv) {
   const index_t l = paper ? 100 : cli.get_int("L", 40);
   const index_t c = paper ? 10 : cli.get_int("c", 5);
   const index_t b = l / c;
+  init_trace(cli);
   // This bench reproduces the paper's stage-profile table, so spans are on
   // unless explicitly disabled (--no-trace); FSI_TRACE=0 has no effect here.
   if (!cli.has("no-trace")) obs::set_enabled(true);
+
+  obs::BenchTelemetry telemetry("bench_fig10_profile");
+  telemetry.add_info("N", static_cast<double>(nx));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("c", static_cast<double>(c));
+  telemetry.add_info("paper", paper ? "true" : "false");
 
   print_header("Fig. 10 — runtime profile on a single Hubbard matrix",
                "FSI with OpenMP uses 87% less CPU time than serial for "
@@ -178,8 +185,17 @@ int main(int argc, char** argv) {
                 util::Table::num(fsi_p.measure, 3),
                 util::Table::num(fsi_p.greens + fsi_p.measure, 3)});
   meas.print();
+  const double speedup =
+      (exp_p.greens + exp_p.measure) / (fsi_p.greens + fsi_p.measure);
   std::printf("algorithmic speedup of FSI over the explicit form: %.1fx\n\n",
-              (exp_p.greens + exp_p.measure) / (fsi_p.greens + fsi_p.measure));
+              speedup);
+  telemetry.add_metric("fsi_greens_s", fsi_p.greens, "s", false,
+                       /*higher_is_better=*/false);
+  telemetry.add_metric("fsi_measure_s", fsi_p.measure, "s", false, false);
+  // The CI gate: algorithm-vs-algorithm speedup on the same machine — a
+  // ratio of two times measured back to back, stable across hosts.
+  telemetry.add_metric("fsi_speedup_vs_explicit", speedup, "ratio",
+                       /*gate=*/!paper);
 
   // Per-stage model-vs-measured, derived from trace data: one full FSI call
   // (the paper's b-column workload) with spans on; CLS/BSOFI/WRP wall times
@@ -224,6 +240,6 @@ int main(int argc, char** argv) {
       "FSI+OpenMP reduces both — ~87%% less CPU time than serial (ours: "
       "%.0f%%).\n",
       100.0 * (1.0 - (fsi_g + fsi_meas) / serial_total));
-  finish_trace("bench_fig10_profile");
+  finish_bench(telemetry);
   return 0;
 }

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   using namespace fsi;
   using namespace fsi::bench;
   util::Cli cli(argc, argv);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_fig11_dqmc");
   const bool paper = cli.has("paper");
   const index_t nx = paper ? 20 : cli.get_int("nx", 6);
   const index_t ny = paper ? 20 : cli.get_int("ny", 6);
@@ -101,5 +103,16 @@ int main(int argc, char** argv) {
       "\nshape check (paper): FSI/OpenMP ~6.9x at 12 threads, MKL ~1.3x;\n"
       "scaled to the paper's (N, L, w, m) this is the 3.5 h -> 40 min "
       "reduction.\n");
+  telemetry.add_info("N", static_cast<double>(nx * ny));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("sweeps", static_cast<double>(sweeps));
+  telemetry.add_metric("fsi_total_s", fsi_r.timings.total_seconds, "s", false,
+                       /*higher_is_better=*/false);
+  telemetry.add_metric("mkl_style_total_s", mkl_r.timings.total_seconds, "s",
+                       false, /*higher_is_better=*/false);
+  telemetry.add_metric("fsi_max_drift", fsi_r.stats.max_drift, "norm", false,
+                       /*higher_is_better=*/false);
+  telemetry.add_metric("acceptance_rate", fsi_r.acceptance_rate, "ratio");
+  finish_bench(telemetry);
   return 0;
 }

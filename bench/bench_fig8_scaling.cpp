@@ -26,6 +26,11 @@ int main(int argc, char** argv) {
   const index_t l = cli.get_int("L", 100);
   const index_t c = cli.get_int("c", 10);
   const index_t b = l / c;
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_fig8_scaling");
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("c", static_cast<double>(c));
 
   print_header("Fig. 8 (bottom) — FSI scalability, OpenMP vs MKL-style",
                "FSI/OpenMP near ideal scaling; threaded-kernels-only (MKL) "
@@ -57,5 +62,10 @@ int main(int argc, char** argv) {
       "MKL-style ~2x ('FSI almost doubles the performance of pure\n"
       "multi-threaded MKL routines').\n",
       t1 / selinv::fsi_openmp_time(serial.seconds, 12, b));
+  telemetry.add_metric("fsi_gflops_1thread", gf1, "gflops");
+  telemetry.add_metric("modeled_speedup_12t",
+                       t1 / selinv::fsi_openmp_time(serial.seconds, 12, b),
+                       "ratio");
+  finish_bench(telemetry);
   return 0;
 }

@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   using namespace fsi;
   using namespace fsi::bench;
   util::Cli cli(argc, argv);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_fig9_hybrid");
 
   print_header("Fig. 9 — hybrid MPI x OpenMP, 100 nodes x 24 cores",
                "pure MPI fastest when it fits; N >= 576 needs hybrid; "
@@ -114,5 +116,11 @@ int main(int argc, char** argv) {
               "%.2f Gflops aggregate, <n> = %.3f, sign = %.1f\n",
               opt.num_matrices, demo_ranks, r.gflops(), r.global.density(),
               r.global.avg_sign());
+  telemetry.add_info("N", static_cast<double>(n_meas));
+  telemetry.add_info("L", static_cast<double>(l_meas));
+  telemetry.add_info("demo_ranks", static_cast<double>(demo_ranks));
+  telemetry.add_metric("fsi_efficiency_vs_dgemm", fsi_efficiency, "ratio");
+  telemetry.add_metric("demo_aggregate_gflops", r.gflops(), "gflops");
+  finish_bench(telemetry);
   return 0;
 }

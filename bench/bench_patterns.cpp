@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   using namespace fsi;
   using namespace fsi::bench;
   util::Cli cli(argc, argv);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_patterns");
 
   print_header("Sec. II-B table — selected-inversion patterns",
                "S1: b blocks (cL reduction); S2: b or b-1 (cL); "
@@ -51,6 +53,9 @@ int main(int argc, char** argv) {
   const index_t n = cli.get_int("N", 64);
   const index_t l = cli.get_int("L", 40);
   const index_t c = cli.get_int("c", 5);
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("c", static_cast<double>(c));
   pcyclic::PCyclicMatrix m = make_hubbard(n, l);
   const double full_bytes =
       static_cast<double>(m.dim()) * m.dim() * sizeof(double);
@@ -71,7 +76,10 @@ int main(int argc, char** argv) {
                util::Table::num(s.bytes() / 1048576.0, 3),
                util::Table::num(full_bytes / 1048576.0, 1),
                util::Table::num(full_bytes / s.bytes(), 0)});
+    telemetry.add_metric(std::string("reduction_") + pcyclic::pattern_name(pat),
+                         full_bytes / static_cast<double>(s.bytes()), "ratio");
   }
   t.print();
+  finish_bench(telemetry);
   return 0;
 }

@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   using namespace fsi::bench;
   util::Cli cli(argc, argv);
   const index_t n = cli.get_int("N", 48);
+  init_trace(cli);
+  obs::BenchTelemetry telemetry("bench_tridiag");
+  telemetry.add_info("N", static_cast<double>(n));
 
   print_header("Extension — block tridiagonal selected inversion",
                "future work of the paper (Sec. VI): the FSI idea applied to "
@@ -56,9 +59,14 @@ int main(int argc, char** argv) {
                util::Table::num((long long)(n * l)),
                util::Table::num(t_sel, 3), util::Table::num(t_lu, 3),
                util::Table::num(t_lu / t_sel, 1), util::Table::sci(worst)});
+    telemetry.add_metric("speedup_L" + std::to_string(l), t_lu / t_sel,
+                         "ratio");
+    telemetry.add_metric("max_rel_err_L" + std::to_string(l), worst, "rel_err",
+                         false, /*higher_is_better=*/false);
   }
   t.print();
   std::printf("\nshape check: speedup grows ~L^2 for one block column "
               "(O(L N^3) vs O(L^3 N^3)), accuracy at rounding level.\n");
+  finish_bench(telemetry);
   return 0;
 }

@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
   const index_t n = cli.get_int("N", 100);
   const index_t l = cli.get_int("L", 64);
   const index_t c = cli.get_int("c", 8);  // 8 divides 64; paper used c ~ sqrt(L)
+  init_trace(cli);
+
+  obs::BenchTelemetry telemetry("bench_validation");
+  telemetry.add_info("N", static_cast<double>(n));
+  telemetry.add_info("L", static_cast<double>(l));
+  telemetry.add_info("c", static_cast<double>(c));
 
   print_header("Sec. V-A correctness validation",
                "relative error of FSI block columns vs DGETRF/DGETRI < 1e-10; "
@@ -109,6 +115,13 @@ int main(int argc, char** argv) {
         "\nstress instance (N=%d, L=%d, U=6, beta=6): cond_1(M) = %.2e, "
         "max rel err = %.2e (%s)\n",
         ns, ls, conds, worst, worst < 1e-10 ? "PASSED" : "FAILED");
+    telemetry.add_metric("stress_max_rel_err", worst, "rel_err", false,
+                         /*higher_is_better=*/false);
   }
+  telemetry.add_metric("cond1_m", cond, "cond");
+  telemetry.add_metric("rel_err_mean", rel_err, "rel_err", false, false);
+  telemetry.add_metric("fsi_seconds", t_fsi, "s", false, false);
+  telemetry.add_metric("speedup_vs_dense_lu", t_lu / t_fsi, "ratio");
+  finish_bench(telemetry);
   return rel_err < 1e-10 ? 0 : 1;
 }

@@ -13,8 +13,10 @@
 #include <string>
 
 #include "fsi/dense/blas.hpp"
+#include "fsi/obs/health.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/report.hpp"
+#include "fsi/obs/telemetry.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/selinv/fsi.hpp"
@@ -85,10 +87,24 @@ inline StageProfile profile_fsi(const pcyclic::PCyclicMatrix& m, index_t c,
   return StageProfile(stats);
 }
 
-/// Enable span tracing when --trace is given (FSI_TRACE=1 also works via
-/// the environment); returns whether tracing is on.
+/// Apply the uniform obs flags every bench accepts:
+///   --trace / --no-trace       force span tracing on/off (overrides the
+///                              FSI_TRACE environment value either way)
+///   --no-health                disable the numerical-health monitor
+///   --health-sample N          residual spot-check period (0 = off)
+/// Returns whether tracing is on.
 inline bool init_trace(const util::Cli& cli) {
-  if (cli.has("trace")) obs::set_enabled(true);
+  if (cli.has("no-trace"))
+    obs::set_enabled(false);
+  else if (cli.has("trace"))
+    obs::set_enabled(true);
+  if (cli.has("no-health")) obs::health::set_enabled(false);
+  if (cli.has("health-sample"))
+    obs::health::set_sample_every(
+        cli.get_int("health-sample", obs::health::sample_every()));
+  obs::metrics::set(
+      obs::metrics::Gauge::HealthSampleEvery,
+      obs::health::enabled() ? obs::health::sample_every() : 0.0);
   return obs::enabled();
 }
 
@@ -102,6 +118,24 @@ inline void finish_trace(const std::string& bench_name) {
   if (!path.empty())
     std::printf("[trace] chrome://tracing JSON written to %s (open in "
                 "chrome://tracing or ui.perfetto.dev)\n", path.c_str());
+}
+
+/// End-of-bench epilogue: print the health summary (when the monitor is
+/// on), write the schema-versioned BENCH_<name>.json telemetry file (to
+/// $FSI_BENCH_DIR, default CWD), and emit the trace artifacts.  Every
+/// bench main calls this exactly once before returning.
+inline void finish_bench(const obs::BenchTelemetry& telemetry) {
+  if (obs::health::enabled()) {
+    std::printf("\n[health] numerical-health summary:\n%s",
+                obs::health::report().str().c_str());
+  }
+  const std::string path = telemetry.write();
+  if (!path.empty())
+    std::printf("[bench] telemetry written to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "[bench] could not write telemetry for %s\n",
+                 telemetry.bench_name().c_str());
+  finish_trace(telemetry.bench_name());
 }
 
 /// Measured DGEMM rate at block size n (the "practical peak" reference of

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "fsi/obs/health.hpp"
 #include "fsi/util/fpenv.hpp"
 #include "fsi/qmc/dqmc.hpp"
 #include "fsi/util/cli.hpp"
@@ -58,7 +59,9 @@ int main(int argc, char** argv) {
                util::Table::num(r.measurements.af_structure_factor(), 4)});
   obs.add_row({"pair susceptibility chi_sw",
                util::Table::num(r.measurements.pair_susceptibility(), 4)});
-  obs.add_row({"max wrap drift", util::Table::num(r.max_drift, 12)});
+  obs.add_row({"max wrap drift", util::Table::num(r.stats.max_drift, 12)});
+  obs.add_row({"Green's fn recomputes",
+               util::Table::num((long long)r.stats.recomputes)});
   obs.print();
 
   // SPXX(tau, d): a few rows of the time-dependent spin-spin correlation.
@@ -82,5 +85,12 @@ int main(int argc, char** argv) {
       "(total %.2fs)\n",
       r.timings.warmup_seconds, r.timings.greens_seconds,
       r.timings.measure_seconds, r.timings.total_seconds);
+
+  // Numerical-health verdict for the whole run: drift / conditioning /
+  // residual / FP-sentinel checks against their thresholds (FSI_HEALTH_*).
+  if (obs::health::enabled()) {
+    std::printf("\nnumerical health:\n");
+    obs::health::report().print();
+  }
   return 0;
 }

@@ -18,6 +18,10 @@ double inf_norm(ConstMatrixView a);
 /// Largest absolute entry.
 double max_abs(ConstMatrixView a);
 
+/// True when every entry is finite (no NaN/Inf) — the health layer's
+/// result-matrix sentinel.  One pass, early exit on the first bad entry.
+bool all_finite(ConstMatrixView a);
+
 /// ||A - B||_F (shapes must match).
 double fro_distance(ConstMatrixView a, ConstMatrixView b);
 

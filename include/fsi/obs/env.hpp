@@ -1,0 +1,50 @@
+#pragma once
+/// \file env.hpp
+/// \brief Environment-variable toggles shared by the obs subsystem.
+///
+/// Every FSI_* runtime toggle goes through env_flag() so that falsy values
+/// are honoured uniformly: FSI_TRACE=0, FSI_TRACE=off and FSI_TRACE=false
+/// all disable tracing, instead of "any set value reads as enabled".
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace fsi::obs {
+
+/// Parse a boolean environment toggle.  Unset returns \p fallback; the
+/// empty string and the case-insensitive values "0", "false", "off", "no"
+/// are false; anything else is true.
+inline bool env_flag(const char* name, bool fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char lowered[8] = {};
+  std::size_t n = 0;
+  for (; v[n] != '\0' && n + 1 < sizeof lowered; ++n)
+    lowered[n] = static_cast<char>(std::tolower(static_cast<unsigned char>(v[n])));
+  if (v[n] != '\0') return true;  // longer than any falsy literal
+  return !(n == 0 || std::strcmp(lowered, "0") == 0 ||
+           std::strcmp(lowered, "false") == 0 ||
+           std::strcmp(lowered, "off") == 0 || std::strcmp(lowered, "no") == 0);
+}
+
+/// Integer environment variable; unset or non-numeric returns \p fallback.
+inline long env_long(const char* name, long fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && end != v && *end == '\0') ? parsed : fallback;
+}
+
+/// Floating-point environment variable; unset or non-numeric returns
+/// \p fallback.
+inline double env_double(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && end != v && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace fsi::obs

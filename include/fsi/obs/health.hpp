@@ -1,0 +1,141 @@
+#pragma once
+/// \file health.hpp
+/// \brief Numerical-health monitoring for the FSI/DQMC pipeline.
+///
+/// The paper's core claim for BSOFI is *numerical stability* of the
+/// selected inverse, and DQMC practice shows that wrap/recompute round-off
+/// is the failure mode that silently corrupts physics at large beta.  This
+/// layer rides on the obs metrics registry and continuously answers
+/// "are the numbers still right?" with four cheap streaming estimators:
+///
+///   - wrap drift      ||G_wrap - G_recompute||_max at every stabilised
+///                     recompute (the value is already computed by the
+///                     Green's engine — recording it is free);
+///   - cond1(reduced)  1-norm condition estimate of the reduced matrix
+///                     inverted by BSOFI, using the exact identity
+///                     ||M||_1 = 1 + max_i ||B~_i||_1 for p-cyclic normal
+///                     form and the explicitly available inverse
+///                     (O((bN)^2), negligible next to BSOFI's O(b^2 N^3));
+///   - residual        sampled spot checks ||(M G_sel - I) block||_max on
+///                     a rotating selected block (two N x N GEMMs per
+///                     sampled FSI call — ~1% of one call at the paper's
+///                     shape, further divided by the sampling period);
+///   - FP sentinels    NaN/Inf appearing in results (FAIL) and accumulated
+///                     IEEE exception flags invalid/divbyzero/overflow/
+///                     underflow (informational/WARN).
+///
+/// Observed values stream into the metrics histograms (Hist::WrapDrift,
+/// Hist::Cond1Reduced, Hist::SelResidual) so their distributions export
+/// alongside the FLOP counters; report() classifies them against
+/// configurable thresholds into a HealthReport with an OK/WARN/FAIL row per
+/// check, a console table, and schema-versioned JSON for the bench
+/// telemetry pipeline.
+///
+/// Toggles (read once at process start, adjustable programmatically):
+///   FSI_HEALTH=0          disable every hook (they become one relaxed
+///                         atomic load + branch);
+///   FSI_HEALTH_SAMPLE=N   residual spot check on every Nth FSI call
+///                         (default 4; 0 disables just the residual check).
+/// Thresholds: FSI_HEALTH_DRIFT_WARN/FAIL, FSI_HEALTH_COND_WARN/FAIL,
+/// FSI_HEALTH_RESID_WARN/FAIL.
+///
+/// Layering: like the rest of fsi::obs this depends only on the standard
+/// library; callers (dense/bsofi/selinv/qmc) compute the scalar observables
+/// with their own kernels and feed plain doubles in.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsi/obs/metrics.hpp"
+
+namespace fsi::obs::health {
+
+/// Per-check classification, ordered so that worse compares greater.
+enum class Status : int { Ok = 0, Warn = 1, Fail = 2 };
+
+const char* status_name(Status s) noexcept;
+
+/// WARN/FAIL boundaries for the streaming estimators.  Defaults suit the
+/// paper's validation setup (cond(M) ~ 1e5, relative errors ~ 1e-10); all
+/// are overridable via FSI_HEALTH_* environment variables at process start
+/// or set_thresholds() at runtime.
+struct Thresholds {
+  double drift_warn = 1e-6;  ///< wrap interval is eating digits
+  double drift_fail = 1e-2;  ///< wrapped G no longer resembles recomputed G
+  double cond_warn = 1e10;   ///< reduced matrix nearly loses double precision
+  double cond_fail = 1e14;
+  double resid_warn = 1e-6;  ///< selected blocks are not inverse blocks
+  double resid_fail = 1e-3;
+};
+
+/// Master toggle (FSI_HEALTH, default on).  When off, every record hook is
+/// a relaxed atomic load and a branch.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Residual spot-check sampling period: a check runs on every Nth
+/// should_sample_residual() call (FSI_HEALTH_SAMPLE, default 4; 0 = never).
+int sample_every() noexcept;
+void set_sample_every(int every) noexcept;
+
+Thresholds thresholds() noexcept;
+void set_thresholds(const Thresholds& t) noexcept;
+
+// -- Record hooks (no-ops while disabled) -----------------------------------
+
+/// Wrap-vs-recompute drift at a stabilisation point.
+void record_drift(double drift) noexcept;
+/// 1-norm condition estimate of the reduced matrix.
+void record_cond1(double cond) noexcept;
+/// Selected-block residual ||(M G_sel - I) block||_max.
+void record_residual(double resid) noexcept;
+/// A NaN/Inf was observed in a result matrix (\p where: producing stage).
+void record_nonfinite(const char* where) noexcept;
+
+/// True when it is this call's turn to run a sampled residual spot check
+/// (increments the shared sampling counter; false while disabled).
+bool should_sample_residual() noexcept;
+
+// -- Reporting --------------------------------------------------------------
+
+/// Bounded time series of the most recent wrap-drift samples, oldest first
+/// (the scalar max_drift hides drift *growth*; the series shows it).
+std::vector<double> drift_history();
+inline constexpr std::size_t kDriftHistoryCapacity = 256;
+
+/// One classified check.
+struct CheckRow {
+  std::string name;    ///< "wrap_drift", "cond1_reduced", ...
+  Status status = Status::Ok;
+  std::uint64_t count = 0;  ///< samples observed
+  double last = 0.0;
+  double worst = 0.0;  ///< max observed (what status is judged on)
+  double warn = 0.0;   ///< thresholds used (0 when not threshold-based)
+  double fail = 0.0;
+  std::string note;    ///< free-form detail (FP flag names, NaN location)
+};
+
+/// Aggregated health state: one row per check, overall = worst row.
+struct HealthReport {
+  std::vector<CheckRow> rows;
+  std::vector<double> drift_history;  ///< recent drift samples, oldest first
+  Status overall = Status::Ok;
+
+  /// Console table (check, status, samples, last, worst, thresholds).
+  std::string str() const;
+  /// Schema-versioned machine-readable export, including the drift series.
+  std::string json() const;
+  void print() const;
+};
+
+inline constexpr const char* kHealthSchema = "fsi.health.v1";
+
+/// Build the report from everything recorded since the last reset().
+HealthReport report();
+
+/// Clear recorded health state: histograms, drift series, nonfinite count,
+/// sampling counter, and the process's accumulated FP exception flags.
+void reset() noexcept;
+
+}  // namespace fsi::obs::health

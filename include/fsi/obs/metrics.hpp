@@ -47,7 +47,8 @@ void add(Counter c, std::uint64_t n) noexcept;
 /// Threads that have exited still contribute their counts.
 std::uint64_t total(Counter c) noexcept;
 
-/// Zero one counter, or all of them, across every thread's slot.
+/// Zero one counter across every thread's slot, or everything in the
+/// registry (counters, histograms, gauges, accumulators).
 /// Must not race with concurrent add() (updates may be lost, never torn).
 void reset(Counter c) noexcept;
 void reset_all() noexcept;
@@ -66,5 +67,83 @@ class Scope {
   Counter counter_;
   std::uint64_t start_;
 };
+
+// ---------------------------------------------------------------------------
+// Histograms — log-bucketed value distributions for the numerical-health
+// observables (same thread-local-slot / merge-on-read model as the
+// counters, so record() is safe from OpenMP regions).
+
+/// The tracked distributions.  kCount is the slot-array size.
+enum class Hist : int {
+  WrapDrift = 0,  ///< ||G_wrap - G_recompute||_max at each stabilisation
+  Cond1Reduced,   ///< 1-norm condition estimate of the reduced BSOFI matrix
+  SelResidual,    ///< sampled ||(M G_sel - I) block||_max spot checks
+  kCount
+};
+
+/// Decade buckets: bucket i counts samples v with
+/// floor(log10(v)) == i + kHistMinDecade; values at or below 10^kHistMinDecade
+/// land in bucket 0, values at or above 10^kHistMaxDecade in the last bucket.
+inline constexpr int kHistMinDecade = -18;
+inline constexpr int kHistMaxDecade = 8;
+inline constexpr int kHistBuckets = kHistMaxDecade - kHistMinDecade + 1;
+
+/// Human-readable name of a histogram (e.g. "wrap_drift").
+const char* name(Hist h) noexcept;
+
+/// Bucket index for a value (clamped; non-positive and non-finite values go
+/// to the extreme buckets so nothing is silently dropped).
+int hist_bucket(double value) noexcept;
+
+/// Record one sample into the calling thread's slot.
+void record(Hist h, double value) noexcept;
+
+/// Merged view of one histogram across all threads.
+struct HistSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;   ///< 0 when count == 0
+  double max = 0.0;
+  double last = 0.0;  ///< most recently recorded sample (any thread)
+  std::uint64_t buckets[kHistBuckets] = {};
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+HistSnapshot hist(Hist h) noexcept;
+
+/// Zero one histogram across every thread's slot (same contract as
+/// reset(Counter): must not race with concurrent record()).
+void reset(Hist h) noexcept;
+
+// ---------------------------------------------------------------------------
+// Gauges — last-value-wins scalars (single global cell per gauge).
+
+enum class Gauge : int {
+  WrapInterval = 0,   ///< DQMC stabilisation interval currently in effect
+  FlushToZero,        ///< 1 when FTZ/DAZ was enabled on the main thread
+  HealthSampleEvery,  ///< residual spot-check sampling period (0 = off)
+  kCount
+};
+
+const char* name(Gauge g) noexcept;
+void set(Gauge g, double value) noexcept;
+double get(Gauge g) noexcept;
+
+// ---------------------------------------------------------------------------
+// Wall-time accumulators — named seconds buckets in the shared registry, so
+// stage bookkeeping (e.g. Green's-recompute time) lives here instead of in
+// hand-rolled per-object accumulators.  Thread-local slots, merged on read.
+
+enum class Accum : int {
+  GreensRecompute = 0,  ///< stabilised Green's-function recomputes
+  HealthCheck,          ///< health-layer estimator self-cost
+  kCount
+};
+
+const char* name(Accum a) noexcept;
+void add_seconds(Accum a, double s) noexcept;
+double seconds(Accum a) noexcept;
+void reset(Accum a) noexcept;
 
 }  // namespace fsi::obs::metrics

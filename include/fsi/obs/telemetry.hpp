@@ -1,0 +1,70 @@
+#pragma once
+/// \file telemetry.hpp
+/// \brief Machine-readable bench telemetry: schema-versioned BENCH_*.json.
+///
+/// Every bench binary builds one BenchTelemetry, feeds it the headline
+/// numbers it already prints (GFLOP/s, speedups, errors), and calls write()
+/// on exit.  The emitted JSON bundles, under one schema version:
+///
+///   - the bench's own metrics, each tagged with a unit, whether CI gates on
+///     it, and its direction (higher_is_better);
+///   - a build/config fingerprint (compiler, build type, OpenMP threads,
+///     FTZ state) so a regression can be told apart from a config change;
+///   - the shared obs state at export time: counter totals, wall-time
+///     accumulators, the health report, and the per-span trace summary.
+///
+/// tools/bench_compare diffs two such files and fails CI when a gated
+/// metric regresses beyond tolerance or health reports FAIL.  Gate on
+/// machine-stable *ratios* (efficiency vs DGEMM, speedup vs a baseline
+/// algorithm), not raw GFLOP/s, so baselines survive hardware changes.
+///
+/// Output path: $FSI_BENCH_DIR/BENCH_<name>.json (default: CWD).
+
+#include <string>
+#include <vector>
+
+namespace fsi::obs {
+
+inline constexpr const char* kBenchSchema = "fsi.bench.v1";
+
+/// One exported bench metric.
+struct BenchMetric {
+  std::string key;
+  double value = 0.0;
+  std::string unit;               ///< "gflops", "s", "ratio", ...
+  bool gate = false;              ///< CI regression-gates on this metric
+  bool higher_is_better = true;   ///< direction of "regression"
+};
+
+class BenchTelemetry {
+ public:
+  /// \p bench_name becomes the "bench" field and the output file name
+  /// (BENCH_<bench_name>.json).  Wall time is measured from construction.
+  explicit BenchTelemetry(std::string bench_name);
+
+  /// Free-form config fingerprint entries ("L"=100, "pattern"="columns").
+  void add_info(const std::string& key, const std::string& value);
+  void add_info(const std::string& key, double value);
+
+  /// A headline number.  Only gate=true metrics participate in CI
+  /// regression checks.
+  void add_metric(const std::string& key, double value, std::string unit,
+                  bool gate = false, bool higher_is_better = true);
+
+  /// Full schema-versioned document (metrics + fingerprint + obs state).
+  std::string json() const;
+
+  /// Serialise to $FSI_BENCH_DIR/BENCH_<name>.json (CWD when unset).
+  /// Returns the path written, or "" on I/O failure.
+  std::string write() const;
+
+  const std::string& bench_name() const { return name_; }
+
+ private:
+  std::string name_;
+  double start_s_;  ///< steady-clock seconds at construction
+  std::vector<std::pair<std::string, std::string>> info_;  ///< key -> JSON value
+  std::vector<BenchMetric> metrics_;
+};
+
+}  // namespace fsi::obs

@@ -62,12 +62,24 @@ struct DqmcTimings {
   double total_seconds = 0.0;
 };
 
+/// Numerical-stability statistics of one simulation (both spin engines
+/// combined).  The drift samples also stream into obs::health, where the
+/// bounded per-recompute time series and the OK/WARN/FAIL classification
+/// live; this struct carries the scalar summary alongside the result.
+struct DqmcStats {
+  index_t recomputes = 0;      ///< stabilised recomputes across both spins
+  double last_drift = 0.0;     ///< worse spin's drift at the final recompute
+  double max_drift = 0.0;      ///< largest drift over the whole simulation
+};
+
 struct DqmcResult {
   Measurements measurements;
   DqmcTimings timings;
   double acceptance_rate = 0.0;
-  /// Largest wrap-vs-recompute drift observed (stability diagnostic).
+  /// Largest wrap-vs-recompute drift observed (stability diagnostic);
+  /// equals stats.max_drift, kept as a field for existing callers.
   double max_drift = 0.0;
+  DqmcStats stats;
 };
 
 /// Choose the divisor of \p l closest to sqrt(l) (the paper's c ~ sqrt(L)).

@@ -77,14 +77,25 @@ class EqualTimeGreens {
   /// Stabilised recompute of G at the current slice.
   void recompute();
 
+  /// Recompute G for the *current* field state and clear the drift
+  /// statistics (last_drift/max_drift/recomputes).  Call when reusing an
+  /// engine on a new chain — e.g. after externally rewriting the HS field —
+  /// so stale drift from the previous chain is not reported for the new one.
+  void reseed();
+
   /// || G_wrapped - G_recomputed ||_max at the most recent stabilised
   /// recompute; a growing drift signals too large a wrap interval.
   double last_drift() const { return last_drift_; }
 
-  /// Accumulated wall time spent in stabilised recomputes — Green's
-  /// function work that the DQMC driver accounts separately from the
-  /// Metropolis updates (paper Fig. 10/11 split).
-  double recompute_seconds() const { return recompute_seconds_; }
+  /// Largest drift seen over all stabilised recomputes since construction
+  /// or the last reseed() — not just the most recent one.
+  double max_drift() const { return max_drift_; }
+
+  /// Stabilised recomputes performed since construction / last reseed().
+  /// Wall time spent in them accumulates in the shared obs registry under
+  /// metrics::Accum::GreensRecompute (it is process-wide Green's-function
+  /// work, not a per-engine quantity).
+  index_t recomputes() const { return recomputes_; }
 
  private:
   /// Apply the pending U W accumulation to g_ with one GEMM.
@@ -102,7 +113,8 @@ class EqualTimeGreens {
   index_t slice_ = 0;
   index_t wraps_since_recompute_ = 0;
   double last_drift_ = 0.0;
-  double recompute_seconds_ = 0.0;
+  double max_drift_ = 0.0;
+  index_t recomputes_ = 0;
   // Delayed-update accumulators (mutable: flushing is observably pure).
   mutable Matrix g_;
   mutable Matrix delay_u_, delay_w_;  // N x depth, depth x N

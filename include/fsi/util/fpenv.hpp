@@ -15,6 +15,20 @@ namespace fsi::util {
 /// Enable FTZ + DAZ on this thread (x86 MXCSR bits 15 and 6).  No effect on
 /// non-x86 builds.  Each OpenMP / mini-MPI worker thread inherits the mode
 /// only if it was set before thread creation, so call this first in main().
+/// Also records the mode in obs::metrics::Gauge::FlushToZero so telemetry
+/// fingerprints carry the FP environment.
 void enable_flush_to_zero() noexcept;
+
+/// True when FTZ+DAZ are both set in the calling thread's MXCSR (always
+/// false on non-x86 builds).
+bool flush_to_zero_enabled() noexcept;
+
+/// Accumulated IEEE exception flags of this thread, as a bitmask matching
+/// <cfenv> (FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW | FE_UNDERFLOW only —
+/// FE_INEXACT is raised by essentially every operation and is masked out).
+int fp_flags_raised() noexcept;
+
+/// Clear the accumulated IEEE exception flags.
+void clear_fp_flags() noexcept;
 
 }  // namespace fsi::util

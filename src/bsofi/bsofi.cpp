@@ -1,9 +1,14 @@
 #include "fsi/bsofi/bsofi.hpp"
 
+#include <algorithm>
+
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/lu.hpp"
+#include "fsi/dense/norms.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/health.hpp"
 #include "fsi/obs/trace.hpp"
+#include "fsi/util/timer.hpp"
 
 namespace fsi::bsofi {
 
@@ -189,7 +194,26 @@ Matrix Bsofi::inverse_block_row(index_t k0) const {
   return row;
 }
 
-Matrix invert(const pcyclic::PCyclicMatrix& m) { return Bsofi(m).inverse(); }
+Matrix invert(const pcyclic::PCyclicMatrix& m) {
+  Matrix g = Bsofi(m).inverse();
+  if (obs::health::enabled()) {
+    util::WallTimer health_timer;
+    // Exact 1-norm condition number of the reduced p-cyclic matrix: columns
+    // hold one identity block plus exactly one +-B~ block, so
+    // ||M~||_1 = 1 + max_i ||B~_i||_1, and BSOFI just produced the explicit
+    // inverse — cond_1 = ||M~||_1 ||G~||_1 at O((bN)^2) cost, no Hager
+    // iteration needed.
+    double max_b = 0.0;
+    for (index_t i = 0; i < m.num_blocks(); ++i)
+      max_b = std::max(max_b, dense::one_norm(m.b(i)));
+    obs::health::record_cond1((1.0 + max_b) * dense::one_norm(g.view()));
+    if (!dense::all_finite(g.view()))
+      obs::health::record_nonfinite("bsofi.inverse");
+    obs::metrics::add_seconds(obs::metrics::Accum::HealthCheck,
+                              health_timer.seconds());
+  }
+  return g;
+}
 
 Matrix invert_dense_lu(const pcyclic::PCyclicMatrix& m) {
   return dense::inverse(m.to_dense());

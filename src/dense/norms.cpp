@@ -43,6 +43,15 @@ double max_abs(ConstMatrixView a) {
   return best;
 }
 
+bool all_finite(ConstMatrixView a) {
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i)
+      if (!std::isfinite(col[i])) return false;
+  }
+  return true;
+}
+
 double fro_distance(ConstMatrixView a, ConstMatrixView b) {
   FSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
             "fro_distance: shape mismatch");

@@ -1,19 +1,36 @@
 #include "fsi/obs/metrics.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
 
 namespace fsi::obs::metrics {
 namespace {
 
 constexpr int kNumCounters = static_cast<int>(Counter::kCount);
+constexpr int kNumHists = static_cast<int>(Hist::kCount);
+constexpr int kNumAccums = static_cast<int>(Accum::kCount);
 
-// Per-thread slot: one cell per counter.  Slots are heap-allocated and
-// intentionally never freed — they are tiny and must outlive the thread so
-// that total() still sees the work of joined OpenMP workers.  Only the
-// owning thread writes a slot; readers merge on read through the atomics.
+/// One thread's view of one histogram.  min/max/sum are owner-written
+/// plain-load-then-store relaxed atomics, like the counter cells.
+struct HistSlot {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{0.0};
+  std::atomic<double> max{0.0};
+  std::atomic<std::uint64_t> buckets[kHistBuckets] = {};
+};
+
+// Per-thread slot: one cell per counter, histogram and accumulator.  Slots
+// are heap-allocated and intentionally never freed — they are tiny and must
+// outlive the thread so that total() still sees the work of joined OpenMP
+// workers.  Only the owning thread writes a slot; readers merge on read
+// through the atomics.
 struct Slot {
   std::atomic<std::uint64_t> cells[kNumCounters] = {};
+  HistSlot hists[kNumHists];
+  std::atomic<double> accums[kNumAccums] = {};
 };
 
 std::mutex& registry_mutex() {
@@ -72,10 +89,39 @@ void reset(Counter c) noexcept {
     s->cells[static_cast<int>(c)].store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+void reset_hist_slot(HistSlot& h) {
+  h.count.store(0, std::memory_order_relaxed);
+  h.sum.store(0.0, std::memory_order_relaxed);
+  h.min.store(0.0, std::memory_order_relaxed);
+  h.max.store(0.0, std::memory_order_relaxed);
+  for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+}
+
+std::atomic<double>& gauge_cell(Gauge g) {
+  static std::atomic<double> cells[static_cast<int>(Gauge::kCount)] = {};
+  return cells[static_cast<int>(g)];
+}
+
+std::atomic<double>& hist_last_cell(Hist h) {
+  static std::atomic<double> cells[kNumHists] = {};
+  return cells[static_cast<int>(h)];
+}
+
+}  // namespace
+
 void reset_all() noexcept {
   std::lock_guard<std::mutex> lock(registry_mutex());
-  for (Slot* s : registry())
+  for (Slot* s : registry()) {
     for (auto& cell : s->cells) cell.store(0, std::memory_order_relaxed);
+    for (auto& h : s->hists) reset_hist_slot(h);
+    for (auto& a : s->accums) a.store(0.0, std::memory_order_relaxed);
+  }
+  for (int g = 0; g < static_cast<int>(Gauge::kCount); ++g)
+    gauge_cell(static_cast<Gauge>(g)).store(0.0, std::memory_order_relaxed);
+  for (int h = 0; h < kNumHists; ++h)
+    hist_last_cell(static_cast<Hist>(h)).store(0.0, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<const char*, std::uint64_t>> snapshot() {
@@ -85,6 +131,124 @@ std::vector<std::pair<const char*, std::uint64_t>> snapshot() {
     out.emplace_back(name(static_cast<Counter>(c)),
                      total(static_cast<Counter>(c)));
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+
+const char* name(Hist h) noexcept {
+  switch (h) {
+    case Hist::WrapDrift: return "wrap_drift";
+    case Hist::Cond1Reduced: return "cond1_reduced";
+    case Hist::SelResidual: return "sel_residual";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+int hist_bucket(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // non-positive and NaN: lowest bucket
+  if (std::isinf(value)) return kHistBuckets - 1;
+  const int decade = static_cast<int>(std::floor(std::log10(value)));
+  return std::clamp(decade, kHistMinDecade, kHistMaxDecade) - kHistMinDecade;
+}
+
+void record(Hist h, double value) noexcept {
+  HistSlot& slot = local_slot().hists[static_cast<int>(h)];
+  const std::uint64_t n = slot.count.load(std::memory_order_relaxed);
+  slot.count.store(n + 1, std::memory_order_relaxed);
+  slot.sum.store(slot.sum.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+  if (n == 0 || value < slot.min.load(std::memory_order_relaxed))
+    slot.min.store(value, std::memory_order_relaxed);
+  if (n == 0 || value > slot.max.load(std::memory_order_relaxed))
+    slot.max.store(value, std::memory_order_relaxed);
+  auto& bucket = slot.buckets[hist_bucket(value)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  // "last" is a single global cell: a racy overwrite just means another
+  // thread's equally-recent sample wins, which is fine for a gauge-style
+  // reading.
+  hist_last_cell(h).store(value, std::memory_order_relaxed);
+}
+
+HistSnapshot hist(Hist h) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  HistSnapshot out;
+  for (const Slot* s : registry()) {
+    const HistSlot& hs = s->hists[static_cast<int>(h)];
+    const std::uint64_t n = hs.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    const double mn = hs.min.load(std::memory_order_relaxed);
+    const double mx = hs.max.load(std::memory_order_relaxed);
+    if (out.count == 0 || mn < out.min) out.min = mn;
+    if (out.count == 0 || mx > out.max) out.max = mx;
+    out.count += n;
+    out.sum += hs.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kHistBuckets; ++b)
+      out.buckets[b] += hs.buckets[b].load(std::memory_order_relaxed);
+  }
+  out.last = hist_last_cell(h).load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset(Hist h) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Slot* s : registry()) reset_hist_slot(s->hists[static_cast<int>(h)]);
+  hist_last_cell(h).store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauges.
+
+const char* name(Gauge g) noexcept {
+  switch (g) {
+    case Gauge::WrapInterval: return "wrap_interval";
+    case Gauge::FlushToZero: return "flush_to_zero";
+    case Gauge::HealthSampleEvery: return "health_sample_every";
+    case Gauge::kCount: break;
+  }
+  return "?";
+}
+
+void set(Gauge g, double value) noexcept {
+  gauge_cell(g).store(value, std::memory_order_relaxed);
+}
+
+double get(Gauge g) noexcept {
+  return gauge_cell(g).load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Wall-time accumulators.
+
+const char* name(Accum a) noexcept {
+  switch (a) {
+    case Accum::GreensRecompute: return "greens_recompute_s";
+    case Accum::HealthCheck: return "health_check_s";
+    case Accum::kCount: break;
+  }
+  return "?";
+}
+
+void add_seconds(Accum a, double s) noexcept {
+  std::atomic<double>& cell = local_slot().accums[static_cast<int>(a)];
+  cell.store(cell.load(std::memory_order_relaxed) + s,
+             std::memory_order_relaxed);
+}
+
+double seconds(Accum a) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  double sum = 0.0;
+  for (const Slot* s : registry())
+    sum += s->accums[static_cast<int>(a)].load(std::memory_order_relaxed);
+  return sum;
+}
+
+void reset(Accum a) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Slot* s : registry())
+    s->accums[static_cast<int>(a)].store(0.0, std::memory_order_relaxed);
 }
 
 }  // namespace fsi::obs::metrics

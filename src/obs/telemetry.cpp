@@ -1,0 +1,170 @@
+#include "fsi/obs/telemetry.hpp"
+
+#include <omp.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fsi/obs/health.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
+
+namespace fsi::obs {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  json_escape(out, s);
+  out += '"';
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchTelemetry::BenchTelemetry(std::string bench_name)
+    : name_(std::move(bench_name)), start_s_(steady_seconds()) {}
+
+void BenchTelemetry::add_info(const std::string& key,
+                              const std::string& value) {
+  info_.emplace_back(key, quoted(value));
+}
+
+void BenchTelemetry::add_info(const std::string& key, double value) {
+  info_.emplace_back(key, num(value));
+}
+
+void BenchTelemetry::add_metric(const std::string& key, double value,
+                                std::string unit, bool gate,
+                                bool higher_is_better) {
+  metrics_.push_back({key, value, std::move(unit), gate, higher_is_better});
+}
+
+std::string BenchTelemetry::json() const {
+  std::string out = "{\"schema\":\"";
+  out += kBenchSchema;
+  out += "\",\"bench\":";
+  out += quoted(name_);
+  out += ",\"wall_s\":";
+  out += num(steady_seconds() - start_s_);
+
+  // Build/config fingerprint: enough to tell a true perf regression from a
+  // compiler, thread-count or FP-environment change.
+  out += ",\"build\":{\"compiler\":";
+#if defined(__VERSION__)
+  out += quoted(__VERSION__);
+#else
+  out += "\"unknown\"";
+#endif
+#if defined(NDEBUG)
+  out += ",\"ndebug\":true";
+#else
+  out += ",\"ndebug\":false";
+#endif
+  out += ",\"omp_max_threads\":" + num(omp_get_max_threads());
+  out += ",\"flush_to_zero\":" +
+         num(metrics::get(metrics::Gauge::FlushToZero));
+  out += ",\"pointer_bits\":" + num(8.0 * sizeof(void*));
+  out += '}';
+
+  out += ",\"config\":{";
+  for (std::size_t i = 0; i < info_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += quoted(info_[i].first) + ':' + info_[i].second;
+  }
+  out += '}';
+
+  out += ",\"metrics\":[";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const BenchMetric& m = metrics_[i];
+    if (i > 0) out += ',';
+    out += "{\"key\":" + quoted(m.key) + ",\"value\":" + num(m.value) +
+           ",\"unit\":" + quoted(m.unit) +
+           ",\"gate\":" + (m.gate ? "true" : "false") +
+           ",\"higher_is_better\":" + (m.higher_is_better ? "true" : "false") +
+           '}';
+  }
+  out += ']';
+
+  out += ",\"counters\":{";
+  {
+    const auto counts = metrics::snapshot();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += quoted(counts[i].first) + ':' +
+             std::to_string(counts[i].second);
+    }
+  }
+  out += '}';
+
+  out += ",\"accums\":{";
+  for (int a = 0; a < static_cast<int>(metrics::Accum::kCount); ++a) {
+    const auto acc = static_cast<metrics::Accum>(a);
+    if (a > 0) out += ',';
+    out += quoted(metrics::name(acc)) + ':' + num(metrics::seconds(acc));
+  }
+  out += '}';
+
+  out += ",\"health\":";
+  out += health::report().json();
+
+  out += ",\"spans\":[";
+  {
+    const auto spans = summary();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const SpanStats& s = spans[i];
+      if (i > 0) out += ',';
+      out += "{\"name\":" + quoted(s.name) +
+             ",\"count\":" + std::to_string(s.count) +
+             ",\"total_s\":" + num(s.total_s) + ",\"min_s\":" + num(s.min_s) +
+             ",\"p50_s\":" + num(s.p50_s) + ",\"max_s\":" + num(s.max_s) + '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchTelemetry::write() const {
+  const char* dir = std::getenv("FSI_BENCH_DIR");
+  std::string path;
+  if (dir != nullptr && dir[0] != '\0') {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string doc = json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  return (ok && closed) ? path : "";
+}
+
+}  // namespace fsi::obs

@@ -6,17 +6,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <mutex>
+
+#include "fsi/obs/env.hpp"
 
 namespace fsi::obs {
 
 namespace detail {
-std::atomic<bool> g_trace_enabled{[] {
-  const char* env = std::getenv("FSI_TRACE");
-  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
-}()};
+// env_flag honours every falsy spelling (FSI_TRACE=0/false/off/no/""), not
+// just "0" — any other set value enables tracing.
+std::atomic<bool> g_trace_enabled{env_flag("FSI_TRACE", false)};
 }  // namespace detail
 
 namespace {

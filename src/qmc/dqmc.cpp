@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/timer.hpp"
@@ -108,6 +109,13 @@ DqmcResult run_dqmc(const HubbardModel& model, const DqmcOptions& options) {
   const bool coarse = (options.engine == GreensEngine::Fsi);
 
   util::Rng rng(options.seed);
+  obs::metrics::set(obs::metrics::Gauge::WrapInterval,
+                    static_cast<double>(options.wrap_interval));
+  // Recompute seconds fold: the engines stream their stabilised-recompute
+  // wall time into the shared registry; the delta over this simulation is
+  // re-attributed from warmup_seconds to greens_seconds below.
+  const double recompute_s0 =
+      obs::metrics::seconds(obs::metrics::Accum::GreensRecompute);
   HsField field(l, model.num_sites(), rng);  // random +-1 initial config
   EqualTimeGreens g_up(model, field, Spin::Up, c, options.wrap_interval,
                        options.delay_depth);
@@ -115,7 +123,8 @@ DqmcResult run_dqmc(const HubbardModel& model, const DqmcOptions& options) {
                        options.delay_depth);
 
   DqmcResult result{
-      Measurements(l, model.lattice().num_distance_classes()), {}, 0.0, 0.0};
+      Measurements(l, model.lattice().num_distance_classes()), {}, 0.0, 0.0,
+      {}};
   double sign = 1.0;
   index_t accepted = 0, attempted = 0;
 
@@ -165,14 +174,18 @@ DqmcResult run_dqmc(const HubbardModel& model, const DqmcOptions& options) {
   // The stabilised recomputes inside the sweeps are Green's-function work;
   // report them under greens_seconds as the paper's profiles do.
   const double recompute_s =
-      g_up.recompute_seconds() + g_dn.recompute_seconds();
+      obs::metrics::seconds(obs::metrics::Accum::GreensRecompute) -
+      recompute_s0;
   result.timings.warmup_seconds -= recompute_s;
   result.timings.greens_seconds += recompute_s;
 
   result.timings.total_seconds = total.seconds();
   result.acceptance_rate =
       attempted > 0 ? static_cast<double>(accepted) / attempted : 0.0;
-  result.max_drift = std::max(g_up.last_drift(), g_dn.last_drift());
+  result.stats.recomputes = g_up.recomputes() + g_dn.recomputes();
+  result.stats.last_drift = std::max(g_up.last_drift(), g_dn.last_drift());
+  result.stats.max_drift = std::max(g_up.max_drift(), g_dn.max_drift());
+  result.max_drift = result.stats.max_drift;
   return result;
 }
 

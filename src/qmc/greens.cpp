@@ -1,11 +1,14 @@
 #include "fsi/qmc/greens.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/lu.hpp"
 #include "fsi/dense/norms.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/health.hpp"
+#include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/timer.hpp"
@@ -168,6 +171,10 @@ void EqualTimeGreens::advance() {
       dense::axpby(-1.0, diff, g_);  // diff := g_ - diff
       return diff;
     }());
+    max_drift_ = std::max(max_drift_, last_drift_);
+    obs::health::record_drift(last_drift_);
+    if (!dense::all_finite(g_.view()))
+      obs::health::record_nonfinite("greens.recompute");
   }
 }
 
@@ -185,7 +192,17 @@ void EqualTimeGreens::recompute() {
     g_ = selinv::equal_time_block(m, prev, cluster_size_);
   }
   wraps_since_recompute_ = 0;
-  recompute_seconds_ += timer.seconds();
+  ++recomputes_;
+  obs::metrics::add_seconds(obs::metrics::Accum::GreensRecompute,
+                            timer.seconds());
+}
+
+void EqualTimeGreens::reseed() {
+  last_drift_ = 0.0;
+  max_drift_ = 0.0;
+  recomputes_ = 0;
+  pending_ = 0;  // pending updates belong to the previous chain
+  recompute();
 }
 
 }  // namespace fsi::qmc

@@ -6,6 +6,10 @@
 
 #include <omp.h>
 
+#include <cfenv>
+
+#include "fsi/obs/metrics.hpp"
+
 namespace fsi::util {
 
 void enable_flush_to_zero() noexcept {
@@ -15,6 +19,23 @@ void enable_flush_to_zero() noexcept {
 #pragma omp parallel
   { _mm_setcsr(_mm_getcsr() | 0x8040u); }  // FTZ (bit 15) | DAZ (bit 6)
 #endif
+  obs::metrics::set(obs::metrics::Gauge::FlushToZero,
+                    flush_to_zero_enabled() ? 1.0 : 0.0);
 }
+
+bool flush_to_zero_enabled() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return (_mm_getcsr() & 0x8040u) == 0x8040u;
+#else
+  return false;
+#endif
+}
+
+int fp_flags_raised() noexcept {
+  return std::fetestexcept(FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW |
+                           FE_UNDERFLOW);
+}
+
+void clear_fp_flags() noexcept { std::feclearexcept(FE_ALL_EXCEPT); }
 
 }  // namespace fsi::util

@@ -5,9 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -19,149 +17,12 @@
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/flops.hpp"
 
+#include "json_checker.hpp"
+
 namespace {
 
 using namespace fsi;
-
-/// Minimal recursive-descent JSON parser, sufficient to *validate* the
-/// exported trace and to pull out the span names and thread ids.  Not a
-/// general-purpose parser: numbers/strings are validated and skipped.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
-
-  /// Parse the whole document; false on any syntax error or trailing junk.
-  bool parse() {
-    pos_ = 0;
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
-  /// String values seen for a given key (e.g. every event "name").
-  const std::set<std::string>& strings_for(const std::string& key) {
-    return by_key_[key];
-  }
-  /// Raw number literals seen for a given key (e.g. every "tid").
-  const std::set<std::string>& numbers_for(const std::string& key) {
-    return by_key_[key];
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-  bool literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool string(std::string* out) {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    std::string v;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') {
-        if (pos_ + 1 >= s_.size()) return false;
-        pos_ += 2;
-        v += '?';  // escaped char; exact value irrelevant for validation
-      } else {
-        v += s_[pos_++];
-      }
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    if (out != nullptr) *out = v;
-    return true;
-  }
-  bool number(std::string* out) {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    auto eat_digits = [&] {
-      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-        ++pos_;
-        digits = true;
-      }
-    };
-    eat_digits();
-    if (pos_ < s_.size() && s_[pos_] == '.') {
-      ++pos_;
-      eat_digits();
-    }
-    if (!digits) return false;
-    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-      const std::size_t before = pos_;
-      eat_digits();
-      if (pos_ == before) return false;
-    }
-    if (out != nullptr) *out = s_.substr(start, pos_ - start);
-    return true;
-  }
-  bool value(const std::string& key = "") {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') {
-      std::string v;
-      if (!string(&v)) return false;
-      if (!key.empty()) by_key_[key].insert(v);
-      return true;
-    }
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    std::string num;
-    if (!number(&num)) return false;
-    if (!key.empty()) by_key_[key].insert(num);
-    return true;
-  }
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(&key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
-      if (!value(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return s_[pos_++] == '}';
-    }
-  }
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
-    while (true) {
-      if (!value()) return false;
-      skip_ws();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      return s_[pos_++] == ']';
-    }
-  }
-
-  std::string s_;
-  std::size_t pos_ = 0;
-  std::map<std::string, std::set<std::string>> by_key_;
-};
+using fsi::testing::JsonChecker;
 
 /// RAII: enable tracing on a clean slate, restore disabled + clean on exit.
 struct TraceSession {
