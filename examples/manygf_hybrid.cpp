@@ -10,6 +10,12 @@
 ///
 ///   ./manygf_hybrid [--matrices 8] [--ranks 2] [--threads 1]
 ///                   [--N 24] [--L 16] [--c 4]
+///                   [--static] [--heavy-fraction 1.0]
+///
+/// --static freezes the scheduler to the contiguous split (Alg. 3's
+/// original distribution); --heavy-fraction < 1 skews the batch so that
+/// only the leading fraction computes the Rows/Columns passes — run both
+/// modes on a skewed batch to watch work stealing flatten the balance.
 
 #include <cstdio>
 
@@ -34,6 +40,9 @@ int main(int argc, char** argv) {
   opt.num_ranks = cli.get_int("ranks", 2);
   opt.omp_threads_per_rank = cli.get_int("threads", 1);
   opt.cluster_size = cli.get_int("c", 4);
+  opt.schedule =
+      cli.has("static") ? qmc::Schedule::Static : qmc::Schedule::WorkStealing;
+  opt.heavy_fraction = cli.get_double("heavy-fraction", 1.0);
   opt.seed = 2024;
 
   std::printf(
@@ -51,6 +60,13 @@ int main(int argc, char** argv) {
   t.add_row({"global <n>", util::Table::num(r.global.density(), 4)});
   t.add_row({"global <n_up n_dn>", util::Table::num(r.global.double_occupancy(), 4)});
   t.add_row({"global SPXX(1, 0)", util::Table::num(r.global.spxx(1, 0), 5)});
+  t.add_row({"schedule", opt.schedule == qmc::Schedule::Static
+                             ? "static split"
+                             : "work stealing"});
+  t.add_row({"steal batches", util::Table::num((long long)r.sched.steal_batches)});
+  t.add_row({"tasks migrated", util::Table::num((long long)r.sched.stolen_tasks)});
+  t.add_row({"balance (max/mean busy)", util::Table::num(r.sched.balance(), 2)});
+  t.add_row({"pool hit rate", util::Table::num(r.sched.pool_hit_rate(), 3)});
   t.print();
   return 0;
 }

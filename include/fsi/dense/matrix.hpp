@@ -102,6 +102,15 @@ class Matrix {
     FSI_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
   }
 
+  /// rows x cols matrix reusing \p storage's capacity (the workspace-pool
+  /// path); contents are zero-initialised like the plain constructor.
+  Matrix(index_t rows, index_t cols, std::vector<double>&& storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    FSI_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                 0.0);
+  }
+
   /// n x n identity.
   static Matrix identity(index_t n) {
     Matrix m(n, n);
@@ -150,6 +159,15 @@ class Matrix {
 
   /// Memory footprint in bytes (used by the Edison node memory model).
   std::size_t bytes() const { return data_.size() * sizeof(double); }
+
+  /// Move the underlying storage out (to a workspace pool), leaving an
+  /// empty 0 x 0 matrix.
+  std::vector<double> release_storage() {
+    std::vector<double> out = std::move(data_);
+    data_.clear();  // moved-from state is unspecified; make it definitely empty
+    rows_ = cols_ = 0;
+    return out;
+  }
 
  private:
   index_t rows_ = 0, cols_ = 0;

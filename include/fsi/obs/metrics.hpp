@@ -34,6 +34,10 @@ enum class Counter : int {
   KernelCalls,     ///< dense kernel invocations (gemm/trsm/ormqr/...)
   MpiMessages,     ///< mini-MPI point-to-point messages sent
   MpiBytes,        ///< mini-MPI point-to-point payload bytes sent
+  PoolHits,        ///< workspace-pool acquires served from the free lists
+  PoolMisses,      ///< workspace-pool acquires that fell through to malloc
+  SchedTasks,      ///< batch-scheduler tasks executed
+  SchedSteals,     ///< successful steal-half operations
   kCount
 };
 
@@ -78,6 +82,8 @@ enum class Hist : int {
   WrapDrift = 0,  ///< ||G_wrap - G_recompute||_max at each stabilisation
   Cond1Reduced,   ///< 1-norm condition estimate of the reduced BSOFI matrix
   SelResidual,    ///< sampled ||(M G_sel - I) block||_max spot checks
+  TaskSeconds,    ///< per-task wall time in the batch scheduler
+  QueueDepth,     ///< own-deque depth sampled at each scheduler pop
   kCount
 };
 
@@ -123,6 +129,7 @@ enum class Gauge : int {
   WrapInterval = 0,   ///< DQMC stabilisation interval currently in effect
   FlushToZero,        ///< 1 when FTZ/DAZ was enabled on the main thread
   HealthSampleEvery,  ///< residual spot-check sampling period (0 = off)
+  SchedWorkers,       ///< workers of the most recent batch scheduler
   kCount
 };
 

@@ -6,10 +6,19 @@
 /// DQMC needs selected inversions of tens of thousands of Hubbard matrices.
 /// The matrices are parameterised by the Hubbard-Stratonovich field, so —
 /// exactly as the paper prescribes — the root rank generates the random
-/// fields and scatters *them* (not the matrices) to the MPI ranks; each
+/// fields and broadcasts *them* (not the matrices) to the MPI ranks; each
 /// rank builds its matrices locally, runs FSI with OpenMP inside, computes
-/// local measurement quantities in the OpenMP region, and a final Reduce
-/// aggregates the global measurements on the root.
+/// local measurement quantities in the OpenMP region, and the root merges
+/// the global measurements.
+///
+/// Task distribution goes through sched::BatchScheduler: every rank is
+/// preloaded with the contiguous static share [r*m/R, (r+1)*m/R) and idle
+/// ranks steal the back half of a victim's backlog, so heterogeneous batches
+/// (see \ref MultiGfOptions::heavy_fraction) balance automatically.  The
+/// result is bit-identical regardless of rank count, thread count or steal
+/// order: each task derives its wrapping offset q from (seed, task index)
+/// alone, accumulates its measurements serially into a per-task buffer, and
+/// the root merges the buffers in ascending task order.
 
 #include <cstdint>
 
@@ -17,6 +26,12 @@
 #include "fsi/qmc/measurements.hpp"
 
 namespace fsi::qmc {
+
+/// How the batch of matrices is spread over the mini-MPI ranks.
+enum class Schedule {
+  WorkStealing,  ///< sched::BatchScheduler with stealing on (default)
+  Static,        ///< frozen contiguous split — the paper's Alg. 3 baseline
+};
 
 /// Options of one hybrid run (paper Fig. 9 sweeps ranks x threads with the
 /// product fixed at the machine's core count).
@@ -26,17 +41,51 @@ struct MultiGfOptions {
   int omp_threads_per_rank = 0;  ///< 0 = leave the OpenMP default
   index_t cluster_size = 0;      ///< 0 = divisor of L nearest sqrt(L)
   bool measure_time_dependent = true;
+  /// Fraction of the batch (front-loaded) that also computes the Rows /
+  /// Columns wrapping passes and SPXX; the rest measures equal-time only.
+  /// 1.0 = homogeneous batch; < 1.0 makes the batch skewed — the contiguous
+  /// static split then overloads the low ranks, which is exactly the
+  /// imbalance work stealing is there to fix.  Ignored (treated as 0) when
+  /// measure_time_dependent is false.
+  double heavy_fraction = 1.0;
+  Schedule schedule = Schedule::WorkStealing;
   std::uint64_t seed = 99;
 };
 
+/// Scheduler + workspace-pool telemetry of one run_parallel_fsi call.
+struct SchedSummary {
+  int workers = 0;                  ///< mini-MPI ranks driving the batch
+  std::uint32_t tasks = 0;          ///< matrices scheduled
+  std::uint64_t steal_batches = 0;  ///< successful steals across all ranks
+  std::uint64_t stolen_tasks = 0;   ///< tasks that migrated via stealing
+  std::uint64_t pool_hits = 0;      ///< workspace-pool hits during the run
+  std::uint64_t pool_misses = 0;    ///< workspace-pool misses during the run
+  double busy_max_seconds = 0.0;    ///< busiest rank's in-task wall time
+  double busy_mean_seconds = 0.0;   ///< mean in-task wall time per rank
+
+  /// Load balance as max/mean busy time; 1.0 is perfect, higher is worse.
+  double balance() const {
+    return busy_mean_seconds > 0.0 ? busy_max_seconds / busy_mean_seconds
+                                   : 1.0;
+  }
+  /// hits / (hits + misses), or 0 when nothing was acquired.
+  double pool_hit_rate() const {
+    const double total =
+        static_cast<double>(pool_hits) + static_cast<double>(pool_misses);
+    return total > 0.0 ? static_cast<double>(pool_hits) / total : 0.0;
+  }
+};
+
 struct MultiGfResult {
-  Measurements global;     ///< reduced over all ranks
+  Measurements global;     ///< merged over all ranks, ascending task order
   double seconds = 0.0;    ///< wall time of the parallel region
   std::uint64_t flops = 0; ///< dense-kernel flops across all ranks/threads
+  SchedSummary sched;      ///< scheduler + pool telemetry
   double gflops() const { return seconds > 0 ? flops / seconds * 1e-9 : 0.0; }
 };
 
-/// Run Alg. 3: scatter fields, per-rank FSI + local measurements, reduce.
+/// Run Alg. 3: broadcast fields, scheduler-driven per-rank FSI + local
+/// measurements, deterministic merge on the root.
 MultiGfResult run_parallel_fsi(const HubbardModel& model,
                                const MultiGfOptions& options);
 

@@ -1,0 +1,91 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Work-stealing batch scheduler for heterogeneous FSI tasks.
+///
+/// The paper's coarse-grain level (Alg. 3) distributes thousands of
+/// independent Hubbard-matrix inversions over ranks.  A static split is
+/// optimal only when every task costs the same; real DQMC batches are
+/// heterogeneous (different selection patterns, measurement depths, matrix
+/// shapes), so the scheduler preloads each worker's deque with the static
+/// contiguous share and then lets idle workers steal the back half of a
+/// victim's backlog.  With stealing disabled the execution is exactly the
+/// old static split — that mode is kept as the A/B baseline and for
+/// measurements of the balance win.
+///
+/// Termination: an atomic count of unfinished tasks.  A worker whose deque
+/// is empty scans the other deques for work; when nothing is stealable it
+/// backs off (sleep FSI_SCHED_BACKOFF_US) until the count reaches zero —
+/// tasks in flight on other workers may still fail and re-queue nothing, so
+/// an idle worker must not exit while work remains.
+///
+/// Instrumented through obs::metrics: Counter::SchedTasks / SchedSteals,
+/// Hist::TaskSeconds (per-task latency) and Hist::QueueDepth (own-deque
+/// depth sampled at each pop), Gauge::SchedWorkers.
+///
+/// Environment (read through obs/env.hpp, table in docs/parallelism.md):
+///   FSI_SCHED            — 0/false/off forces the static split
+///   FSI_SCHED_BACKOFF_US — idle backoff in microseconds (default 50)
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fsi/sched/task_queue.hpp"
+
+namespace fsi::sched {
+
+struct SchedulerOptions {
+  bool work_stealing = true;  ///< false = frozen static split (no stealing)
+  int backoff_us = 50;        ///< idle sleep between failed steal scans
+
+  /// Defaults overlaid with FSI_SCHED / FSI_SCHED_BACKOFF_US.
+  static SchedulerOptions from_env();
+};
+
+/// Per-worker execution statistics, owner-written, read after the batch.
+struct WorkerStats {
+  std::uint64_t executed = 0;       ///< tasks this worker ran
+  std::uint64_t steal_batches = 0;  ///< successful steal_half() calls
+  std::uint64_t stolen_tasks = 0;   ///< tasks acquired by stealing
+  double busy_seconds = 0.0;        ///< wall time inside task bodies
+};
+
+/// One batch of `num_tasks` task indices over `num_workers` workers.  The
+/// scheduler is shared state: construct it once, then have each of the
+/// num_workers concurrent threads (mini-MPI ranks) call run_worker() with
+/// its own id.  Tasks are preloaded contiguously — worker w starts with
+/// [w*T/W, (w+1)*T/W), the same assignment the old static split used — and
+/// migrate only via stealing.
+class BatchScheduler {
+ public:
+  BatchScheduler(int num_workers, std::uint32_t num_tasks,
+                 SchedulerOptions options);
+
+  /// Worker \p worker's main loop: pop own deque, else steal, else back
+  /// off; returns when every task of the batch has finished.  \p body is
+  /// called exactly once per task index across all workers.
+  void run_worker(int worker, const std::function<void(std::uint32_t)>& body);
+
+  int workers() const { return num_workers_; }
+  std::uint32_t tasks() const { return num_tasks_; }
+  const SchedulerOptions& options() const { return options_; }
+
+  /// Valid once run_worker() has returned on every worker.
+  const WorkerStats& stats(int worker) const;
+  std::uint64_t total_steal_batches() const;
+  std::uint64_t total_stolen_tasks() const;
+  double busy_max_seconds() const;
+  double busy_mean_seconds() const;
+
+ private:
+  int num_workers_;
+  std::uint32_t num_tasks_;
+  SchedulerOptions options_;
+  std::atomic<std::uint32_t> remaining_;
+  std::vector<std::unique_ptr<TaskDeque>> deques_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
+};
+
+}  // namespace fsi::sched

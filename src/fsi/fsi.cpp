@@ -10,6 +10,7 @@
 #include "fsi/dense/norms.hpp"
 #include "fsi/obs/health.hpp"
 #include "fsi/obs/trace.hpp"
+#include "fsi/sched/workspace_pool.hpp"
 #include "fsi/util/flops.hpp"
 #include "fsi/util/timer.hpp"
 
@@ -61,24 +62,25 @@ PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
   for (index_t i = 0; i < b; ++i) {
     FSI_OBS_SPAN("cls.cluster");
     const index_t j_lo = c * i - q;  // j0 - c + 1
-    dense::Matrix prod = dense::Matrix::copy_of(m.b(m.wrap(j_lo)));
-    dense::Matrix next(n, n);
+    dense::Matrix prod = sched::acquire_copy(m.b(m.wrap(j_lo)));
+    dense::Matrix next = sched::acquire(n, n);
     for (index_t t = 1; t < c; ++t) {
       dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, m.b(m.wrap(j_lo + t)),
                   prod, 0.0, next);
       std::swap(prod, next);
     }
     reduced.b_matrix(i) = std::move(prod);
+    sched::recycle(std::move(next));
   }
   return reduced;
 }
 
 namespace {
 
-/// Copy the seed block G~(k0, l0) out of the reduced inverse.
+/// Copy the seed block G~(k0, l0) out of the reduced inverse (pool-backed).
 dense::Matrix seed_block(const dense::Matrix& gtilde, index_t n, index_t k0,
                          index_t l0) {
-  return dense::Matrix::copy_of(gtilde.block(k0 * n, l0 * n, n, n));
+  return sched::acquire_copy(gtilde.block(k0 * n, l0 * n, n, n));
 }
 
 /// Sampled health spot check: verify two stored blocks of a completed
@@ -176,6 +178,7 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
         if (k == l - 1) continue;
         dense::Matrix seed = seed_block(gtilde, n, k0, k0);
         out.slot(k, k + 1) = ops.right(k, k, seed);
+        sched::recycle(std::move(seed));
       }
       break;
     }
@@ -188,22 +191,30 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
           FSI_OBS_SPAN("wrp.seed");
           const index_t col = idx[l0];
           const index_t row = idx[k0];
+          // Two independent walks from one seed; every intermediate and
+          // every stored copy cycles through the workspace pool.
           dense::Matrix seed = seed_block(gtilde, n, k0, l0);
-          dense::Matrix cur = seed;
+          dense::Matrix cur = sched::acquire_copy(seed);
           index_t k = row;
           for (index_t s = 0; s < up_steps; ++s) {
-            cur = ops.up(k, col, cur);
+            dense::Matrix next = ops.up(k, col, cur);
+            sched::recycle(std::move(cur));
+            cur = std::move(next);
             k = ops.matrix().wrap(k - 1);
-            out.slot(k, col) = cur;
+            out.slot(k, col) = sched::acquire_copy(cur);
           }
+          sched::recycle(std::move(cur));
           cur = std::move(seed);
           k = row;
-          out.slot(k, col) = cur;
+          out.slot(k, col) = sched::acquire_copy(cur);
           for (index_t s = 0; s < down_steps; ++s) {
-            cur = ops.down(k, col, cur);
+            dense::Matrix next = ops.down(k, col, cur);
+            sched::recycle(std::move(cur));
+            cur = std::move(next);
             k = ops.matrix().wrap(k + 1);
-            out.slot(k, col) = cur;
+            out.slot(k, col) = sched::acquire_copy(cur);
           }
+          sched::recycle(std::move(cur));
         }
       }
       break;
@@ -217,25 +228,31 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
         FSI_OBS_SPAN("wrp.seed");
         const index_t row = idx[k0];
         dense::Matrix seed = seed_block(gtilde, n, k0, k0);
-        dense::Matrix cur = seed;
+        dense::Matrix cur = sched::acquire_copy(seed);
         index_t k = row;
         for (index_t s = 0; s < up_steps; ++s) {
           // up-left: G(k-1, k-1) = B_k^-1 G(k, k) B_k.
-          cur = ops.up(k, k, cur);
-          cur = ops.left(ops.matrix().wrap(k - 1), k, cur);
+          dense::Matrix mid = ops.up(k, k, cur);
+          sched::recycle(std::move(cur));
+          cur = ops.left(ops.matrix().wrap(k - 1), k, mid);
+          sched::recycle(std::move(mid));
           k = ops.matrix().wrap(k - 1);
-          out.slot(k, k) = cur;
+          out.slot(k, k) = sched::acquire_copy(cur);
         }
+        sched::recycle(std::move(cur));
         cur = std::move(seed);
         k = row;
-        out.slot(k, k) = cur;
+        out.slot(k, k) = sched::acquire_copy(cur);
         for (index_t s = 0; s < down_steps; ++s) {
           // down-right: G(k+1, k+1) = B_{k+1} G(k, k) B_{k+1}^-1.
-          cur = ops.down(k, k, cur);
-          cur = ops.right(ops.matrix().wrap(k + 1), k, cur);
+          dense::Matrix mid = ops.down(k, k, cur);
+          sched::recycle(std::move(cur));
+          cur = ops.right(ops.matrix().wrap(k + 1), k, mid);
+          sched::recycle(std::move(mid));
           k = ops.matrix().wrap(k + 1);
-          out.slot(k, k) = cur;
+          out.slot(k, k) = sched::acquire_copy(cur);
         }
+        sched::recycle(std::move(cur));
       }
       break;
     }
@@ -248,21 +265,27 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
           const index_t row = idx[k0];
           const index_t col = idx[l0];
           dense::Matrix seed = seed_block(gtilde, n, k0, l0);
-          dense::Matrix cur = seed;
+          dense::Matrix cur = sched::acquire_copy(seed);
           index_t cl = col;
           for (index_t s = 0; s < up_steps; ++s) {
-            cur = ops.left(row, cl, cur);
+            dense::Matrix next = ops.left(row, cl, cur);
+            sched::recycle(std::move(cur));
+            cur = std::move(next);
             cl = ops.matrix().wrap(cl - 1);
-            out.slot(row, cl) = cur;
+            out.slot(row, cl) = sched::acquire_copy(cur);
           }
+          sched::recycle(std::move(cur));
           cur = std::move(seed);
           cl = col;
-          out.slot(row, cl) = cur;
+          out.slot(row, cl) = sched::acquire_copy(cur);
           for (index_t s = 0; s < down_steps; ++s) {
-            cur = ops.right(row, cl, cur);
+            dense::Matrix next = ops.right(row, cl, cur);
+            sched::recycle(std::move(cur));
+            cur = std::move(next);
             cl = ops.matrix().wrap(cl + 1);
-            out.slot(row, cl) = cur;
+            out.slot(row, cl) = sched::acquire_copy(cur);
           }
+          sched::recycle(std::move(cur));
         }
       }
       break;
@@ -290,10 +313,12 @@ SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
     StageMeter meter("fsi.bsofi", local.seconds_bsofi, local.flops_bsofi);
     return bsofi::invert(reduced);
   }();
+  reduced.release_blocks();  // the clustered products feed only BSOFI
   SelectedInversion out = [&] {  // Stage 3: WRP.
     StageMeter meter("fsi.wrap", local.seconds_wrap, local.flops_wrap);
     return wrap(ops, gtilde, opts.pattern, sel, opts.coarse_parallel);
   }();
+  sched::recycle(std::move(gtilde));
   residual_spot_check(m, out, opts.pattern, sel);
 
   if (stats != nullptr) *stats = local;
@@ -349,6 +374,7 @@ std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
     StageMeter meter("fsi.bsofi", local.seconds_bsofi, local.flops_bsofi);
     return bsofi::invert(reduced);
   }();
+  reduced.release_blocks();
 
   std::vector<SelectedInversion> out;
   out.reserve(patterns.size());
@@ -357,6 +383,7 @@ std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
     for (Pattern p : patterns)
       out.push_back(wrap(ops, gtilde, p, sel, opts.coarse_parallel));
   }
+  sched::recycle(std::move(gtilde));
   for (std::size_t i = 0; i < patterns.size(); ++i)
     residual_spot_check(m, out[i], patterns[i], sel);
 
@@ -378,9 +405,13 @@ dense::Matrix equal_time_block(const PCyclicMatrix& m, index_t k, index_t c) {
 
   PCyclicMatrix reduced = cluster(m, c, q);
   bsofi::Bsofi factor(reduced);
+  reduced.release_blocks();
   dense::Matrix row = factor.inverse_block_row(k0);
+  factor.release_workspace();
   const index_t n = m.block_size();
-  return dense::Matrix::copy_of(row.block(0, k0 * n, n, n));
+  dense::Matrix out = dense::Matrix::copy_of(row.block(0, k0 * n, n, n));
+  sched::recycle(std::move(row));
+  return out;
 }
 
 double ComplexityModel::cls_flops() const {

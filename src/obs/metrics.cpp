@@ -62,6 +62,10 @@ const char* name(Counter c) noexcept {
     case Counter::KernelCalls: return "kernel_calls";
     case Counter::MpiMessages: return "mpi_messages";
     case Counter::MpiBytes: return "mpi_bytes";
+    case Counter::PoolHits: return "pool_hits";
+    case Counter::PoolMisses: return "pool_misses";
+    case Counter::SchedTasks: return "sched_tasks";
+    case Counter::SchedSteals: return "sched_steals";
     case Counter::kCount: break;
   }
   return "?";
@@ -141,6 +145,8 @@ const char* name(Hist h) noexcept {
     case Hist::WrapDrift: return "wrap_drift";
     case Hist::Cond1Reduced: return "cond1_reduced";
     case Hist::SelResidual: return "sel_residual";
+    case Hist::TaskSeconds: return "task_seconds";
+    case Hist::QueueDepth: return "queue_depth";
     case Hist::kCount: break;
   }
   return "?";
@@ -206,6 +212,7 @@ const char* name(Gauge g) noexcept {
     case Gauge::WrapInterval: return "wrap_interval";
     case Gauge::FlushToZero: return "flush_to_zero";
     case Gauge::HealthSampleEvery: return "health_sample_every";
+    case Gauge::SchedWorkers: return "sched_workers";
     case Gauge::kCount: break;
   }
   return "?";

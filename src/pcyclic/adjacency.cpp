@@ -5,13 +5,15 @@
 #include <omp.h>
 
 #include "fsi/dense/blas.hpp"
+#include "fsi/sched/workspace_pool.hpp"
 
 namespace fsi::pcyclic {
 namespace {
 
-/// g - I (g must be square).
+/// g - I (g must be square).  Pool-backed: adjacency moves run thousands of
+/// times per batched FSI call, so their workspaces recycle.
 Matrix minus_identity(ConstMatrixView g) {
-  Matrix out = Matrix::copy_of(g);
+  Matrix out = sched::acquire_copy(g);
   for (index_t d = 0; d < out.rows(); ++d) out(d, d) -= 1.0;
   return out;
 }
@@ -54,7 +56,7 @@ Matrix BlockOps::up(index_t k, index_t l, ConstMatrixView g) const {
   //  k == l != 0    : G(k-1, l) =  B_k^-1 (G(k, k) - I)        [diagonal]
   //  k == 0, l != 0 : G(L-1, l) = -B_0^-1  G(0, l)             [first row]
   //  k == 0, l == 0 : G(L-1, 0) = -B_0^-1 (G(0, 0) - I)        [corner]
-  Matrix rhs = (k == l) ? minus_identity(g) : Matrix::copy_of(g);
+  Matrix rhs = (k == l) ? minus_identity(g) : sched::acquire_copy(g);
   if (k == 0) dense::scal(-1.0, rhs);
   lu(k).solve(rhs);
   return rhs;
@@ -67,7 +69,7 @@ Matrix BlockOps::down(index_t k, index_t l, ConstMatrixView g) const {
   //  k == L-1, l == 0   : G(0, 0)   = -B_0 G(L-1, 0) + I       [corner]
   const index_t lmax = num_blocks() - 1;
   const index_t kn = m_.wrap(k + 1);
-  Matrix out(block_size(), block_size());
+  Matrix out = sched::acquire(block_size(), block_size());
   const double sign = (k == lmax) ? -1.0 : 1.0;
   dense::gemm(dense::Trans::No, dense::Trans::No, sign, m_.b(kn), g, 0.0, out);
   if (kn == l) {  // landed on the diagonal (covers the corner case too)
@@ -81,7 +83,7 @@ Matrix BlockOps::left(index_t k, index_t l, ConstMatrixView g) const {
   //  l == k+1 (k!=L-1)  : G(k, k)   =  G(k, k+1) B_{k+1} + I   [sub-diagonal]
   //  l == 0, k != L-1   : G(k, L-1) = -G(k, 0) B_0             [first column]
   //  l == 0, k == L-1   : G(L-1,L-1)= -G(L-1, 0) B_0 + I       [corner]
-  Matrix out(block_size(), block_size());
+  Matrix out = sched::acquire(block_size(), block_size());
   const double sign = (l == 0) ? -1.0 : 1.0;
   dense::gemm(dense::Trans::No, dense::Trans::No, sign, g, m_.b(l), 0.0, out);
   if (m_.wrap(l - 1) == k) {  // landed on the diagonal
@@ -96,7 +98,7 @@ Matrix BlockOps::right(index_t k, index_t l, ConstMatrixView g) const {
   //  l == L-1, k != l : G(k, 0)   = -G(k, L-1) B_0^-1          [last column]
   //  k == l == L-1    : G(L-1, 0) = -(G(L-1,L-1) - I) B_0^-1   [corner]
   const index_t ln = m_.wrap(l + 1);
-  Matrix rhs = (k == l) ? minus_identity(g) : Matrix::copy_of(g);
+  Matrix rhs = (k == l) ? minus_identity(g) : sched::acquire_copy(g);
   if (l == num_blocks() - 1) dense::scal(-1.0, rhs);
   lu(ln).solve_right(rhs);
   return rhs;

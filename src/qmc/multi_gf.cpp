@@ -1,12 +1,25 @@
 #include "fsi/qmc/multi_gf.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
 #include "fsi/mpi/minimpi.hpp"
 #include "fsi/qmc/dqmc.hpp"
+#include "fsi/sched/scheduler.hpp"
+#include "fsi/sched/workspace_pool.hpp"
 #include "fsi/selinv/fsi.hpp"
 #include "fsi/util/flops.hpp"
 #include "fsi/util/timer.hpp"
 
 namespace fsi::qmc {
+
+namespace {
+
+/// Tag for the (task index, measurement payload) records sent to the root.
+constexpr int kTagTaskResults = 7;
+
+}  // namespace
 
 MultiGfResult run_parallel_fsi(const HubbardModel& model,
                                const MultiGfOptions& options) {
@@ -15,25 +28,45 @@ MultiGfResult run_parallel_fsi(const HubbardModel& model,
   const index_t m_total = options.num_matrices;
   const int ranks = options.num_ranks;
   FSI_CHECK(ranks > 0, "run_parallel_fsi: need at least one rank");
-  FSI_CHECK(m_total % ranks == 0,
-            "run_parallel_fsi: num_matrices must be divisible by num_ranks");
+  FSI_CHECK(m_total > 0, "run_parallel_fsi: need at least one matrix");
   const index_t c = (options.cluster_size > 0) ? options.cluster_size
                                                : default_cluster_size(l);
   FSI_CHECK(l % c == 0, "run_parallel_fsi: cluster size must divide L");
-  const index_t per_rank = m_total / ranks;
   const std::size_t field_len = static_cast<std::size_t>(l) * n;
   const index_t dmax = model.lattice().num_distance_classes();
+  const std::size_t payload_len = Measurements::serialized_size(l, dmax);
+  const std::size_t record_len = 1 + payload_len;  // [task index, payload]
 
-  MultiGfResult result{Measurements(l, dmax), 0.0, 0};
+  // Tasks [0, heavy_cutoff) run the full three-pattern wrap + SPXX; the rest
+  // measure equal-time only.  With the contiguous static preload the heavy
+  // front chunk lands on the low ranks — the skew the scheduler rebalances.
+  const double frac = std::clamp(options.heavy_fraction, 0.0, 1.0);
+  const index_t heavy_cutoff =
+      options.measure_time_dependent
+          ? static_cast<index_t>(
+                std::ceil(frac * static_cast<double>(m_total)))
+          : 0;
+
+  sched::SchedulerOptions sched_opts = sched::SchedulerOptions::from_env();
+  if (options.schedule == Schedule::Static) sched_opts.work_stealing = false;
+  sched::BatchScheduler scheduler(ranks, static_cast<std::uint32_t>(m_total),
+                                  sched_opts);
+
+  auto& pool = sched::WorkspacePool::global();
+  const std::uint64_t pool_hits0 = pool.hits();
+  const std::uint64_t pool_misses0 = pool.misses();
+
+  MultiGfResult result{Measurements(l, dmax), 0.0, 0, SchedSummary{}};
   util::flops::reset();
   util::WallTimer timer;
 
   mpi::run(
       ranks,
       [&](mpi::Communicator& comm) {
-        // --- On MPI_root: generate all HS fields, scatter them (Alg. 3:
-        // "generate a set of random parameters h on the MPI root process
-        // and scatter h to other MPI processes").
+        // --- On MPI_root: generate all HS fields, broadcast them (Alg. 3
+        // scatters the static shares; with task migration every rank may
+        // need any field, so the field table is broadcast instead — the
+        // same "parameters travel, matrices don't" trade as the paper's).
         std::vector<double> all_fields;
         if (comm.rank() == 0) {
           util::Rng root_rng(options.seed);
@@ -44,56 +77,122 @@ MultiGfResult run_parallel_fsi(const HubbardModel& model,
             all_fields.insert(all_fields.end(), buf.begin(), buf.end());
           }
         }
-        const std::vector<double> my_fields = comm.scatter(
-            all_fields, static_cast<std::size_t>(per_rank) * field_len, 0);
+        comm.bcast(all_fields, 0);
 
-        // --- On each MPI_process: per-matrix FSI + local measurements.
-        Measurements local(l, dmax);
-        util::Rng rank_rng(options.seed, static_cast<std::uint64_t>(comm.rank()) + 1);
-        for (index_t it = 0; it < per_rank; ++it) {
+        // --- On each MPI_process: scheduler-driven FSI + local
+        // measurements.  Everything inside the task body depends only on
+        // (seed, task index), so the batch result is invariant under rank
+        // count, thread count and steal order.
+        std::vector<double> done;  // [task, payload] records, fixed stride
+        scheduler.run_worker(comm.rank(), [&](std::uint32_t task) {
           const HsField field = HsField::deserialize(
-              l, n, my_fields.data() + static_cast<std::size_t>(it) * field_len,
+              l, n,
+              all_fields.data() + static_cast<std::size_t>(task) * field_len,
               field_len);
+          util::Rng task_rng(options.seed,
+                             static_cast<std::uint64_t>(task) + 1);
           const index_t q =
-              static_cast<index_t>(rank_rng.below(static_cast<std::uint64_t>(c)));
+              static_cast<index_t>(task_rng.below(static_cast<std::uint64_t>(c)));
           const pcyclic::Selection sel(l, c, q);
+          const bool heavy = static_cast<index_t>(task) < heavy_cutoff;
 
-          // Per spin: build M, CLS, BSOFI, then the three wrapping passes.
+          // Per spin: build M, CLS, BSOFI, then the wrapping passes; all
+          // intermediates cycle through the workspace pool.
           struct SpinBlocks {
             pcyclic::SelectedInversion diag, rows, cols;
           };
           auto compute = [&](Spin spin) {
             const pcyclic::PCyclicMatrix mat = model.build_m(field, spin);
             const pcyclic::BlockOps ops(mat);
-            const pcyclic::PCyclicMatrix reduced = selinv::cluster(mat, c, q);
-            const dense::Matrix gtilde = bsofi::invert(reduced);
-            return SpinBlocks{
+            pcyclic::PCyclicMatrix reduced = selinv::cluster(mat, c, q);
+            dense::Matrix gtilde = bsofi::invert(reduced);
+            reduced.release_blocks();
+            SpinBlocks blocks{
                 selinv::wrap(ops, gtilde, pcyclic::Pattern::AllDiagonals, sel),
-                selinv::wrap(ops, gtilde, pcyclic::Pattern::Rows, sel),
-                selinv::wrap(ops, gtilde, pcyclic::Pattern::Columns, sel)};
+                pcyclic::SelectedInversion(pcyclic::Pattern::Rows,
+                                           mat.block_size(), sel),
+                pcyclic::SelectedInversion(pcyclic::Pattern::Columns,
+                                           mat.block_size(), sel)};
+            if (heavy) {
+              blocks.rows =
+                  selinv::wrap(ops, gtilde, pcyclic::Pattern::Rows, sel);
+              blocks.cols =
+                  selinv::wrap(ops, gtilde, pcyclic::Pattern::Columns, sel);
+            }
+            sched::recycle(std::move(gtilde));
+            return blocks;
           };
-          const SpinBlocks up = compute(Spin::Up);
-          const SpinBlocks dn = compute(Spin::Down);
+          SpinBlocks up = compute(Spin::Up);
+          SpinBlocks dn = compute(Spin::Down);
 
-          // Local measurement quantities, computed in the OpenMP region.
-          local.add_sample(1.0);
+          // This task's measurement quantities.  Serial accumulation into a
+          // per-task buffer keeps the floating-point summation order fixed.
+          Measurements task_meas(l, dmax);
+          task_meas.add_sample(1.0);
           accumulate_equal_time(model.lattice(), up.diag, dn.diag,
-                                model.params().t, 1.0, true, local);
-          if (options.measure_time_dependent)
-            accumulate_spxx(model.lattice(), up.rows, up.cols, dn.rows, dn.cols,
-                            1.0, true, local);
-        }
+                                model.params().t, 1.0, false, task_meas);
+          if (heavy)
+            accumulate_spxx(model.lattice(), up.rows, up.cols, dn.rows,
+                            dn.cols, 1.0, false, task_meas);
+          for (SpinBlocks* s : {&up, &dn}) {
+            s->diag.release_blocks();
+            s->rows.release_blocks();
+            s->cols.release_blocks();
+          }
 
-        // --- MPI_Reduce of the local measurement quantities to the root.
-        const std::vector<double> reduced =
-            comm.reduce_sum(local.serialize(), 0);
-        if (comm.rank() == 0)
-          result.global = Measurements::deserialize(l, dmax, reduced);
+          done.push_back(static_cast<double>(task));
+          const std::vector<double> payload = task_meas.serialize();
+          done.insert(done.end(), payload.begin(), payload.end());
+        });
+
+        // --- Merge on the root in ascending task order (a deterministic
+        // replacement for Alg. 3's MPI_Reduce: the records carry their task
+        // index, so the summation order never depends on placement).
+        if (comm.rank() == 0) {
+          std::vector<std::vector<double>> payloads(
+              static_cast<std::size_t>(m_total));
+          std::vector<bool> seen(static_cast<std::size_t>(m_total), false);
+          auto ingest = [&](const std::vector<double>& records) {
+            FSI_CHECK(records.size() % record_len == 0,
+                      "run_parallel_fsi: malformed task-result records");
+            for (std::size_t off = 0; off < records.size();
+                 off += record_len) {
+              const auto task = static_cast<std::size_t>(records[off]);
+              FSI_CHECK(task < static_cast<std::size_t>(m_total) &&
+                            !seen[task],
+                        "run_parallel_fsi: duplicate or out-of-range task");
+              seen[task] = true;
+              payloads[task].assign(records.begin() + off + 1,
+                                    records.begin() + off + record_len);
+            }
+          };
+          ingest(done);
+          for (int r = 1; r < comm.size(); ++r)
+            ingest(comm.recv(r, kTagTaskResults));
+          Measurements global(l, dmax);
+          for (index_t t = 0; t < m_total; ++t) {
+            FSI_CHECK(seen[static_cast<std::size_t>(t)],
+                      "run_parallel_fsi: task result missing");
+            global.merge(Measurements::deserialize(
+                l, dmax, payloads[static_cast<std::size_t>(t)]));
+          }
+          result.global = global;
+        } else {
+          comm.send(0, kTagTaskResults, std::move(done));
+        }
       },
       options.omp_threads_per_rank);
 
   result.seconds = timer.seconds();
   result.flops = util::flops::total();
+  result.sched.workers = scheduler.workers();
+  result.sched.tasks = scheduler.tasks();
+  result.sched.steal_batches = scheduler.total_steal_batches();
+  result.sched.stolen_tasks = scheduler.total_stolen_tasks();
+  result.sched.busy_max_seconds = scheduler.busy_max_seconds();
+  result.sched.busy_mean_seconds = scheduler.busy_mean_seconds();
+  result.sched.pool_hits = pool.hits() - pool_hits0;
+  result.sched.pool_misses = pool.misses() - pool_misses0;
   return result;
 }
 

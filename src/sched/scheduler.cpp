@@ -1,0 +1,124 @@
+#include "fsi/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "fsi/obs/env.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/util/check.hpp"
+#include "fsi/util/timer.hpp"
+
+namespace fsi::sched {
+
+SchedulerOptions SchedulerOptions::from_env() {
+  SchedulerOptions o;
+  o.work_stealing = obs::env_flag("FSI_SCHED", true);
+  o.backoff_us = static_cast<int>(
+      std::max(0L, obs::env_long("FSI_SCHED_BACKOFF_US", 50)));
+  return o;
+}
+
+BatchScheduler::BatchScheduler(int num_workers, std::uint32_t num_tasks,
+                               SchedulerOptions options)
+    : num_workers_(num_workers), num_tasks_(num_tasks), options_(options),
+      remaining_(num_tasks) {
+  FSI_CHECK(num_workers > 0, "BatchScheduler: need at least one worker");
+  deques_.reserve(static_cast<std::size_t>(num_workers));
+  stats_.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    deques_.push_back(std::make_unique<TaskDeque>());
+    stats_.push_back(std::make_unique<WorkerStats>());
+  }
+  // Contiguous preload, identical to the old static split for divisible
+  // batches and balanced to within one task otherwise.
+  const std::uint64_t t = num_tasks, ws = static_cast<std::uint64_t>(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(t * static_cast<std::uint64_t>(w) / ws);
+    const std::uint32_t hi = static_cast<std::uint32_t>(t * (static_cast<std::uint64_t>(w) + 1) / ws);
+    for (std::uint32_t task = lo; task < hi; ++task) deques_[static_cast<std::size_t>(w)]->push(task);
+  }
+  obs::metrics::set(obs::metrics::Gauge::SchedWorkers,
+                    static_cast<double>(num_workers));
+}
+
+void BatchScheduler::run_worker(
+    int worker, const std::function<void(std::uint32_t)>& body) {
+  FSI_CHECK(worker >= 0 && worker < num_workers_,
+            "BatchScheduler: worker id out of range");
+  TaskDeque& mine = *deques_[static_cast<std::size_t>(worker)];
+  WorkerStats& st = *stats_[static_cast<std::size_t>(worker)];
+  std::vector<std::uint32_t> batch;
+
+  for (;;) {
+    std::uint32_t task;
+    if (mine.pop(task)) {
+      obs::metrics::record(obs::metrics::Hist::QueueDepth,
+                           static_cast<double>(mine.size()));
+      util::WallTimer timer;
+      body(task);
+      const double s = timer.seconds();
+      st.busy_seconds += s;
+      ++st.executed;
+      obs::metrics::add(obs::metrics::Counter::SchedTasks, 1);
+      obs::metrics::record(obs::metrics::Hist::TaskSeconds, s);
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    if (options_.work_stealing && num_workers_ > 1) {
+      bool stole = false;
+      for (int i = 1; i < num_workers_ && !stole; ++i) {
+        TaskDeque& victim =
+            *deques_[static_cast<std::size_t>((worker + i) % num_workers_)];
+        batch.clear();
+        if (victim.steal_half(batch) > 0) {
+          for (std::uint32_t b : batch) mine.push(b);
+          ++st.steal_batches;
+          st.stolen_tasks += batch.size();
+          obs::metrics::add(obs::metrics::Counter::SchedSteals, 1);
+          stole = true;
+        }
+      }
+      if (stole) continue;
+    }
+    // Nothing runnable right now, but tasks are still in flight elsewhere:
+    // back off and re-check rather than spinning on the victim locks.
+    if (options_.backoff_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.backoff_us));
+    else
+      std::this_thread::yield();
+  }
+}
+
+const WorkerStats& BatchScheduler::stats(int worker) const {
+  FSI_CHECK(worker >= 0 && worker < num_workers_,
+            "BatchScheduler: worker id out of range");
+  return *stats_[static_cast<std::size_t>(worker)];
+}
+
+std::uint64_t BatchScheduler::total_steal_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s->steal_batches;
+  return total;
+}
+
+std::uint64_t BatchScheduler::total_stolen_tasks() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s->stolen_tasks;
+  return total;
+}
+
+double BatchScheduler::busy_max_seconds() const {
+  double mx = 0.0;
+  for (const auto& s : stats_) mx = std::max(mx, s->busy_seconds);
+  return mx;
+}
+
+double BatchScheduler::busy_mean_seconds() const {
+  double sum = 0.0;
+  for (const auto& s : stats_) sum += s->busy_seconds;
+  return num_workers_ > 0 ? sum / num_workers_ : 0.0;
+}
+
+}  // namespace fsi::sched

@@ -1,0 +1,93 @@
+// Doc-drift guard: the FSI_* environment-variable table in
+// docs/parallelism.md must list exactly the variables the sources read.
+// The scan covers every env read in src/ and include/ — obs/env.hpp helpers
+// (env_flag / env_long / env_double) and raw std::getenv — so adding an env
+// var without documenting it (or documenting one that no longer exists)
+// fails this test.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string join(const std::set<std::string>& s) {
+  std::string out;
+  for (const auto& v : s) {
+    if (!out.empty()) out += ", ";
+    out += v;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+TEST(DocsEnvVars, ParallelismTableMatchesSourceReads) {
+  const fs::path root = FSI_SOURCE_DIR;
+
+  // --- Documented set: `FSI_*` tokens between the table markers.
+  const std::string doc = slurp(root / "docs" / "parallelism.md");
+  const std::string begin_marker = "<!-- env-vars:begin -->";
+  const std::string end_marker = "<!-- env-vars:end -->";
+  const auto begin = doc.find(begin_marker);
+  const auto end = doc.find(end_marker);
+  ASSERT_NE(begin, std::string::npos) << "missing " << begin_marker;
+  ASSERT_NE(end, std::string::npos) << "missing " << end_marker;
+  ASSERT_LT(begin, end) << "markers out of order";
+  const std::string table = doc.substr(begin, end - begin);
+
+  const std::regex doc_re("`(FSI_[A-Z0-9_]+)`");
+  std::set<std::string> documented;
+  for (auto it = std::sregex_iterator(table.begin(), table.end(), doc_re);
+       it != std::sregex_iterator(); ++it)
+    documented.insert((*it)[1].str());
+  ASSERT_FALSE(documented.empty()) << "env-var table is empty";
+
+  // --- Used set: string literals fed to an env-read call anywhere in the
+  // library sources (tests/ and bench/ excluded: they fabricate variables).
+  const std::regex read_re(
+      "(?:env_flag|env_long|env_double|getenv)\\s*\\(\\s*\"(FSI_[A-Z0-9_]+)\"");
+  std::set<std::string> used;
+  for (const char* top : {"src", "include"}) {
+    for (const auto& entry : fs::recursive_directory_iterator(root / top)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      const std::string text = slurp(entry.path());
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), read_re);
+           it != std::sregex_iterator(); ++it)
+        used.insert((*it)[1].str());
+    }
+  }
+  ASSERT_FALSE(used.empty()) << "no env reads found — scan broken?";
+
+  std::set<std::string> undocumented, stale;
+  for (const auto& v : used)
+    if (!documented.count(v)) undocumented.insert(v);
+  for (const auto& v : documented)
+    if (!used.count(v)) stale.insert(v);
+
+  EXPECT_TRUE(undocumented.empty())
+      << "env vars read by the sources but missing from the "
+         "docs/parallelism.md table: "
+      << join(undocumented);
+  EXPECT_TRUE(stale.empty())
+      << "env vars documented in docs/parallelism.md but never read by the "
+         "sources: "
+      << join(stale);
+}
+
+}  // namespace

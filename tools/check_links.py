@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Usage: check_links.py [FILE_OR_DIR ...]
+
+Scans the given markdown files (directories are searched recursively for
+*.md) for inline links and validates every relative target against the
+filesystem. External links (http/https/mailto) and pure in-page anchors
+(#...) are skipped; anchors on relative targets are stripped before the
+existence check. Exits 1 listing every dead link.
+
+CI runs this over README.md and docs/ so that file moves and renames cannot
+leave dead cross-references behind.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def collect_files(args: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        else:
+            files.append(p)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path}:{line}: dead link -> {target}")
+    return errors
+
+
+def main() -> int:
+    args = sys.argv[1:] or ["README.md", "docs"]
+    files = collect_files(args)
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{len(errors)} dead links" + (" — FAIL" if errors else " — OK"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
