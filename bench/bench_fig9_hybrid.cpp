@@ -23,9 +23,12 @@
 #include "fsi/util/fpenv.hpp"
 
 #include <map>
+#include <thread>
 
 #include "fsi/mpi/edison_model.hpp"
+#include "fsi/mpi/minimpi.hpp"
 #include "fsi/qmc/multi_gf.hpp"
+#include "fsi/sched/executor.hpp"
 
 int main(int argc, char** argv) {
   fsi::util::enable_flush_to_zero();
@@ -150,6 +153,51 @@ int main(int argc, char** argv) {
               skew.num_matrices, skew.heavy_fraction, demo_ranks);
   ab.print();
 
+  // (e) batch-dispatch overhead: DQMC sweeps dispatch thousands of small
+  // batches, so the per-batch cost of standing up the rank team matters.
+  // The persistent executor pool wakes sleeping workers through a condition
+  // variable; the old implementation spawned and joined one std::thread per
+  // rank per batch.  Time both on empty rank bodies.
+  const int dispatch_reps = cli.get_int("dispatch-reps", 200);
+  auto empty_body = [](mpi::Communicator& comm) { comm.barrier(); };
+  (void)sched::Executor::instance();  // pool already warm from (c)/(d)
+  mpi::run(demo_ranks, empty_body, 1);
+  util::WallTimer persist_timer;
+  for (int i = 0; i < dispatch_reps; ++i) mpi::run(demo_ranks, empty_body, 1);
+  const double dispatch_us_persistent =
+      persist_timer.seconds() / dispatch_reps * 1e6;
+  util::WallTimer spawn_timer;
+  for (int i = 0; i < dispatch_reps; ++i) {
+    std::vector<std::thread> team;
+    team.reserve(static_cast<std::size_t>(demo_ranks));
+    for (int rk = 0; rk < demo_ranks; ++rk) team.emplace_back([] {});
+    for (std::thread& th : team) th.join();
+  }
+  const double dispatch_us_spawn = spawn_timer.seconds() / dispatch_reps * 1e6;
+  const double dispatch_speedup =
+      dispatch_us_persistent > 0 ? dispatch_us_spawn / dispatch_us_persistent
+                                 : 1.0;
+  std::printf("\nbatch-dispatch overhead (%d empty %d-rank batches):\n"
+              "  persistent pool : %8.1f us/batch\n"
+              "  spawn-per-batch : %8.1f us/batch  (%.1fx slower)\n",
+              dispatch_reps, demo_ranks, dispatch_us_persistent,
+              dispatch_us_spawn, dispatch_speedup);
+
+  // Graph-granularity telemetry from the stealing run of section (d): node
+  // count, critical path and per-stage busy seconds (zero when FSI_EXEC=0
+  // forced the batch back onto the coarse BatchScheduler path).
+  if (steal.sched.graph_nodes > 0) {
+    std::printf("\ntask-graph telemetry (stealing run): %llu nodes, critical "
+                "path %.3f s,\n  mean ready depth %.1f, stage busy s: build "
+                "%.3f cls %.3f bsofi %.3f wrap %.3f measure %.3f\n",
+                static_cast<unsigned long long>(steal.sched.graph_nodes),
+                steal.sched.critical_path_seconds,
+                steal.sched.ready_depth_mean, steal.sched.stage_build_seconds,
+                steal.sched.stage_cls_seconds, steal.sched.stage_bsofi_seconds,
+                steal.sched.stage_wrap_seconds,
+                steal.sched.stage_measure_seconds);
+  }
+
   telemetry.add_info("N", static_cast<double>(n_meas));
   telemetry.add_info("L", static_cast<double>(l_meas));
   telemetry.add_info("demo_ranks", static_cast<double>(demo_ranks));
@@ -160,12 +208,34 @@ int main(int argc, char** argv) {
   telemetry.add_metric("sched_balance_static", stat.sched.balance(), "ratio",
                        false, false);
   telemetry.add_metric("sched_balance_stealing", steal.sched.balance(),
-                       "ratio", false, false);
+                       "ratio", true, false);
   telemetry.add_metric("sched_steal_batches",
                        static_cast<double>(steal.sched.steal_batches), "count");
   telemetry.add_metric("sched_wall_static_s", stat.seconds, "s", false, false);
   telemetry.add_metric("sched_wall_stealing_s", steal.seconds, "s", false,
                        false);
+  telemetry.add_metric("dispatch_us_persistent", dispatch_us_persistent, "us",
+                       false, false);
+  telemetry.add_metric("dispatch_us_spawn", dispatch_us_spawn, "us", false,
+                       false);
+  telemetry.add_metric("dispatch_speedup_vs_spawn", dispatch_speedup, "ratio",
+                       true, true);
+  telemetry.add_metric("graph_nodes",
+                       static_cast<double>(steal.sched.graph_nodes), "count");
+  telemetry.add_metric("graph_critical_path_s",
+                       steal.sched.critical_path_seconds, "s", false, false);
+  telemetry.add_metric("graph_ready_depth_mean", steal.sched.ready_depth_mean,
+                       "count");
+  telemetry.add_metric("graph_stage_build_s", steal.sched.stage_build_seconds,
+                       "s", false, false);
+  telemetry.add_metric("graph_stage_cls_s", steal.sched.stage_cls_seconds, "s",
+                       false, false);
+  telemetry.add_metric("graph_stage_bsofi_s", steal.sched.stage_bsofi_seconds,
+                       "s", false, false);
+  telemetry.add_metric("graph_stage_wrap_s", steal.sched.stage_wrap_seconds,
+                       "s", false, false);
+  telemetry.add_metric("graph_stage_measure_s",
+                       steal.sched.stage_measure_seconds, "s", false, false);
   finish_bench(telemetry);
   return 0;
 }

@@ -78,6 +78,11 @@ inline StageProfile profile_fsi(const pcyclic::PCyclicMatrix& m, index_t c,
   opts.c = c;
   opts.q = q;
   opts.pattern = pattern;
+  // Committed fig8/fig10 baselines were recorded with the OpenMP-loop
+  // pipeline, whose stage seconds are wall-clock deltas; the graph executor
+  // reports summed node-busy seconds instead, which would shift every gated
+  // per-stage ratio.  Keep the profiling benches pinned to the loop path.
+  opts.exec = selinv::FsiOptions::Exec::OmpLoops;
   util::Rng rng(1);
   selinv::FsiStats stats;
   // Pre-factored BlockOps, as in the DQMC production loop: the wrapping
@@ -110,20 +115,23 @@ inline bool init_trace(const util::Cli& cli) {
 
 /// If tracing is on: print the per-span summary and write the
 /// chrome://tracing JSON artifact (to $FSI_TRACE_FILE, default
-/// "<bench_name>.trace.json").  Call once at the end of a bench.
+/// "bench/artifacts/<bench_name>.trace.json" — see obs::artifact_dir()).
+/// Call once at the end of a bench.
 inline void finish_trace(const std::string& bench_name) {
   if (!obs::enabled()) return;
   std::printf("\n[trace] per-span summary:\n%s", obs::summary_str().c_str());
-  const std::string path = obs::write_trace_if_enabled(bench_name);
+  const std::string path =
+      obs::write_trace_if_enabled(obs::artifact_dir() + "/" + bench_name);
   if (!path.empty())
     std::printf("[trace] chrome://tracing JSON written to %s (open in "
                 "chrome://tracing or ui.perfetto.dev)\n", path.c_str());
 }
 
 /// End-of-bench epilogue: print the health summary (when the monitor is
-/// on), write the schema-versioned BENCH_<name>.json telemetry file (to
-/// $FSI_BENCH_DIR, default CWD), and emit the trace artifacts.  Every
-/// bench main calls this exactly once before returning.
+/// on), write the schema-versioned BENCH_<name>.json telemetry file and the
+/// trace artifacts (both under obs::artifact_dir(): $FSI_BENCH_DIR, default
+/// bench/artifacts).  Every bench main calls this exactly once before
+/// returning.
 inline void finish_bench(const obs::BenchTelemetry& telemetry) {
   if (obs::health::enabled()) {
     std::printf("\n[health] numerical-health summary:\n%s",

@@ -38,6 +38,8 @@ enum class Counter : int {
   PoolMisses,      ///< workspace-pool acquires that fell through to malloc
   SchedTasks,      ///< batch-scheduler tasks executed
   SchedSteals,     ///< successful steal-half operations
+  ExecNodes,       ///< task-graph nodes executed by the executor
+  ExecSteals,      ///< successful steal-half operations in graph runs
   kCount
 };
 
@@ -84,6 +86,8 @@ enum class Hist : int {
   SelResidual,    ///< sampled ||(M G_sel - I) block||_max spot checks
   TaskSeconds,    ///< per-task wall time in the batch scheduler
   QueueDepth,     ///< own-deque depth sampled at each scheduler pop
+  ReadyDepth,     ///< own-deque depth sampled at each graph-executor pop
+  NodeSeconds,    ///< per-node wall time in the graph executor
   kCount
 };
 
@@ -130,6 +134,7 @@ enum class Gauge : int {
   FlushToZero,        ///< 1 when FTZ/DAZ was enabled on the main thread
   HealthSampleEvery,  ///< residual spot-check sampling period (0 = off)
   SchedWorkers,       ///< workers of the most recent batch scheduler
+  ExecPoolWorkers,    ///< threads currently in the persistent executor pool
   kCount
 };
 

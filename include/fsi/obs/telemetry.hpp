@@ -18,7 +18,9 @@
 /// machine-stable *ratios* (efficiency vs DGEMM, speedup vs a baseline
 /// algorithm), not raw GFLOP/s, so baselines survive hardware changes.
 ///
-/// Output path: $FSI_BENCH_DIR/BENCH_<name>.json (default: CWD).
+/// Output path: $FSI_BENCH_DIR/BENCH_<name>.json (default: bench/artifacts,
+/// created on demand and gitignored — bench artifacts never land in the
+/// repository root).
 
 #include <string>
 #include <vector>
@@ -26,6 +28,12 @@
 namespace fsi::obs {
 
 inline constexpr const char* kBenchSchema = "fsi.bench.v1";
+
+/// Directory all bench artifacts (telemetry JSON, trace JSON) are written
+/// to: $FSI_BENCH_DIR when set, else "bench/artifacts" relative to the
+/// working directory.  Created (recursively) on first use; returned without
+/// a trailing slash.
+std::string artifact_dir();
 
 /// One exported bench metric.
 struct BenchMetric {
@@ -54,7 +62,7 @@ class BenchTelemetry {
   /// Full schema-versioned document (metrics + fingerprint + obs state).
   std::string json() const;
 
-  /// Serialise to $FSI_BENCH_DIR/BENCH_<name>.json (CWD when unset).
+  /// Serialise to artifact_dir()/BENCH_<name>.json.
   /// Returns the path written, or "" on I/O failure.
   std::string write() const;
 

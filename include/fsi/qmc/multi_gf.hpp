@@ -21,6 +21,7 @@
 /// the root merges the buffers in ascending task order.
 
 #include <cstdint>
+#include <vector>
 
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/qmc/measurements.hpp"
@@ -29,8 +30,19 @@ namespace fsi::qmc {
 
 /// How the batch of matrices is spread over the mini-MPI ranks.
 enum class Schedule {
-  WorkStealing,  ///< sched::BatchScheduler with stealing on (default)
+  WorkStealing,  ///< stealing on (default; batch scheduler or graph executor)
   Static,        ///< frozen contiguous split — the paper's Alg. 3 baseline
+};
+
+/// At which level the batch is decomposed into stealable units.
+enum class Granularity {
+  Auto,    ///< Fine when the FSI_EXEC env flag (default on) allows it
+  Coarse,  ///< one unit per matrix: mini-MPI ranks + BatchScheduler (Alg. 3)
+  Fine,    ///< one unit per FSI stage node: matrix assembly, each cluster
+           ///< product, BSOFI and each seed walk become task-graph nodes on
+           ///< the persistent executor pool, so a straggler matrix's b^2
+           ///< seed walks are stolen by idle workers.  Shared-memory only
+           ///< (no mini-MPI messaging); bit-identical to Coarse.
 };
 
 /// Options of one hybrid run (paper Fig. 9 sweeps ranks x threads with the
@@ -49,6 +61,7 @@ struct MultiGfOptions {
   /// measure_time_dependent is false.
   double heavy_fraction = 1.0;
   Schedule schedule = Schedule::WorkStealing;
+  Granularity granularity = Granularity::Auto;
   std::uint64_t seed = 99;
 };
 
@@ -62,6 +75,17 @@ struct SchedSummary {
   std::uint64_t pool_misses = 0;    ///< workspace-pool misses during the run
   double busy_max_seconds = 0.0;    ///< busiest rank's in-task wall time
   double busy_mean_seconds = 0.0;   ///< mean in-task wall time per rank
+  std::vector<double> busy_seconds; ///< per-worker in-task wall time
+
+  // --- graph-granularity telemetry (zero in Coarse mode) ------------------
+  std::uint64_t graph_nodes = 0;       ///< task-graph nodes executed
+  double critical_path_seconds = 0.0;  ///< duration-weighted longest chain
+  double ready_depth_mean = 0.0;       ///< own-deque depth sampled at pops
+  double stage_build_seconds = 0.0;    ///< summed matrix-assembly node time
+  double stage_cls_seconds = 0.0;      ///< summed cluster-product node time
+  double stage_bsofi_seconds = 0.0;    ///< summed BSOFI node time
+  double stage_wrap_seconds = 0.0;     ///< summed seed-walk node time
+  double stage_measure_seconds = 0.0;  ///< summed measurement node time
 
   /// Load balance as max/mean busy time; 1.0 is perfect, higher is worse.
   double balance() const {

@@ -78,6 +78,8 @@ class BatchScheduler {
   std::uint64_t total_stolen_tasks() const;
   double busy_max_seconds() const;
   double busy_mean_seconds() const;
+  /// Per-worker in-task wall time, for load-imbalance export.
+  std::vector<double> busy_seconds() const;
 
  private:
   int num_workers_;

@@ -27,6 +27,15 @@ class TaskDeque {
     q_.push_back(task);
   }
 
+  /// Prepend a task at the front.  The graph executor pushes newly-ready
+  /// successors here so the owner continues depth-first (bounding the live
+  /// intermediates of a task chain) while thieves still take the coarse
+  /// future work from the back.
+  void push_front(std::uint32_t task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    q_.push_front(task);
+  }
+
   /// Owner pop from the front.  Returns false when the deque is empty.
   bool pop(std::uint32_t& task) {
     std::lock_guard<std::mutex> lock(mu_);

@@ -20,11 +20,13 @@
 /// sampled uniformly.
 
 #include <cstdint>
+#include <vector>
 
 #include "fsi/bsofi/bsofi.hpp"
 #include "fsi/pcyclic/adjacency.hpp"
 #include "fsi/pcyclic/patterns.hpp"
 #include "fsi/pcyclic/pcyclic.hpp"
+#include "fsi/sched/task_graph.hpp"
 #include "fsi/util/rng.hpp"
 
 namespace fsi::selinv {
@@ -47,6 +49,18 @@ struct FsiOptions {
   /// false = the paper's "pure multi-threaded MKL" comparator (Figs. 8
   ///         bottom, 10, 11): serial outer loops, threaded kernels only.
   bool coarse_parallel = true;
+  /// How the stage parallelism is executed.
+  ///   Auto     — Graph when coarse_parallel and the FSI_EXEC env flag
+  ///              (default on) allows it, else OmpLoops;
+  ///   Graph    — decompose into a dependency-aware task graph run on the
+  ///              persistent executor pool (cluster products, BSOFI and
+  ///              seed walks become stealable nodes);
+  ///   OmpLoops — flat OpenMP loops per stage (the pre-executor behaviour,
+  ///              kept as an A/B baseline; bit-identical results).
+  /// Note: coarse_parallel == false always executes serial loops — it is
+  /// the paper's pure-MKL comparator and must stay loop-shaped.
+  enum class Exec { Auto, Graph, OmpLoops };
+  Exec exec = Exec::Auto;
 };
 
 /// Per-stage timings and flop counts of one FSI run (for the Fig. 8/10
@@ -74,6 +88,24 @@ struct FsiStats {
 /// cyclic in the block index.  Cluster products run in parallel (OpenMP).
 pcyclic::PCyclicMatrix cluster(const pcyclic::PCyclicMatrix& m, index_t c,
                                index_t q, bool parallel = true);
+
+/// One cluster product B~_i — the body of one CLS loop iteration / graph
+/// node.  Pool-backed; safe to call concurrently for distinct \p i.
+dense::Matrix cluster_product(const pcyclic::PCyclicMatrix& m, index_t c,
+                              index_t q, index_t i);
+
+/// Number of independent seed walks of one wrapping stage: b for the
+/// diagonal-family patterns, b^2 for Columns/Rows (paper Alg. 2).
+index_t num_wrap_seeds(Pattern pattern, index_t b);
+
+/// One seed walk — the body of one WRP loop iteration / graph node.  Grows
+/// the blocks reachable from linearised seed index \p seed (Columns:
+/// seed = l0*b + k0; Rows: seed = k0*b + l0; diagonal family: seed = k0)
+/// into \p out.  Distinct seeds write disjoint slots, so concurrent walks
+/// need no locking.
+void wrap_seed(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
+               Pattern pattern, const pcyclic::Selection& sel,
+               pcyclic::SelectedInversion& out, index_t seed);
 
 /// Stage 3 (WRP): grow the selected inversion from the reduced inverse
 /// \p gtilde (a dense bN x bN matrix, as produced by bsofi::invert).
@@ -109,6 +141,47 @@ std::vector<pcyclic::SelectedInversion> fsi_multi(
     const pcyclic::PCyclicMatrix& m, const pcyclic::BlockOps& ops,
     const std::vector<Pattern>& patterns, const FsiOptions& opts,
     util::Rng& rng, FsiStats* stats = nullptr);
+
+/// Storage of one FSI decomposed into graph nodes.  The caller owns this
+/// object and must keep it (and the referenced matrix/ops) alive until the
+/// graph has run; node bodies write disjoint parts of it:
+///   - cluster node i writes cls_blocks[i];
+///   - the BSOFI node assembles the reduced matrix from cls_blocks
+///     (recycling them) and writes gtilde + the stage flop fences;
+///   - wrap node (p, seed) writes disjoint slots of results[p].
+/// After the run the caller recycles gtilde and harvests results.
+struct FsiGraphTask {
+  const pcyclic::PCyclicMatrix* m = nullptr;
+  const pcyclic::BlockOps* ops = nullptr;
+  pcyclic::Selection sel{1, 1, 0};
+  std::vector<Pattern> patterns;
+
+  std::vector<dense::Matrix> cls_blocks;          ///< filled by CLS nodes
+  dense::Matrix gtilde;                           ///< filled by the BSOFI node
+  std::vector<pcyclic::SelectedInversion> results;  ///< one per pattern
+
+  /// Global flop-counter fences recorded by the BSOFI node at entry/exit.
+  /// Dependencies order the stages inside one graph, so for a lone FSI run
+  /// these attribute flops per stage exactly (same external-concurrency
+  /// caveat as the loop-mode flop scopes).
+  std::uint64_t flops_at_cls_end = 0;
+  std::uint64_t flops_at_bsofi_end = 0;
+};
+
+/// Node ids of one emitted FSI, for wiring cross-task dependencies (e.g. a
+/// measurement node that needs every wrap walk of a task).
+struct FsiEmit {
+  sched::NodeId bsofi = 0;
+  std::vector<sched::NodeId> wrap_nodes;
+};
+
+/// Decompose one FSI into graph nodes: b cluster-product nodes, one BSOFI
+/// node depending on them, and one node per wrap seed walk (per pattern)
+/// depending on BSOFI.  \p task must have m/ops/sel/patterns set; its
+/// storage fields are sized here.  All nodes carry \p owner_hint, so with
+/// stealing disabled an entire task runs on its statically assigned worker.
+FsiEmit emit_fsi_tasks(sched::TaskGraph& graph, FsiGraphTask& task,
+                       int owner_hint = 0);
 
 /// Stable computation of the single equal-time block G(k, k) via CLS and a
 /// *partial* BSOFI (one block row of the reduced inverse, O(b N^3) instead

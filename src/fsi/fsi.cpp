@@ -8,8 +8,10 @@
 
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/norms.hpp"
+#include "fsi/obs/env.hpp"
 #include "fsi/obs/health.hpp"
 #include "fsi/obs/trace.hpp"
+#include "fsi/sched/executor.hpp"
 #include "fsi/sched/workspace_pool.hpp"
 #include "fsi/util/flops.hpp"
 #include "fsi/util/timer.hpp"
@@ -45,6 +47,24 @@ class StageMeter {
 
 }  // namespace
 
+dense::Matrix cluster_product(const PCyclicMatrix& m, index_t c, index_t q,
+                              index_t i) {
+  // Cluster i covers the c consecutive blocks ending at j0 = c(i+1)-q-1:
+  //   B~_i = B[j0] B[j0-1] ... B[j0-c+1]  (indices cyclic).
+  FSI_OBS_SPAN("cls.cluster");
+  const index_t n = m.block_size();
+  const index_t j_lo = c * i - q;  // j0 - c + 1
+  dense::Matrix prod = sched::acquire_copy(m.b(m.wrap(j_lo)));
+  dense::Matrix next = sched::acquire(n, n);
+  for (index_t t = 1; t < c; ++t) {
+    dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, m.b(m.wrap(j_lo + t)),
+                prod, 0.0, next);
+    std::swap(prod, next);
+  }
+  sched::recycle(std::move(next));
+  return prod;
+}
+
 PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
                       bool parallel) {
   const index_t l = m.num_blocks();
@@ -54,24 +74,11 @@ PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
   const index_t n = m.block_size();
 
   PCyclicMatrix reduced(n, b);
-  // Cluster i covers the c consecutive blocks ending at j0 = c(i+1)-q-1:
-  //   B~_i = B[j0] B[j0-1] ... B[j0-c+1]  (indices cyclic).
   // Clusters are data-independent: "iterations for clustering B_i's can be
   // executed in embarrassingly parallel" (paper Sec. II-C).
 #pragma omp parallel for schedule(dynamic) if (parallel)
-  for (index_t i = 0; i < b; ++i) {
-    FSI_OBS_SPAN("cls.cluster");
-    const index_t j_lo = c * i - q;  // j0 - c + 1
-    dense::Matrix prod = sched::acquire_copy(m.b(m.wrap(j_lo)));
-    dense::Matrix next = sched::acquire(n, n);
-    for (index_t t = 1; t < c; ++t) {
-      dense::gemm(dense::Trans::No, dense::Trans::No, 1.0, m.b(m.wrap(j_lo + t)),
-                  prod, 0.0, next);
-      std::swap(prod, next);
-    }
-    reduced.b_matrix(i) = std::move(prod);
-    sched::recycle(std::move(next));
-  }
+  for (index_t i = 0; i < b; ++i)
+    reduced.b_matrix(i) = cluster_product(m, c, q, i);
   return reduced;
 }
 
@@ -147,6 +154,148 @@ void residual_spot_check(const PCyclicMatrix& m, const SelectedInversion& out,
 
 }  // namespace
 
+index_t num_wrap_seeds(Pattern pattern, index_t b) {
+  switch (pattern) {
+    case Pattern::Diagonal:
+    case Pattern::SubDiagonal:
+    case Pattern::AllDiagonals:
+      return b;
+    case Pattern::Columns:
+    case Pattern::Rows:
+      return b * b;
+  }
+  return 0;
+}
+
+void wrap_seed(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
+               Pattern pattern, const Selection& sel, SelectedInversion& out,
+               index_t seed) {
+  FSI_OBS_SPAN("wrp.seed");
+  const index_t n = ops.block_size();
+  const index_t l = ops.num_blocks();
+  const index_t b = sel.b();
+  const auto idx = sel.indices();
+  const index_t up_steps = (sel.c - 1) / 2;
+  const index_t down_steps = sel.c / 2;
+
+  switch (pattern) {
+    case Pattern::Diagonal: {
+      // S1 is exactly the diagonal seeds — no adjacency moves needed.
+      const index_t k0 = seed;
+      out.slot(idx[k0], idx[k0]) = seed_block(gtilde, n, k0, k0);
+      break;
+    }
+    case Pattern::SubDiagonal: {
+      // One rightward move from each diagonal seed (skip k = L-1, whose
+      // sub-diagonal neighbour leaves the matrix per the paper's S2).
+      const index_t k0 = seed;
+      const index_t k = idx[k0];
+      if (k == l - 1) break;
+      dense::Matrix sb = seed_block(gtilde, n, k0, k0);
+      out.slot(k, k + 1) = ops.right(k, k, sb);
+      sched::recycle(std::move(sb));
+      break;
+    }
+    case Pattern::Columns: {
+      // Paper Alg. 2: each of the b^2 seeds fills the c rows around it in
+      // its column; two independent walks minimise error accumulation.
+      const index_t l0 = seed / b;
+      const index_t k0 = seed % b;
+      const index_t col = idx[l0];
+      const index_t row = idx[k0];
+      // Two independent walks from one seed; every intermediate and
+      // every stored copy cycles through the workspace pool.
+      dense::Matrix sb = seed_block(gtilde, n, k0, l0);
+      dense::Matrix cur = sched::acquire_copy(sb);
+      index_t k = row;
+      for (index_t s = 0; s < up_steps; ++s) {
+        dense::Matrix next = ops.up(k, col, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        k = ops.matrix().wrap(k - 1);
+        out.slot(k, col) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      k = row;
+      out.slot(k, col) = sched::acquire_copy(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        dense::Matrix next = ops.down(k, col, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        k = ops.matrix().wrap(k + 1);
+        out.slot(k, col) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+    case Pattern::AllDiagonals: {
+      // Diagonal walk: G(k+1,k+1) = B_{k+1} G(k,k) B_{k+1}^-1 and its
+      // inverse move, composed from one vertical and one horizontal
+      // adjacency step each (the "Hirsch wrapping" for equal-time blocks).
+      const index_t k0 = seed;
+      const index_t row = idx[k0];
+      dense::Matrix sb = seed_block(gtilde, n, k0, k0);
+      dense::Matrix cur = sched::acquire_copy(sb);
+      index_t k = row;
+      for (index_t s = 0; s < up_steps; ++s) {
+        // up-left: G(k-1, k-1) = B_k^-1 G(k, k) B_k.
+        dense::Matrix mid = ops.up(k, k, cur);
+        sched::recycle(std::move(cur));
+        cur = ops.left(ops.matrix().wrap(k - 1), k, mid);
+        sched::recycle(std::move(mid));
+        k = ops.matrix().wrap(k - 1);
+        out.slot(k, k) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      k = row;
+      out.slot(k, k) = sched::acquire_copy(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        // down-right: G(k+1, k+1) = B_{k+1} G(k, k) B_{k+1}^-1.
+        dense::Matrix mid = ops.down(k, k, cur);
+        sched::recycle(std::move(cur));
+        cur = ops.right(ops.matrix().wrap(k + 1), k, mid);
+        sched::recycle(std::move(mid));
+        k = ops.matrix().wrap(k + 1);
+        out.slot(k, k) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+    case Pattern::Rows: {
+      // Mirror of the column wrap using the horizontal relations (Eqs. 6/7).
+      const index_t k0 = seed / b;
+      const index_t l0 = seed % b;
+      const index_t row = idx[k0];
+      const index_t col = idx[l0];
+      dense::Matrix sb = seed_block(gtilde, n, k0, l0);
+      dense::Matrix cur = sched::acquire_copy(sb);
+      index_t cl = col;
+      for (index_t s = 0; s < up_steps; ++s) {
+        dense::Matrix next = ops.left(row, cl, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        cl = ops.matrix().wrap(cl - 1);
+        out.slot(row, cl) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      cl = col;
+      out.slot(row, cl) = sched::acquire_copy(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        dense::Matrix next = ops.right(row, cl, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        cl = ops.matrix().wrap(cl + 1);
+        out.slot(row, cl) = sched::acquire_copy(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+  }
+}
+
 SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
                        Pattern pattern, const Selection& sel, bool parallel) {
   const index_t n = ops.block_size();
@@ -157,142 +306,143 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
   FSI_CHECK(sel.l_total == l, "wrap: selection does not match the matrix");
 
   SelectedInversion out(pattern, n, sel);
-  const auto idx = sel.indices();
-  const index_t up_steps = (sel.c - 1) / 2;
-  const index_t down_steps = sel.c / 2;
-
-  switch (pattern) {
-    case Pattern::Diagonal: {
-      // S1 is exactly the diagonal seeds — no adjacency moves needed.
-      for (index_t k0 = 0; k0 < b; ++k0)
-        out.slot(idx[k0], idx[k0]) = seed_block(gtilde, n, k0, k0);
-      break;
-    }
-    case Pattern::SubDiagonal: {
-      // One rightward move from each diagonal seed (skip k = L-1, whose
-      // sub-diagonal neighbour leaves the matrix per the paper's S2).
-#pragma omp parallel for schedule(dynamic) if (parallel)
-      for (index_t k0 = 0; k0 < b; ++k0) {
-        FSI_OBS_SPAN("wrp.seed");
-        const index_t k = idx[k0];
-        if (k == l - 1) continue;
-        dense::Matrix seed = seed_block(gtilde, n, k0, k0);
-        out.slot(k, k + 1) = ops.right(k, k, seed);
-        sched::recycle(std::move(seed));
-      }
-      break;
-    }
-    case Pattern::Columns: {
-      // Paper Alg. 2: each of the b^2 seeds fills the c rows around it in
-      // its column; two independent walks minimise error accumulation.
-#pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
-      for (index_t l0 = 0; l0 < b; ++l0) {
-        for (index_t k0 = 0; k0 < b; ++k0) {
-          FSI_OBS_SPAN("wrp.seed");
-          const index_t col = idx[l0];
-          const index_t row = idx[k0];
-          // Two independent walks from one seed; every intermediate and
-          // every stored copy cycles through the workspace pool.
-          dense::Matrix seed = seed_block(gtilde, n, k0, l0);
-          dense::Matrix cur = sched::acquire_copy(seed);
-          index_t k = row;
-          for (index_t s = 0; s < up_steps; ++s) {
-            dense::Matrix next = ops.up(k, col, cur);
-            sched::recycle(std::move(cur));
-            cur = std::move(next);
-            k = ops.matrix().wrap(k - 1);
-            out.slot(k, col) = sched::acquire_copy(cur);
-          }
-          sched::recycle(std::move(cur));
-          cur = std::move(seed);
-          k = row;
-          out.slot(k, col) = sched::acquire_copy(cur);
-          for (index_t s = 0; s < down_steps; ++s) {
-            dense::Matrix next = ops.down(k, col, cur);
-            sched::recycle(std::move(cur));
-            cur = std::move(next);
-            k = ops.matrix().wrap(k + 1);
-            out.slot(k, col) = sched::acquire_copy(cur);
-          }
-          sched::recycle(std::move(cur));
-        }
-      }
-      break;
-    }
-    case Pattern::AllDiagonals: {
-      // Diagonal walk: G(k+1,k+1) = B_{k+1} G(k,k) B_{k+1}^-1 and its
-      // inverse move, composed from one vertical and one horizontal
-      // adjacency step each (the "Hirsch wrapping" for equal-time blocks).
-#pragma omp parallel for schedule(dynamic) if (parallel)
-      for (index_t k0 = 0; k0 < b; ++k0) {
-        FSI_OBS_SPAN("wrp.seed");
-        const index_t row = idx[k0];
-        dense::Matrix seed = seed_block(gtilde, n, k0, k0);
-        dense::Matrix cur = sched::acquire_copy(seed);
-        index_t k = row;
-        for (index_t s = 0; s < up_steps; ++s) {
-          // up-left: G(k-1, k-1) = B_k^-1 G(k, k) B_k.
-          dense::Matrix mid = ops.up(k, k, cur);
-          sched::recycle(std::move(cur));
-          cur = ops.left(ops.matrix().wrap(k - 1), k, mid);
-          sched::recycle(std::move(mid));
-          k = ops.matrix().wrap(k - 1);
-          out.slot(k, k) = sched::acquire_copy(cur);
-        }
-        sched::recycle(std::move(cur));
-        cur = std::move(seed);
-        k = row;
-        out.slot(k, k) = sched::acquire_copy(cur);
-        for (index_t s = 0; s < down_steps; ++s) {
-          // down-right: G(k+1, k+1) = B_{k+1} G(k, k) B_{k+1}^-1.
-          dense::Matrix mid = ops.down(k, k, cur);
-          sched::recycle(std::move(cur));
-          cur = ops.right(ops.matrix().wrap(k + 1), k, mid);
-          sched::recycle(std::move(mid));
-          k = ops.matrix().wrap(k + 1);
-          out.slot(k, k) = sched::acquire_copy(cur);
-        }
-        sched::recycle(std::move(cur));
-      }
-      break;
-    }
-    case Pattern::Rows: {
-      // Mirror of the column wrap using the horizontal relations (Eqs. 6/7).
-#pragma omp parallel for collapse(2) schedule(dynamic) if (parallel)
-      for (index_t k0 = 0; k0 < b; ++k0) {
-        for (index_t l0 = 0; l0 < b; ++l0) {
-          FSI_OBS_SPAN("wrp.seed");
-          const index_t row = idx[k0];
-          const index_t col = idx[l0];
-          dense::Matrix seed = seed_block(gtilde, n, k0, l0);
-          dense::Matrix cur = sched::acquire_copy(seed);
-          index_t cl = col;
-          for (index_t s = 0; s < up_steps; ++s) {
-            dense::Matrix next = ops.left(row, cl, cur);
-            sched::recycle(std::move(cur));
-            cur = std::move(next);
-            cl = ops.matrix().wrap(cl - 1);
-            out.slot(row, cl) = sched::acquire_copy(cur);
-          }
-          sched::recycle(std::move(cur));
-          cur = std::move(seed);
-          cl = col;
-          out.slot(row, cl) = sched::acquire_copy(cur);
-          for (index_t s = 0; s < down_steps; ++s) {
-            dense::Matrix next = ops.right(row, cl, cur);
-            sched::recycle(std::move(cur));
-            cur = std::move(next);
-            cl = ops.matrix().wrap(cl + 1);
-            out.slot(row, cl) = sched::acquire_copy(cur);
-          }
-          sched::recycle(std::move(cur));
-        }
-      }
-      break;
-    }
+  const index_t seeds = num_wrap_seeds(pattern, b);
+  if (pattern == Pattern::Diagonal) {
+    // Plain seed copies — not worth a parallel region.
+    for (index_t s = 0; s < seeds; ++s)
+      wrap_seed(ops, gtilde, pattern, sel, out, s);
+    return out;
   }
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (index_t s = 0; s < seeds; ++s)
+    wrap_seed(ops, gtilde, pattern, sel, out, s);
   return out;
 }
+
+FsiEmit emit_fsi_tasks(sched::TaskGraph& graph, FsiGraphTask& task,
+                       int owner_hint) {
+  FSI_CHECK(task.m != nullptr && task.ops != nullptr,
+            "emit_fsi_tasks: task needs a matrix and BlockOps");
+  FSI_CHECK(&task.ops->matrix() == task.m,
+            "emit_fsi_tasks: BlockOps must wrap the same matrix");
+  FSI_CHECK(!task.patterns.empty(), "emit_fsi_tasks: need at least one pattern");
+  const PCyclicMatrix& m = *task.m;
+  const index_t l = m.num_blocks();
+  const index_t c = task.sel.c;
+  const index_t q = task.sel.q;
+  FSI_CHECK(c > 0 && l % c == 0, "emit_fsi_tasks: c must divide L");
+  FSI_CHECK(q >= 0 && q < c, "emit_fsi_tasks: q must be in [0, c)");
+  FSI_CHECK(task.sel.l_total == l,
+            "emit_fsi_tasks: selection does not match the matrix");
+  const index_t b = task.sel.b();
+  const index_t n = m.block_size();
+
+  task.cls_blocks.assign(static_cast<std::size_t>(b), dense::Matrix());
+  task.results.clear();
+  task.results.reserve(task.patterns.size());
+  for (Pattern p : task.patterns) task.results.emplace_back(p, n, task.sel);
+
+  FsiGraphTask* t = &task;
+  FsiEmit emit;
+  std::vector<sched::NodeId> cls_nodes;
+  cls_nodes.reserve(static_cast<std::size_t>(b));
+  for (index_t i = 0; i < b; ++i) {
+    cls_nodes.push_back(graph.add_node(
+        [t, c, q, i](int) {
+          FSI_OBS_SPAN("fsi.cls");
+          t->cls_blocks[static_cast<std::size_t>(i)] =
+              cluster_product(*t->m, c, q, i);
+        },
+        sched::Stage::Cls, owner_hint));
+  }
+  emit.bsofi = graph.add_node(
+      [t](int) {
+        FSI_OBS_SPAN("fsi.bsofi");
+        t->flops_at_cls_end = util::flops::total();
+        PCyclicMatrix reduced(std::move(t->cls_blocks));
+        t->gtilde = bsofi::invert(reduced);
+        reduced.release_blocks();  // the clustered products feed only BSOFI
+        t->flops_at_bsofi_end = util::flops::total();
+      },
+      sched::Stage::Bsofi, owner_hint);
+  for (sched::NodeId id : cls_nodes) graph.add_edge(id, emit.bsofi);
+
+  for (std::size_t p = 0; p < task.patterns.size(); ++p) {
+    const Pattern pat = task.patterns[p];
+    const index_t seeds = num_wrap_seeds(pat, b);
+    for (index_t s = 0; s < seeds; ++s) {
+      const sched::NodeId w = graph.add_node(
+          [t, p, pat, s](int) {
+            FSI_OBS_SPAN("fsi.wrap");
+            wrap_seed(*t->ops, t->gtilde, pat, t->sel, t->results[p], s);
+          },
+          sched::Stage::Wrap, owner_hint);
+      graph.add_edge(emit.bsofi, w);
+      emit.wrap_nodes.push_back(w);
+    }
+  }
+  return emit;
+}
+
+namespace {
+
+/// Resolve FsiOptions::Exec against the FSI_EXEC env flag.
+bool use_graph(const FsiOptions& opts) {
+  switch (opts.exec) {
+    case FsiOptions::Exec::Graph: return true;
+    case FsiOptions::Exec::OmpLoops: return false;
+    case FsiOptions::Exec::Auto: break;
+  }
+  // coarse_parallel == false is the paper's pure-MKL comparator: serial
+  // outer loops by definition, so the graph path never applies.
+  return opts.coarse_parallel && obs::env_flag("FSI_EXEC", true);
+}
+
+/// Graph workers for a standalone fsi() call: FSI_EXEC_WORKERS, or the
+/// caller's OMP team size (which a mini-MPI rank body has already had set
+/// to its per-rank allotment — nested graphs stay within their share).
+int graph_workers() {
+  const long w = obs::env_long("FSI_EXEC_WORKERS", 0);
+  return w > 0 ? static_cast<int>(w) : omp_get_max_threads();
+}
+
+/// Shared graph-mode driver of fsi() and fsi_multi(): emit, run on the
+/// persistent pool, derive FsiStats from per-stage busy sums (span sums —
+/// overlapped stages no longer double-count wall time) and the BSOFI node's
+/// flop fences.
+std::vector<SelectedInversion> fsi_graph_run(const PCyclicMatrix& m,
+                                             const pcyclic::BlockOps& ops,
+                                             const std::vector<Pattern>& patterns,
+                                             const Selection& sel,
+                                             FsiStats& stats) {
+  const std::uint64_t f0 = util::flops::total();
+  FsiGraphTask task;
+  task.m = &m;
+  task.ops = &ops;
+  task.sel = sel;
+  task.patterns = patterns;
+
+  sched::TaskGraph graph;
+  emit_fsi_tasks(graph, task);
+  const sched::GraphStats gs = sched::Executor::instance().run_graph(
+      graph, graph_workers(), sched::ExecOptions::from_env());
+  const std::uint64_t f_end = util::flops::total();
+
+  sched::recycle(std::move(task.gtilde));
+  for (std::size_t i = 0; i < patterns.size(); ++i)
+    residual_spot_check(m, task.results[i], patterns[i], sel);
+
+  stats.q = sel.q;
+  stats.seconds_cls = gs.of(sched::Stage::Cls).busy_seconds;
+  stats.seconds_bsofi = gs.of(sched::Stage::Bsofi).busy_seconds;
+  stats.seconds_wrap = gs.of(sched::Stage::Wrap).busy_seconds;
+  stats.flops_cls = task.flops_at_cls_end - f0;
+  stats.flops_bsofi = task.flops_at_bsofi_end - task.flops_at_cls_end;
+  stats.flops_wrap = f_end - task.flops_at_bsofi_end;
+  return std::move(task.results);
+}
+
+}  // namespace
 
 SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
                       const FsiOptions& opts, util::Rng& rng, FsiStats* stats) {
@@ -304,6 +454,13 @@ SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
 
   FsiStats local;
   local.q = q;
+
+  if (use_graph(opts)) {
+    std::vector<SelectedInversion> results =
+        fsi_graph_run(m, ops, {opts.pattern}, sel, local);
+    if (stats != nullptr) *stats = local;
+    return std::move(results.front());
+  }
 
   PCyclicMatrix reduced = [&] {  // Stage 1: CLS.
     StageMeter meter("fsi.cls", local.seconds_cls, local.flops_cls);
@@ -365,6 +522,12 @@ std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
 
   FsiStats local;
   local.q = q;
+
+  if (use_graph(opts)) {
+    std::vector<SelectedInversion> out = fsi_graph_run(m, ops, patterns, sel, local);
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
 
   PCyclicMatrix reduced = [&] {
     StageMeter meter("fsi.cls", local.seconds_cls, local.flops_cls);

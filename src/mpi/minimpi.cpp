@@ -1,12 +1,12 @@
 #include "fsi/mpi/minimpi.hpp"
 
 #include <exception>
-#include <thread>
 
 #include <omp.h>
 
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
+#include "fsi/sched/executor.hpp"
 
 namespace fsi::mpi {
 
@@ -182,28 +182,31 @@ void run(int num_ranks, const std::function<void(Communicator&)>& body,
   FSI_CHECK(num_ranks > 0, "run: need at least one rank");
   Context ctx(num_ranks);
 
+  // Ranks run on the persistent executor pool instead of freshly spawned
+  // threads: a DQMC run dispatches one rank batch per measurement sweep, and
+  // re-creating OS threads (plus their OpenMP teams) between sweeps was pure
+  // overhead.  The executor dispatches all num_ranks bodies concurrently —
+  // required, since ranks block on each other's barriers — and restores each
+  // worker's OMP team size afterwards.
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks));
-  std::vector<std::thread> ranks;
-  ranks.reserve(static_cast<std::size_t>(num_ranks));
-  for (int r = 0; r < num_ranks; ++r) {
-    ranks.emplace_back([&, r] {
-      if (omp_threads_per_rank > 0) omp_set_num_threads(omp_threads_per_rank);
-      try {
-        Communicator comm(ctx, r);
-        body(comm);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // A failed rank must not deadlock the others at a barrier; there is
-        // no recovery story (like real MPI's abort-on-error default), so
-        // terminate the run.
-        std::lock_guard<std::mutex> lock(ctx.barrier_mutex);
-        ctx.barrier_waiting = 0;
-        ++ctx.barrier_generation;
-        ctx.barrier_cv.notify_all();
-      }
-    });
-  }
-  for (auto& t : ranks) t.join();
+  sched::Executor::instance().run_ranks(
+      num_ranks,
+      [&](int r) {
+        try {
+          Communicator comm(ctx, r);
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          // A failed rank must not deadlock the others at a barrier; there
+          // is no recovery story (like real MPI's abort-on-error default),
+          // so terminate the run.
+          std::lock_guard<std::mutex> lock(ctx.barrier_mutex);
+          ctx.barrier_waiting = 0;
+          ++ctx.barrier_generation;
+          ctx.barrier_cv.notify_all();
+        }
+      },
+      omp_threads_per_rank);
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
 }

@@ -66,6 +66,8 @@ const char* name(Counter c) noexcept {
     case Counter::PoolMisses: return "pool_misses";
     case Counter::SchedTasks: return "sched_tasks";
     case Counter::SchedSteals: return "sched_steals";
+    case Counter::ExecNodes: return "exec_nodes";
+    case Counter::ExecSteals: return "exec_steals";
     case Counter::kCount: break;
   }
   return "?";
@@ -147,6 +149,8 @@ const char* name(Hist h) noexcept {
     case Hist::SelResidual: return "sel_residual";
     case Hist::TaskSeconds: return "task_seconds";
     case Hist::QueueDepth: return "queue_depth";
+    case Hist::ReadyDepth: return "ready_depth";
+    case Hist::NodeSeconds: return "node_seconds";
     case Hist::kCount: break;
   }
   return "?";
@@ -213,6 +217,7 @@ const char* name(Gauge g) noexcept {
     case Gauge::FlushToZero: return "flush_to_zero";
     case Gauge::HealthSampleEvery: return "health_sample_every";
     case Gauge::SchedWorkers: return "sched_workers";
+    case Gauge::ExecPoolWorkers: return "exec_pool_workers";
     case Gauge::kCount: break;
   }
   return "?";

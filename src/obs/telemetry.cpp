@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "fsi/obs/health.hpp"
 #include "fsi/obs/metrics.hpp"
@@ -151,14 +152,17 @@ std::string BenchTelemetry::json() const {
   return out;
 }
 
-std::string BenchTelemetry::write() const {
+std::string artifact_dir() {
   const char* dir = std::getenv("FSI_BENCH_DIR");
-  std::string path;
-  if (dir != nullptr && dir[0] != '\0') {
-    path = dir;
-    if (path.back() != '/') path += '/';
-  }
-  path += "BENCH_" + name_ + ".json";
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : "bench/artifacts";
+  while (path.size() > 1 && path.back() == '/') path.pop_back();
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);  // best effort; open reports
+  return path;
+}
+
+std::string BenchTelemetry::write() const {
+  const std::string path = artifact_dir() + "/BENCH_" + name_ + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return "";
   const std::string doc = json();

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <memory>
 
 #include "fsi/mpi/minimpi.hpp"
+#include "fsi/obs/env.hpp"
+#include "fsi/obs/trace.hpp"
 #include "fsi/qmc/dqmc.hpp"
+#include "fsi/sched/executor.hpp"
 #include "fsi/sched/scheduler.hpp"
 #include "fsi/sched/workspace_pool.hpp"
 #include "fsi/selinv/fsi.hpp"
@@ -18,6 +22,247 @@ namespace {
 
 /// Tag for the (task index, measurement payload) records sent to the root.
 constexpr int kTagTaskResults = 7;
+
+bool use_fine_granularity(const MultiGfOptions& options) {
+  switch (options.granularity) {
+    case Granularity::Fine: return true;
+    case Granularity::Coarse: return false;
+    case Granularity::Auto: break;
+  }
+  return obs::env_flag("FSI_EXEC", true);
+}
+
+/// Merge per-worker [task, payload] records into the global measurements in
+/// ascending task order — same deterministic merge as the coarse mini-MPI
+/// path, just without the messaging.
+Measurements merge_records(const std::vector<std::vector<double>>& done,
+                           index_t m_total, index_t l, index_t dmax,
+                           std::size_t record_len) {
+  std::vector<std::vector<double>> payloads(static_cast<std::size_t>(m_total));
+  std::vector<bool> seen(static_cast<std::size_t>(m_total), false);
+  for (const std::vector<double>& records : done) {
+    FSI_CHECK(records.size() % record_len == 0,
+              "run_parallel_fsi: malformed task-result records");
+    for (std::size_t off = 0; off < records.size(); off += record_len) {
+      const auto task = static_cast<std::size_t>(records[off]);
+      FSI_CHECK(task < static_cast<std::size_t>(m_total) && !seen[task],
+                "run_parallel_fsi: duplicate or out-of-range task");
+      seen[task] = true;
+      payloads[task].assign(records.begin() + static_cast<std::ptrdiff_t>(off) + 1,
+                            records.begin() + static_cast<std::ptrdiff_t>(off + record_len));
+    }
+  }
+  Measurements global(l, dmax);
+  for (index_t t = 0; t < m_total; ++t) {
+    FSI_CHECK(seen[static_cast<std::size_t>(t)],
+              "run_parallel_fsi: task result missing");
+    global.merge(Measurements::deserialize(
+        l, dmax, payloads[static_cast<std::size_t>(t)]));
+  }
+  return global;
+}
+
+/// Fine-granularity path: the whole batch becomes ONE task graph — per task
+/// and spin a Build node, b cluster-product nodes, a BSOFI node and one node
+/// per seed walk, plus a per-task Measure node fencing both spins — run by
+/// `ranks` workers of the persistent executor pool (the caller participates
+/// as worker 0).  All nodes of task t carry owner hint owner(t) (the
+/// BatchScheduler contiguous split), so with stealing disabled the placement
+/// is exactly the static baseline; with stealing on, idle workers pick up a
+/// straggler matrix's remaining seed walks, which whole-matrix scheduling
+/// could never migrate.  Outputs are disjoint per node and the merge is
+/// task-ordered, so the result is bit-identical to the coarse path.
+void run_fine_granularity(const HubbardModel& model,
+                          const MultiGfOptions& options, index_t c,
+                          index_t heavy_cutoff, MultiGfResult& result) {
+  const index_t l = model.params().l;
+  const index_t n = model.num_sites();
+  const index_t m_total = options.num_matrices;
+  const int ranks = options.num_ranks;
+  const index_t dmax = model.lattice().num_distance_classes();
+  const std::size_t field_len = static_cast<std::size_t>(l) * n;
+  const std::size_t payload_len = Measurements::serialized_size(l, dmax);
+  const std::size_t record_len = 1 + payload_len;
+
+  // The caller stands in for the root rank: generate every HS field from the
+  // same (seed)-keyed stream the coarse path broadcasts.
+  std::vector<double> all_fields;
+  {
+    util::Rng root_rng(options.seed);
+    all_fields.reserve(static_cast<std::size_t>(m_total) * field_len);
+    for (index_t i = 0; i < m_total; ++i) {
+      HsField f(l, n, root_rng);
+      const auto buf = f.serialize();
+      all_fields.insert(all_fields.end(), buf.begin(), buf.end());
+    }
+  }
+
+  // Static owner of each task: the BatchScheduler contiguous preload split.
+  std::vector<int> owner(static_cast<std::size_t>(m_total), 0);
+  for (int w = 0; w < ranks; ++w) {
+    const auto lo = static_cast<index_t>(
+        static_cast<std::uint64_t>(m_total) * static_cast<std::uint64_t>(w) /
+        static_cast<std::uint64_t>(ranks));
+    const auto hi = static_cast<index_t>(
+        static_cast<std::uint64_t>(m_total) * (static_cast<std::uint64_t>(w) + 1) /
+        static_cast<std::uint64_t>(ranks));
+    for (index_t t = lo; t < hi; ++t) owner[static_cast<std::size_t>(t)] = w;
+  }
+
+  /// Per-spin node storage; bodies of different nodes write disjoint fields.
+  struct SpinWork {
+    std::unique_ptr<pcyclic::PCyclicMatrix> mat;  ///< set by the Build node
+    std::unique_ptr<pcyclic::BlockOps> ops;       ///< set by the Build node
+    std::vector<dense::Matrix> cls_blocks;        ///< one per Cls node
+    dense::Matrix gtilde;                         ///< set by the Bsofi node
+    pcyclic::SelectedInversion diag, rows, cols;  ///< filled by Wrap nodes
+    SpinWork(index_t nn, const pcyclic::Selection& sel)
+        : diag(pcyclic::Pattern::AllDiagonals, nn, sel),
+          rows(pcyclic::Pattern::Rows, nn, sel),
+          cols(pcyclic::Pattern::Columns, nn, sel) {}
+  };
+  struct TaskWork {
+    pcyclic::Selection sel;
+    bool heavy;
+    SpinWork up, dn;
+    TaskWork(const pcyclic::Selection& s, bool h, index_t nn)
+        : sel(s), heavy(h), up(nn, s), dn(nn, s) {}
+  };
+
+  std::vector<std::unique_ptr<TaskWork>> tasks;
+  tasks.reserve(static_cast<std::size_t>(m_total));
+  std::vector<std::vector<double>> done(static_cast<std::size_t>(ranks));
+
+  sched::TaskGraph graph;
+  for (index_t t = 0; t < m_total; ++t) {
+    // Per-task q from (seed, task index) alone — identical to the coarse
+    // path, so the same blocks of G are selected.
+    util::Rng task_rng(options.seed, static_cast<std::uint64_t>(t) + 1);
+    const index_t q =
+        static_cast<index_t>(task_rng.below(static_cast<std::uint64_t>(c)));
+    const pcyclic::Selection sel(l, c, q);
+    const bool heavy = t < heavy_cutoff;
+    tasks.push_back(std::make_unique<TaskWork>(sel, heavy, n));
+    TaskWork* tw = tasks.back().get();
+    const int hint = owner[static_cast<std::size_t>(t)];
+    const index_t b = sel.b();
+
+    std::vector<sched::NodeId> fences;  // all wrap nodes of both spins
+    for (SpinWork* sw : {&tw->up, &tw->dn}) {
+      const Spin spin = (sw == &tw->up) ? Spin::Up : Spin::Down;
+      const sched::NodeId build = graph.add_node(
+          [&model, &all_fields, sw, spin, t, l, n, field_len](int) {
+            FSI_OBS_SPAN("qmc.build_m");
+            const HsField field = HsField::deserialize(
+                l, n,
+                all_fields.data() + static_cast<std::size_t>(t) * field_len,
+                field_len);
+            sw->mat = std::make_unique<pcyclic::PCyclicMatrix>(
+                model.build_m(field, spin));
+            sw->ops = std::make_unique<pcyclic::BlockOps>(*sw->mat);
+          },
+          sched::Stage::Build, hint);
+
+      sw->cls_blocks.assign(static_cast<std::size_t>(b), dense::Matrix());
+      std::vector<sched::NodeId> cls_nodes;
+      cls_nodes.reserve(static_cast<std::size_t>(b));
+      for (index_t i = 0; i < b; ++i) {
+        const sched::NodeId id = graph.add_node(
+            [sw, c, q, i](int) {
+              FSI_OBS_SPAN("fsi.cls");
+              sw->cls_blocks[static_cast<std::size_t>(i)] =
+                  selinv::cluster_product(*sw->mat, c, q, i);
+            },
+            sched::Stage::Cls, hint);
+        graph.add_edge(build, id);
+        cls_nodes.push_back(id);
+      }
+      const sched::NodeId bsofi_node = graph.add_node(
+          [sw](int) {
+            FSI_OBS_SPAN("fsi.bsofi");
+            pcyclic::PCyclicMatrix reduced(std::move(sw->cls_blocks));
+            sw->gtilde = bsofi::invert(reduced);
+            reduced.release_blocks();
+          },
+          sched::Stage::Bsofi, hint);
+      for (sched::NodeId id : cls_nodes) graph.add_edge(id, bsofi_node);
+
+      auto emit_wrap = [&](pcyclic::Pattern pat,
+                           pcyclic::SelectedInversion* out) {
+        const index_t seeds = selinv::num_wrap_seeds(pat, b);
+        for (index_t s = 0; s < seeds; ++s) {
+          const sched::NodeId id = graph.add_node(
+              [sw, tw, pat, out, s](int) {
+                FSI_OBS_SPAN("fsi.wrap");
+                selinv::wrap_seed(*sw->ops, sw->gtilde, pat, tw->sel, *out, s);
+              },
+              sched::Stage::Wrap, hint);
+          graph.add_edge(bsofi_node, id);
+          fences.push_back(id);
+        }
+      };
+      emit_wrap(pcyclic::Pattern::AllDiagonals, &sw->diag);
+      if (heavy) {
+        emit_wrap(pcyclic::Pattern::Rows, &sw->rows);
+        emit_wrap(pcyclic::Pattern::Columns, &sw->cols);
+      }
+    }
+
+    // The per-task Measure node: serial accumulation into a per-task buffer
+    // (fixed floating-point order), then recycle/release everything.  The
+    // worker id routes the record into that worker's private result vector.
+    const sched::NodeId measure = graph.add_node(
+        [&model, &done, tw, t, l, dmax](int worker) {
+          FSI_OBS_SPAN("qmc.measure");
+          sched::recycle(std::move(tw->up.gtilde));
+          sched::recycle(std::move(tw->dn.gtilde));
+          Measurements task_meas(l, dmax);
+          task_meas.add_sample(1.0);
+          accumulate_equal_time(model.lattice(), tw->up.diag, tw->dn.diag,
+                                model.params().t, 1.0, false, task_meas);
+          if (tw->heavy)
+            accumulate_spxx(model.lattice(), tw->up.rows, tw->up.cols,
+                            tw->dn.rows, tw->dn.cols, 1.0, false, task_meas);
+          for (SpinWork* s : {&tw->up, &tw->dn}) {
+            s->diag.release_blocks();
+            s->rows.release_blocks();
+            s->cols.release_blocks();
+            s->ops.reset();
+            s->mat.reset();
+          }
+          std::vector<double>& rec = done[static_cast<std::size_t>(worker)];
+          rec.push_back(static_cast<double>(t));
+          const std::vector<double> payload = task_meas.serialize();
+          rec.insert(rec.end(), payload.begin(), payload.end());
+        },
+        sched::Stage::Measure, hint);
+    for (sched::NodeId id : fences) graph.add_edge(id, measure);
+  }
+
+  sched::ExecOptions exec_opts = sched::ExecOptions::from_env();
+  if (options.schedule == Schedule::Static) exec_opts.work_stealing = false;
+  exec_opts.omp_threads = options.omp_threads_per_rank;
+  const sched::GraphStats gs =
+      sched::Executor::instance().run_graph(graph, ranks, exec_opts);
+
+  result.global = merge_records(done, m_total, l, dmax, record_len);
+  result.sched.workers = ranks;
+  result.sched.tasks = static_cast<std::uint32_t>(m_total);
+  result.sched.steal_batches = gs.steal_batches;
+  result.sched.stolen_tasks = gs.stolen_nodes;
+  result.sched.busy_max_seconds = gs.busy_max_seconds;
+  result.sched.busy_mean_seconds = gs.busy_mean_seconds;
+  result.sched.busy_seconds = gs.busy_seconds;
+  result.sched.graph_nodes = gs.nodes;
+  result.sched.critical_path_seconds = gs.critical_path_seconds;
+  result.sched.ready_depth_mean = gs.ready_depth_mean;
+  result.sched.stage_build_seconds = gs.of(sched::Stage::Build).busy_seconds;
+  result.sched.stage_cls_seconds = gs.of(sched::Stage::Cls).busy_seconds;
+  result.sched.stage_bsofi_seconds = gs.of(sched::Stage::Bsofi).busy_seconds;
+  result.sched.stage_wrap_seconds = gs.of(sched::Stage::Wrap).busy_seconds;
+  result.sched.stage_measure_seconds =
+      gs.of(sched::Stage::Measure).busy_seconds;
+}
 
 }  // namespace
 
@@ -47,11 +292,6 @@ MultiGfResult run_parallel_fsi(const HubbardModel& model,
                 std::ceil(frac * static_cast<double>(m_total)))
           : 0;
 
-  sched::SchedulerOptions sched_opts = sched::SchedulerOptions::from_env();
-  if (options.schedule == Schedule::Static) sched_opts.work_stealing = false;
-  sched::BatchScheduler scheduler(ranks, static_cast<std::uint32_t>(m_total),
-                                  sched_opts);
-
   auto& pool = sched::WorkspacePool::global();
   const std::uint64_t pool_hits0 = pool.hits();
   const std::uint64_t pool_misses0 = pool.misses();
@@ -59,6 +299,20 @@ MultiGfResult run_parallel_fsi(const HubbardModel& model,
   MultiGfResult result{Measurements(l, dmax), 0.0, 0, SchedSummary{}};
   util::flops::reset();
   util::WallTimer timer;
+
+  if (use_fine_granularity(options)) {
+    run_fine_granularity(model, options, c, heavy_cutoff, result);
+    result.seconds = timer.seconds();
+    result.flops = util::flops::total();
+    result.sched.pool_hits = pool.hits() - pool_hits0;
+    result.sched.pool_misses = pool.misses() - pool_misses0;
+    return result;
+  }
+
+  sched::SchedulerOptions sched_opts = sched::SchedulerOptions::from_env();
+  if (options.schedule == Schedule::Static) sched_opts.work_stealing = false;
+  sched::BatchScheduler scheduler(ranks, static_cast<std::uint32_t>(m_total),
+                                  sched_opts);
 
   mpi::run(
       ranks,
@@ -191,6 +445,7 @@ MultiGfResult run_parallel_fsi(const HubbardModel& model,
   result.sched.stolen_tasks = scheduler.total_stolen_tasks();
   result.sched.busy_max_seconds = scheduler.busy_max_seconds();
   result.sched.busy_mean_seconds = scheduler.busy_mean_seconds();
+  result.sched.busy_seconds = scheduler.busy_seconds();
   result.sched.pool_hits = pool.hits() - pool_hits0;
   result.sched.pool_misses = pool.misses() - pool_misses0;
   return result;

@@ -121,4 +121,11 @@ double BatchScheduler::busy_mean_seconds() const {
   return num_workers_ > 0 ? sum / num_workers_ : 0.0;
 }
 
+std::vector<double> BatchScheduler::busy_seconds() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s->busy_seconds);
+  return out;
+}
+
 }  // namespace fsi::sched

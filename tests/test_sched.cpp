@@ -243,6 +243,79 @@ TEST(MultiGfSched, BitIdenticalAcrossRanksThreadsAndSchedules) {
   }
 }
 
+TEST(MultiGfSched, FineGranularityBitIdenticalToCoarseAcrossRanks) {
+  fsi::qmc::HubbardParams p;
+  p.l = 6;
+  p.u = 3.0;
+  const qmc::HubbardModel model(qmc::Lattice::chain(3), p);
+
+  // Coarse single-rank run is the reference: plain Alg. 3 with no graph
+  // executor involved at any level.
+  auto ref_opt = batch_options(1, 1, qmc::Schedule::WorkStealing);
+  ref_opt.granularity = qmc::Granularity::Coarse;
+  const auto baseline = run_parallel_fsi(model, ref_opt);
+  const std::vector<double> expect = baseline.global.serialize();
+  ASSERT_FALSE(expect.empty());
+
+  const struct {
+    int ranks;
+    qmc::Schedule schedule;
+    qmc::Granularity granularity;
+  } configs[] = {
+      {1, qmc::Schedule::WorkStealing, qmc::Granularity::Fine},
+      {2, qmc::Schedule::WorkStealing, qmc::Granularity::Fine},
+      {4, qmc::Schedule::WorkStealing, qmc::Granularity::Fine},
+      {2, qmc::Schedule::Static, qmc::Granularity::Fine},
+      {4, qmc::Schedule::Static, qmc::Granularity::Fine},
+      {2, qmc::Schedule::WorkStealing, qmc::Granularity::Coarse},
+  };
+  for (const auto& cfg : configs) {
+    auto opt = batch_options(cfg.ranks, 1, cfg.schedule);
+    opt.granularity = cfg.granularity;
+    const auto r = run_parallel_fsi(model, opt);
+    const std::vector<double> got = r.global.serialize();
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      EXPECT_EQ(got[i], expect[i])
+          << "ranks=" << cfg.ranks << " fine="
+          << (cfg.granularity == qmc::Granularity::Fine) << " steal="
+          << (cfg.schedule == qmc::Schedule::WorkStealing) << " i=" << i;
+  }
+}
+
+TEST(MultiGfSched, FineGranularityReportsGraphTelemetry) {
+  fsi::qmc::HubbardParams p;
+  p.l = 6;
+  p.u = 2.0;
+  const qmc::HubbardModel model(qmc::Lattice::chain(3), p);
+  auto opt = batch_options(2, 1, qmc::Schedule::WorkStealing);
+  opt.granularity = qmc::Granularity::Fine;
+
+  const auto r = run_parallel_fsi(model, opt);
+  EXPECT_DOUBLE_EQ(r.global.samples(), 5.0);
+  EXPECT_EQ(r.sched.tasks, 5u);
+  EXPECT_EQ(r.sched.workers, 2);
+  // Per task and spin: 1 build + b cluster products + 1 BSOFI + seed walks,
+  // plus 1 measure node per task — far more nodes than tasks.
+  EXPECT_GT(r.sched.graph_nodes, 5u * 4u);
+  EXPECT_GT(r.sched.critical_path_seconds, 0.0);
+  EXPECT_GT(r.sched.stage_build_seconds, 0.0);
+  EXPECT_GT(r.sched.stage_cls_seconds, 0.0);
+  EXPECT_GT(r.sched.stage_bsofi_seconds, 0.0);
+  EXPECT_GT(r.sched.stage_wrap_seconds, 0.0);
+  EXPECT_GT(r.sched.stage_measure_seconds, 0.0);
+  EXPECT_EQ(r.sched.busy_seconds.size(), 2u);
+  EXPECT_GT(r.sched.busy_max_seconds, 0.0);
+
+  // Coarse mode keeps the graph fields at zero but still exports the
+  // per-rank busy vector.
+  opt.granularity = qmc::Granularity::Coarse;
+  const auto coarse = run_parallel_fsi(model, opt);
+  EXPECT_EQ(coarse.sched.graph_nodes, 0u);
+  EXPECT_DOUBLE_EQ(coarse.sched.critical_path_seconds, 0.0);
+  EXPECT_EQ(coarse.sched.busy_seconds.size(), 2u);
+}
+
 TEST(MultiGfSched, SecondSameShapeBatchHitsPoolWithoutFreshAllocations) {
   fsi::qmc::HubbardParams p;
   p.l = 6;
