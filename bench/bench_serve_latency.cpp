@@ -1,0 +1,180 @@
+/// \file bench_serve_latency.cpp
+/// \brief Request latency and batching throughput of the fsi::serve daemon.
+///
+/// Runs an in-process serve::Server (real qmc::run_fsi_batch engine) over a
+/// Unix socket and drives it with a pipelined burst of identical-shape
+/// requests, twice: once with the coalescing window open (batching on) and
+/// once with max_batch=1/window=0 (batching off).  Reports the server-side
+/// latency quantiles (p50/p95/p99), the throughput of both modes and their
+/// ratio, and verifies every response bit-identical against the in-process
+/// reference.
+///
+/// CI gates on the machine-stable ratios only: served_ok_ratio and
+/// verified_ratio (both exactly 1.0 when the service is healthy) and the
+/// mean batch occupancy relative to max_batch.  Raw latencies and the
+/// batching speedup are exported ungated — they move with the host.
+
+#include <cstring>
+#include <future>
+#include <unistd.h>
+#include <vector>
+
+#include "common.hpp"
+#include "fsi/qmc/multi_gf.hpp"
+#include "fsi/serve/client.hpp"
+#include "fsi/serve/server.hpp"
+
+namespace {
+
+using namespace fsi;
+
+serve::InvertRequest make_request(std::uint64_t seed, int lx, int l) {
+  serve::InvertRequest r;
+  r.lx = static_cast<std::uint32_t>(lx);
+  r.ly = 1;
+  r.l = static_cast<std::uint32_t>(l);
+  r.seed = seed;
+  r.field = serve::random_field(r.lx, r.ly, r.l, seed);
+  return r;
+}
+
+std::vector<double> reference(const serve::InvertRequest& req) {
+  qmc::HubbardParams params;
+  params.t = req.t;
+  params.u = req.u;
+  params.beta = req.beta;
+  params.l = static_cast<qmc::index_t>(req.l);
+  const qmc::HubbardModel model(
+      qmc::Lattice::chain(static_cast<qmc::index_t>(req.lx)), params);
+  const qmc::index_t c = serve::effective_cluster(req);
+  std::vector<qmc::FsiBatchTask> tasks;
+  tasks.push_back(qmc::FsiBatchTask{
+      qmc::HsField::deserialize(static_cast<qmc::index_t>(req.l),
+                                model.num_sites(), req.field.data(),
+                                req.field.size()),
+      serve::resolve_q(req, c), req.time_dependent});
+  qmc::FsiBatchOptions opts;
+  opts.cluster_size = c;
+  return qmc::run_fsi_batch(model, tasks, opts).front().serialize();
+}
+
+struct RunResult {
+  std::uint64_t ok = 0;
+  std::uint64_t verified = 0;
+  double wall_s = 0.0;
+  double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;
+  double occupancy_mean = 0.0;
+};
+
+/// One pipelined burst of \p requests identical-shape requests against a
+/// fresh server.  \p verify compares each response against the in-process
+/// reference (bit-identical or it does not count).
+RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
+                    long window_us, bool verify) {
+  serve::ServerOptions options;
+  options.endpoint = serve::Endpoint::parse(
+      "unix:/tmp/fsi_bench_serve_" + std::to_string(::getpid()) +
+      (batching ? "_on" : "_off") + ".sock");
+  options.queue_depth = static_cast<std::size_t>(requests) + 8;
+  options.batch_window_us = batching ? window_us : 0;
+  options.max_batch = batching ? static_cast<std::size_t>(max_batch) : 1;
+  serve::Server server(std::move(options));
+  server.start();
+
+  RunResult out;
+  {
+    serve::Client client(server.endpoint());
+    std::vector<serve::InvertRequest> sent;
+    std::vector<std::future<serve::InvertResponse>> futures;
+    const std::int64_t t0 = obs::now_ns();
+    for (int i = 0; i < requests; ++i) {
+      sent.push_back(make_request(1000 + static_cast<std::uint64_t>(i), lx, l));
+      futures.push_back(client.submit(sent.back()));
+    }
+    for (int i = 0; i < requests; ++i) {
+      const serve::InvertResponse resp = futures[static_cast<std::size_t>(i)].get();
+      if (resp.status != serve::Status::Ok) continue;
+      ++out.ok;
+      if (!verify) continue;
+      const std::vector<double> expected = reference(sent[static_cast<std::size_t>(i)]);
+      if (expected.size() == resp.measurements.size() &&
+          std::memcmp(expected.data(), resp.measurements.data(),
+                      expected.size() * sizeof(double)) == 0)
+        ++out.verified;
+    }
+    out.wall_s = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+  }
+  out.p50_s = server.latency_quantile(0.50);
+  out.p95_s = server.latency_quantile(0.95);
+  out.p99_s = server.latency_quantile(0.99);
+  server.stop();
+  out.occupancy_mean = server.stats().batch_occupancy_mean();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsi;
+  util::Cli cli(argc, argv);
+  const int requests = cli.get_int("requests", 32);
+  const int lx = cli.get_int("lx", 4);
+  const int l = cli.get_int("L", 8);
+  const int max_batch = cli.get_int("max-batch", 8);
+  const long window_us = cli.get_int("window-us", 50000);
+  const bool verify = !cli.has("no-verify");
+  bench::init_trace(cli);
+
+  bench::print_header(
+      "fsi::serve latency & batching throughput",
+      "request batching amortises dispatch without changing a single bit");
+
+  obs::BenchTelemetry telemetry("bench_serve_latency");
+  telemetry.add_info("requests", requests);
+  telemetry.add_info("N", lx);
+  telemetry.add_info("L", l);
+  telemetry.add_info("max_batch", max_batch);
+  telemetry.add_info("window_us", static_cast<double>(window_us));
+
+  const RunResult on =
+      run_burst(true, requests, lx, l, max_batch, window_us, verify);
+  const RunResult off =
+      run_burst(false, requests, lx, l, max_batch, window_us, false);
+
+  const double thr_on = on.wall_s > 0 ? requests / on.wall_s : 0.0;
+  const double thr_off = off.wall_s > 0 ? requests / off.wall_s : 0.0;
+  const double speedup = thr_off > 0 ? thr_on / thr_off : 0.0;
+  const double ok_ratio = static_cast<double>(on.ok + off.ok) / (2.0 * requests);
+  const double verified_ratio =
+      verify ? static_cast<double>(on.verified) / requests : 1.0;
+  const double occupancy_ratio = on.occupancy_mean / max_batch;
+
+  util::Table table({"mode", "req/s", "p50 ms", "p95 ms", "p99 ms",
+                     "batch occupancy"});
+  table.add_row({"batching on", util::Table::num(thr_on, 1),
+                 util::Table::num(on.p50_s * 1e3, 3),
+                 util::Table::num(on.p95_s * 1e3, 3),
+                 util::Table::num(on.p99_s * 1e3, 3),
+                 util::Table::num(on.occupancy_mean, 2)});
+  table.add_row({"batching off", util::Table::num(thr_off, 1),
+                 util::Table::num(off.p50_s * 1e3, 3),
+                 util::Table::num(off.p95_s * 1e3, 3),
+                 util::Table::num(off.p99_s * 1e3, 3),
+                 util::Table::num(off.occupancy_mean, 2)});
+  table.print();
+  std::printf("\nbatching speedup %.2fx, served_ok %.3f, bit-identical %.3f\n",
+              speedup, ok_ratio, verified_ratio);
+
+  telemetry.add_metric("latency_p50_ms", on.p50_s * 1e3, "ms", false, false);
+  telemetry.add_metric("latency_p95_ms", on.p95_s * 1e3, "ms", false, false);
+  telemetry.add_metric("latency_p99_ms", on.p99_s * 1e3, "ms", false, false);
+  telemetry.add_metric("throughput_batched", thr_on, "req/s", false, true);
+  telemetry.add_metric("throughput_unbatched", thr_off, "req/s", false, true);
+  telemetry.add_metric("batching_speedup", speedup, "ratio", false, true);
+  telemetry.add_metric("served_ok_ratio", ok_ratio, "ratio", true, true);
+  telemetry.add_metric("verified_ratio", verified_ratio, "ratio", true, true);
+  telemetry.add_metric("batch_occupancy_ratio", occupancy_ratio, "ratio", true,
+                       true);
+  bench::finish_bench(telemetry);
+  return ok_ratio == 1.0 && verified_ratio == 1.0 ? 0 : 1;
+}

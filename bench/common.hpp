@@ -120,8 +120,8 @@ inline bool init_trace(const util::Cli& cli) {
 inline void finish_trace(const std::string& bench_name) {
   if (!obs::enabled()) return;
   std::printf("\n[trace] per-span summary:\n%s", obs::summary_str().c_str());
-  const std::string path =
-      obs::write_trace_if_enabled(obs::artifact_dir() + "/" + bench_name);
+  // Bare basename: write_trace_if_enabled routes it under artifact_dir().
+  const std::string path = obs::write_trace_if_enabled(bench_name);
   if (!path.empty())
     std::printf("[trace] chrome://tracing JSON written to %s (open in "
                 "chrome://tracing or ui.perfetto.dev)\n", path.c_str());

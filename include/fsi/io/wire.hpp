@@ -1,0 +1,77 @@
+#pragma once
+/// \file wire.hpp
+/// \brief Bounds-checked binary buffer encoding shared by checkpointing and
+/// the serve wire protocol.
+///
+/// binary_io.hpp writes tagged records to FILE*; the serve subsystem needs
+/// the same primitive encodings (native byte order, fixed-width integers,
+/// contiguous double payloads) into in-memory buffers that travel over a
+/// socket.  WireWriter appends to a growable byte vector; WireReader walks a
+/// received buffer and throws util::CheckError on any truncation or
+/// over-read, so a malformed frame can never read out of bounds.
+///
+/// Numbers are written in the host's native byte order — the same trade as
+/// the checkpoint format: this is an intra-deployment protocol (client and
+/// server run on the same architecture), not an interchange format.  The
+/// frame header carries a schema version so a mixed deployment fails
+/// loudly instead of misdecoding.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsi::io {
+
+/// Append-only encoder into a byte vector.
+class WireWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_i32(std::int32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  /// u64 count followed by the raw doubles.
+  void put_f64_vector(const std::vector<double>& v);
+  /// u32 length followed by the raw characters (no terminator).
+  void put_string(const std::string& s);
+
+ private:
+  void put_bytes(const void* data, std::size_t n);
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential decoder over a received buffer.  Every get_* throws
+/// util::CheckError if fewer bytes remain than requested; vector/string
+/// lengths are validated against the remaining payload before allocating,
+/// so a hostile length prefix cannot trigger an oversized allocation.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::int32_t get_i32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  double get_f64();
+  std::vector<double> get_f64_vector();
+  std::string get_string();
+
+ private:
+  void get_bytes(void* out, std::size_t n);
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fsi::io

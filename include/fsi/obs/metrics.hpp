@@ -40,6 +40,12 @@ enum class Counter : int {
   SchedSteals,     ///< successful steal-half operations
   ExecNodes,       ///< task-graph nodes executed by the executor
   ExecSteals,      ///< successful steal-half operations in graph runs
+  ServeRequests,   ///< inversion requests admitted by the serve front end
+  ServeBatches,    ///< coalesced batches dispatched to the engine
+  ServeRejected,   ///< requests shed with RETRY-AFTER (queue full)
+  ServeDeadlineMiss,  ///< requests rejected because their deadline expired
+  ServeCancelled,  ///< requests dropped because the client disconnected
+  ServeErrors,     ///< requests answered Malformed or Error
   kCount
 };
 
@@ -88,6 +94,9 @@ enum class Hist : int {
   QueueDepth,     ///< own-deque depth sampled at each scheduler pop
   ReadyDepth,     ///< own-deque depth sampled at each graph-executor pop
   NodeSeconds,    ///< per-node wall time in the graph executor
+  ServeLatency,   ///< serve request latency (arrival -> response), seconds
+  ServeQueueWait, ///< serve admission-queue wait per request, seconds
+  ServeBatchOccupancy,  ///< requests coalesced into each dispatched batch
   kCount
 };
 
@@ -135,6 +144,7 @@ enum class Gauge : int {
   HealthSampleEvery,  ///< residual spot-check sampling period (0 = off)
   SchedWorkers,       ///< workers of the most recent batch scheduler
   ExecPoolWorkers,    ///< threads currently in the persistent executor pool
+  ServeQueueDepth,    ///< serve admission-queue depth (sampled on change)
   kCount
 };
 

@@ -49,6 +49,18 @@ void clear() noexcept;
 /// Number of events discarded because a thread's ring buffer was full.
 std::uint64_t dropped_events() noexcept;
 
+/// Trace timestamp: nanoseconds since the process epoch (steady clock).
+/// Public so intervals that cross threads — e.g. the serve queue wait,
+/// stamped on the connection thread and closed on the batcher — can be
+/// recorded with record_interval().
+std::int64_t now_ns() noexcept;
+
+/// Record a completed interval [t0_ns, t1_ns] under \p name into the
+/// calling thread's buffer, if tracing is enabled.  Same lifetime contract
+/// as Span: \p name must outlive the trace.
+void record_interval(const char* name, std::int64_t t0_ns,
+                     std::int64_t t1_ns) noexcept;
+
 /// RAII span: measures the enclosing scope and records it on destruction.
 /// \p name must be a string literal (or otherwise outlive the trace);
 /// events store the pointer, not a copy.
@@ -61,14 +73,10 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() {
-    if (active_) record(name_, start_ns_, now_ns());
+    if (active_) record_interval(name_, start_ns_, now_ns());
   }
 
  private:
-  static std::int64_t now_ns() noexcept;
-  static void record(const char* name, std::int64_t t0_ns,
-                     std::int64_t t1_ns) noexcept;
-
   const char* name_;
   std::int64_t start_ns_ = 0;
   bool active_;
@@ -102,9 +110,11 @@ std::string chrome_trace_json();
 /// Write chrome_trace_json() to \p path; returns false on I/O error.
 bool write_chrome_trace(const std::string& path);
 
-/// If tracing is enabled, write the trace next to the current process:
-/// to $FSI_TRACE_FILE when set, else "<basename>.trace.json".  Returns the
-/// path written, or "" when tracing is disabled or the write failed.
+/// If tracing is enabled, write the trace: to $FSI_TRACE_FILE when set,
+/// else "<basename>.trace.json", where a bare basename (no '/') is placed
+/// under obs::artifact_dir() so every trace artifact lands in one place.
+/// A basename containing a '/' is honoured verbatim.  Returns the path
+/// written, or "" when tracing is disabled or the write failed.
 /// Benches and examples call this once before exiting.
 std::string write_trace_if_enabled(const std::string& basename);
 

@@ -113,4 +113,36 @@ struct MultiGfResult {
 MultiGfResult run_parallel_fsi(const HubbardModel& model,
                                const MultiGfOptions& options);
 
+/// One externally-supplied inversion task for run_fsi_batch.  Unlike
+/// run_parallel_fsi — which derives every field and wrapping offset from its
+/// batch seed — the field and q here come from the caller (the serve path:
+/// each network client ships its own Hubbard-Stratonovich configuration).
+struct FsiBatchTask {
+  HsField field;     ///< the HS configuration (defines M up to spin)
+  index_t q = 0;     ///< wrapping offset in [0, c)
+  bool heavy = true; ///< also compute the Rows/Columns passes + SPXX
+};
+
+/// Execution knobs of one run_fsi_batch call.
+struct FsiBatchOptions {
+  int num_workers = 0;           ///< graph workers (0 = OpenMP max threads)
+  int omp_threads_per_worker = 0;///< 0 = leave the OpenMP default
+  index_t cluster_size = 0;      ///< 0 = divisor of L nearest sqrt(L)
+  Schedule schedule = Schedule::WorkStealing;
+};
+
+/// Execute a batch of externally-supplied tasks through the same
+/// fine-granularity task graph as run_parallel_fsi (build -> cluster
+/// products -> BSOFI -> seed walks -> measure, one sub-graph per task and
+/// spin, all on the persistent sched::Executor pool, so a straggler task's
+/// seed walks are stolen by idle workers).  Returns one Measurements per
+/// task, in task order; results are bit-identical to running in-process
+/// selinv::fsi_multi + the measurement accumulators per task, regardless of
+/// worker count or steal order.  \p sched, when non-null, receives the
+/// run's scheduler telemetry.
+std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
+                                        const std::vector<FsiBatchTask>& tasks,
+                                        const FsiBatchOptions& options,
+                                        SchedSummary* sched = nullptr);
+
 }  // namespace fsi::qmc

@@ -1,0 +1,162 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire protocol of the fsi::serve inversion service.
+///
+/// A client ships a Hubbard-Stratonovich field configuration plus the model
+/// parameters that define its Hubbard matrices; the server answers with the
+/// measurement quantities computed from the selected inversion (paper
+/// Alg. 3's "fields travel, matrices don't" trade, applied across process
+/// boundaries).  Framing is length-prefixed:
+///
+///   [u32 magic "FSRV"] [u32 payload bytes] [payload]
+///
+/// and every payload is schema-versioned:
+///
+///   [u32 schema version] [u32 message type] [u64 request id] [body ...]
+///
+/// Payload encoding reuses io::WireWriter / io::WireReader (native byte
+/// order, bounds-checked decode — see io/wire.hpp for the interchange
+/// caveat).  A frame with a bad magic or an implausible length is
+/// unrecoverable (the stream cannot be resynchronised) and closes the
+/// connection; a well-framed payload with an unsupported schema version is
+/// answered with Status::Malformed so old clients fail loudly.
+///
+/// docs/serving.md is the authoritative protocol and lifecycle document.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsi/dense/matrix.hpp"
+#include "fsi/util/check.hpp"
+
+namespace fsi::serve {
+
+using dense::index_t;
+
+inline constexpr std::uint32_t kFrameMagic = 0x56525346;  // "FSRV" LE
+inline constexpr std::uint32_t kSchemaVersion = 1;
+/// Upper bound on one frame's payload; a declared length beyond this is
+/// treated as a malformed stream (protects the server from a hostile or
+/// corrupt length prefix).  64 MiB fits fields for N*L ~ 8M sites-slices.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint32_t {
+  InvertRequest = 1,
+  InvertResponse = 2,
+};
+
+/// Response status.  RetryAfter and DeadlineMiss are *load-shedding*
+/// outcomes: the server refuses work explicitly instead of queueing without
+/// bound (see docs/serving.md, capacity semantics).
+enum class Status : std::uint32_t {
+  Ok = 0,
+  RetryAfter = 1,    ///< admission queue full; back off retry_after_ms
+  DeadlineMiss = 2,  ///< deadline expired before execution started
+  Malformed = 3,     ///< request failed validation (message has detail)
+  ShuttingDown = 4,  ///< server stopping; request was not executed
+  Error = 5,         ///< internal failure (message has detail)
+};
+const char* status_name(Status s) noexcept;
+
+/// One inversion request: model parameters + the HS field.
+struct InvertRequest {
+  std::uint64_t id = 0;      ///< client-assigned; echoed in the response
+  std::uint32_t lx = 4;      ///< lattice extent x
+  std::uint32_t ly = 1;      ///< lattice extent y (1 = periodic chain)
+  std::uint32_t l = 8;       ///< imaginary-time slices L
+  std::uint32_t c = 0;       ///< cluster size (0 = divisor of L near sqrt(L))
+  std::int32_t q = -1;       ///< wrap offset in [0, c); -1 = derive from seed
+  std::uint64_t seed = 0;    ///< q derivation stream (see resolve_q)
+  double t = 1.0;            ///< hopping amplitude
+  double u = 2.0;            ///< on-site interaction U
+  double beta = 1.0;         ///< inverse temperature
+  std::int64_t deadline_us = 0;  ///< relative budget; 0 = none, < 0 = expired
+  bool time_dependent = true;    ///< also compute Rows/Columns + SPXX
+  std::vector<double> field;     ///< HsField::serialize(), length l * lx * ly
+};
+
+/// One inversion response.
+struct InvertResponse {
+  std::uint64_t id = 0;
+  Status status = Status::Error;
+  std::uint32_t retry_after_ms = 0;   ///< RetryAfter: suggested backoff
+  std::int32_t q_used = 0;            ///< the wrap offset actually used
+  bool deadline_exceeded = false;     ///< Ok result that finished past deadline
+  std::uint64_t queue_wait_us = 0;    ///< arrival -> batch dispatch
+  std::uint64_t execute_us = 0;       ///< engine time of the carrying batch
+  std::uint32_t batch_size = 0;       ///< occupancy of the carrying batch
+  std::uint32_t l = 0;                ///< Measurements dimensions (Ok only)
+  std::uint32_t dmax = 0;
+  std::vector<double> measurements;   ///< qmc::Measurements::serialize()
+  std::string message;                ///< human-readable detail on errors
+};
+
+/// Thrown by decode_payload on a well-framed payload whose schema version
+/// is not kSchemaVersion — distinct from CheckError so the server can
+/// answer Status::Malformed instead of dropping the connection.
+class SchemaMismatch : public util::CheckError {
+ public:
+  explicit SchemaMismatch(std::uint32_t got);
+  std::uint32_t got_version;
+};
+
+/// Encode a message into a frame *payload* (schema | type | id | body).
+std::vector<std::uint8_t> encode_request(const InvertRequest& r);
+std::vector<std::uint8_t> encode_response(const InvertResponse& r);
+
+/// Decoded frame payload; exactly one of request/response is meaningful,
+/// selected by type.
+struct Decoded {
+  MsgType type = MsgType::InvertRequest;
+  InvertRequest request;
+  InvertResponse response;
+};
+
+/// Decode one frame payload.  Throws SchemaMismatch on a version mismatch
+/// and util::CheckError on truncation, trailing garbage or an unknown
+/// message type.
+Decoded decode_payload(const std::uint8_t* data, std::size_t size);
+
+/// Append [magic | length | payload] to \p out.
+void append_frame(std::vector<std::uint8_t>& out,
+                  const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame splitter for a byte stream.  feed() buffers received
+/// bytes; next() yields complete frame payloads in order.  Throws
+/// util::CheckError on a bad magic or a length above max_frame_bytes —
+/// both unrecoverable for the stream.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  bool next(std::vector<std::uint8_t>& payload);
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Validate an InvertRequest's parameters and field payload.  Returns "" if
+/// valid, else a human-readable reason (becomes the Malformed message).
+std::string validate_request(const InvertRequest& r);
+
+/// The cluster size a request resolves to (r.c, or the default divisor of L
+/// nearest sqrt(L) when r.c == 0).  Requires a validated request.
+index_t effective_cluster(const InvertRequest& r);
+
+/// The wrap offset a request resolves to: r.q when >= 0, else drawn
+/// uniformly from [0, c) by the (seed)-keyed stream — deterministic, so an
+/// in-process reference run with the same seed selects the same blocks.
+index_t resolve_q(const InvertRequest& r, index_t c);
+
+/// Convenience for clients and tests: a random ±1 HS field configuration
+/// of the request's dimensions, serialized (HsField(l, n, Rng(seed))).
+std::vector<double> random_field(std::uint32_t lx, std::uint32_t ly,
+                                 std::uint32_t l, std::uint64_t seed);
+
+}  // namespace fsi::serve

@@ -1,0 +1,85 @@
+#include "fsi/io/wire.hpp"
+
+#include <cstring>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::io {
+
+void WireWriter::put_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void WireWriter::put_u8(std::uint8_t v) { put_bytes(&v, sizeof v); }
+void WireWriter::put_u32(std::uint32_t v) { put_bytes(&v, sizeof v); }
+void WireWriter::put_i32(std::int32_t v) { put_bytes(&v, sizeof v); }
+void WireWriter::put_u64(std::uint64_t v) { put_bytes(&v, sizeof v); }
+void WireWriter::put_i64(std::int64_t v) { put_bytes(&v, sizeof v); }
+void WireWriter::put_f64(double v) { put_bytes(&v, sizeof v); }
+
+void WireWriter::put_f64_vector(const std::vector<double>& v) {
+  put_u64(v.size());
+  if (!v.empty()) put_bytes(v.data(), v.size() * sizeof(double));
+}
+
+void WireWriter::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  if (!s.empty()) put_bytes(s.data(), s.size());
+}
+
+void WireReader::get_bytes(void* out, std::size_t n) {
+  FSI_CHECK(n <= remaining(), "wire: truncated payload");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+}
+
+std::uint8_t WireReader::get_u8() {
+  std::uint8_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+std::uint32_t WireReader::get_u32() {
+  std::uint32_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+std::int32_t WireReader::get_i32() {
+  std::int32_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+std::uint64_t WireReader::get_u64() {
+  std::uint64_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+std::int64_t WireReader::get_i64() {
+  std::int64_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+double WireReader::get_f64() {
+  double v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+
+std::vector<double> WireReader::get_f64_vector() {
+  const std::uint64_t count = get_u64();
+  FSI_CHECK(count * sizeof(double) <= remaining(),
+            "wire: vector length exceeds payload");
+  std::vector<double> v(static_cast<std::size_t>(count));
+  if (count > 0) get_bytes(v.data(), v.size() * sizeof(double));
+  return v;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t len = get_u32();
+  FSI_CHECK(len <= remaining(), "wire: string length exceeds payload");
+  std::string s(len, '\0');
+  if (len > 0) get_bytes(s.data(), len);
+  return s;
+}
+
+}  // namespace fsi::io

@@ -68,6 +68,12 @@ const char* name(Counter c) noexcept {
     case Counter::SchedSteals: return "sched_steals";
     case Counter::ExecNodes: return "exec_nodes";
     case Counter::ExecSteals: return "exec_steals";
+    case Counter::ServeRequests: return "serve_requests";
+    case Counter::ServeBatches: return "serve_batches";
+    case Counter::ServeRejected: return "serve_rejected";
+    case Counter::ServeDeadlineMiss: return "serve_deadline_miss";
+    case Counter::ServeCancelled: return "serve_cancelled";
+    case Counter::ServeErrors: return "serve_errors";
     case Counter::kCount: break;
   }
   return "?";
@@ -151,6 +157,9 @@ const char* name(Hist h) noexcept {
     case Hist::QueueDepth: return "queue_depth";
     case Hist::ReadyDepth: return "ready_depth";
     case Hist::NodeSeconds: return "node_seconds";
+    case Hist::ServeLatency: return "serve_latency_s";
+    case Hist::ServeQueueWait: return "serve_queue_wait_s";
+    case Hist::ServeBatchOccupancy: return "serve_batch_occupancy";
     case Hist::kCount: break;
   }
   return "?";
@@ -218,6 +227,7 @@ const char* name(Gauge g) noexcept {
     case Gauge::HealthSampleEvery: return "health_sample_every";
     case Gauge::SchedWorkers: return "sched_workers";
     case Gauge::ExecPoolWorkers: return "exec_pool_workers";
+    case Gauge::ServeQueueDepth: return "serve_queue_depth";
     case Gauge::kCount: break;
   }
   return "?";

@@ -133,6 +133,30 @@ std::string BenchTelemetry::json() const {
   }
   out += '}';
 
+  // Histograms: only non-empty ones, as summary stats (the decade buckets
+  // stay internal — count/sum/min/max/last are what the gates and the serve
+  // latency report consume).
+  out += ",\"hists\":{";
+  {
+    bool first = true;
+    for (int h = 0; h < static_cast<int>(metrics::Hist::kCount); ++h) {
+      const auto hist_id = static_cast<metrics::Hist>(h);
+      const metrics::HistSnapshot snap = metrics::hist(hist_id);
+      if (snap.count == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += quoted(metrics::name(hist_id)) + ":{";
+      out += "\"count\":" + std::to_string(snap.count);
+      out += ",\"sum\":" + num(snap.sum);
+      out += ",\"mean\":" + num(snap.mean());
+      out += ",\"min\":" + num(snap.min);
+      out += ",\"max\":" + num(snap.max);
+      out += ",\"last\":" + num(snap.last);
+      out += '}';
+    }
+  }
+  out += '}';
+
   out += ",\"health\":";
   out += health::report().json();
 

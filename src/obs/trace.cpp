@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "fsi/obs/env.hpp"
+#include "fsi/obs/telemetry.hpp"
 
 namespace fsi::obs {
 
@@ -104,14 +105,15 @@ void json_escape(std::string& out, const char* s) {
 
 }  // namespace
 
-std::int64_t Span::now_ns() noexcept {
+std::int64_t now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - process_epoch())
       .count();
 }
 
-void Span::record(const char* name, std::int64_t t0_ns,
-                  std::int64_t t1_ns) noexcept {
+void record_interval(const char* name, std::int64_t t0_ns,
+                     std::int64_t t1_ns) noexcept {
+  if (!enabled()) return;
   local_buffer().push({name, t0_ns, t1_ns - t0_ns, omp_get_thread_num()},
                       dropped_counter());
 }
@@ -226,8 +228,16 @@ bool write_chrome_trace(const std::string& path) {
 std::string write_trace_if_enabled(const std::string& basename) {
   if (!enabled()) return "";
   const char* env = std::getenv("FSI_TRACE_FILE");
-  const std::string path =
-      (env != nullptr && env[0] != '\0') ? env : basename + ".trace.json";
+  // A bare basename (no '/') lands under artifact_dir(), next to the
+  // BENCH_*.json telemetry; an explicit path is honoured verbatim.
+  std::string path;
+  if (env != nullptr && env[0] != '\0') {
+    path = env;
+  } else if (basename.find('/') == std::string::npos) {
+    path = artifact_dir() + "/" + basename + ".trace.json";
+  } else {
+    path = basename + ".trace.json";
+  }
   if (!write_chrome_trace(path)) {
     std::fprintf(stderr, "[fsi.obs] could not write trace to %s\n",
                  path.c_str());

@@ -1,5 +1,7 @@
 #include "fsi/qmc/multi_gf.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
@@ -32,80 +34,82 @@ bool use_fine_granularity(const MultiGfOptions& options) {
   return obs::env_flag("FSI_EXEC", true);
 }
 
-/// Merge per-worker [task, payload] records into the global measurements in
-/// ascending task order — same deterministic merge as the coarse mini-MPI
-/// path, just without the messaging.
-Measurements merge_records(const std::vector<std::vector<double>>& done,
-                           index_t m_total, index_t l, index_t dmax,
-                           std::size_t record_len) {
-  std::vector<std::vector<double>> payloads(static_cast<std::size_t>(m_total));
-  std::vector<bool> seen(static_cast<std::size_t>(m_total), false);
-  for (const std::vector<double>& records : done) {
-    FSI_CHECK(records.size() % record_len == 0,
-              "run_parallel_fsi: malformed task-result records");
-    for (std::size_t off = 0; off < records.size(); off += record_len) {
-      const auto task = static_cast<std::size_t>(records[off]);
-      FSI_CHECK(task < static_cast<std::size_t>(m_total) && !seen[task],
-                "run_parallel_fsi: duplicate or out-of-range task");
-      seen[task] = true;
-      payloads[task].assign(records.begin() + static_cast<std::ptrdiff_t>(off) + 1,
-                            records.begin() + static_cast<std::ptrdiff_t>(off + record_len));
-    }
-  }
-  Measurements global(l, dmax);
-  for (index_t t = 0; t < m_total; ++t) {
-    FSI_CHECK(seen[static_cast<std::size_t>(t)],
-              "run_parallel_fsi: task result missing");
-    global.merge(Measurements::deserialize(
-        l, dmax, payloads[static_cast<std::size_t>(t)]));
-  }
-  return global;
-}
-
-/// Fine-granularity path: the whole batch becomes ONE task graph — per task
-/// and spin a Build node, b cluster-product nodes, a BSOFI node and one node
-/// per seed walk, plus a per-task Measure node fencing both spins — run by
-/// `ranks` workers of the persistent executor pool (the caller participates
-/// as worker 0).  All nodes of task t carry owner hint owner(t) (the
-/// BatchScheduler contiguous split), so with stealing disabled the placement
-/// is exactly the static baseline; with stealing on, idle workers pick up a
-/// straggler matrix's remaining seed walks, which whole-matrix scheduling
-/// could never migrate.  Outputs are disjoint per node and the merge is
-/// task-ordered, so the result is bit-identical to the coarse path.
+/// Fine-granularity path: generate the batch's fields and offsets from the
+/// run seed — the same (seed)-keyed streams the coarse path broadcasts —
+/// then lower everything onto the shared run_fsi_batch graph engine and
+/// merge the per-task measurements in ascending task order.  Outputs are
+/// disjoint per node and the merge is task-ordered, so the result is
+/// bit-identical to the coarse path.
 void run_fine_granularity(const HubbardModel& model,
                           const MultiGfOptions& options, index_t c,
                           index_t heavy_cutoff, MultiGfResult& result) {
   const index_t l = model.params().l;
   const index_t n = model.num_sites();
   const index_t m_total = options.num_matrices;
-  const int ranks = options.num_ranks;
   const index_t dmax = model.lattice().num_distance_classes();
-  const std::size_t field_len = static_cast<std::size_t>(l) * n;
-  const std::size_t payload_len = Measurements::serialized_size(l, dmax);
-  const std::size_t record_len = 1 + payload_len;
 
-  // The caller stands in for the root rank: generate every HS field from the
-  // same (seed)-keyed stream the coarse path broadcasts.
-  std::vector<double> all_fields;
-  {
-    util::Rng root_rng(options.seed);
-    all_fields.reserve(static_cast<std::size_t>(m_total) * field_len);
-    for (index_t i = 0; i < m_total; ++i) {
-      HsField f(l, n, root_rng);
-      const auto buf = f.serialize();
-      all_fields.insert(all_fields.end(), buf.begin(), buf.end());
-    }
+  // The caller stands in for the root rank: all fields come from one
+  // sequential stream, each task's q from (seed, task index) alone.
+  std::vector<FsiBatchTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(m_total));
+  util::Rng root_rng(options.seed);
+  for (index_t t = 0; t < m_total; ++t)
+    tasks.push_back(FsiBatchTask{HsField(l, n, root_rng), 0, false});
+  for (index_t t = 0; t < m_total; ++t) {
+    util::Rng task_rng(options.seed, static_cast<std::uint64_t>(t) + 1);
+    tasks[static_cast<std::size_t>(t)].q =
+        static_cast<index_t>(task_rng.below(static_cast<std::uint64_t>(c)));
+    tasks[static_cast<std::size_t>(t)].heavy = t < heavy_cutoff;
   }
 
-  // Static owner of each task: the BatchScheduler contiguous preload split.
+  FsiBatchOptions batch_opts;
+  batch_opts.num_workers = options.num_ranks;
+  batch_opts.omp_threads_per_worker = options.omp_threads_per_rank;
+  batch_opts.cluster_size = c;
+  batch_opts.schedule = options.schedule;
+  const std::vector<Measurements> per_task =
+      run_fsi_batch(model, tasks, batch_opts, &result.sched);
+
+  Measurements global(l, dmax);
+  for (const Measurements& m : per_task) global.merge(m);
+  result.global = global;
+}
+
+}  // namespace
+
+std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
+                                        const std::vector<FsiBatchTask>& tasks,
+                                        const FsiBatchOptions& options,
+                                        SchedSummary* sched_out) {
+  const index_t l = model.params().l;
+  const index_t n = model.num_sites();
+  const auto m_total = static_cast<index_t>(tasks.size());
+  FSI_CHECK(m_total > 0, "run_fsi_batch: need at least one task");
+  const index_t c = (options.cluster_size > 0) ? options.cluster_size
+                                               : default_cluster_size(l);
+  FSI_CHECK(l % c == 0, "run_fsi_batch: cluster size must divide L");
+  for (const FsiBatchTask& task : tasks) {
+    FSI_CHECK(task.field.num_slices() == l && task.field.num_sites() == n,
+              "run_fsi_batch: field dimensions must match the model");
+    FSI_CHECK(task.q >= 0 && task.q < c, "run_fsi_batch: q out of [0, c)");
+  }
+  int workers = options.num_workers > 0 ? options.num_workers
+                                        : omp_get_max_threads();
+  if (workers < 1) workers = 1;
+  const index_t dmax = model.lattice().num_distance_classes();
+
+  // Static owner of each task: the BatchScheduler contiguous preload split,
+  // so with stealing disabled the placement is exactly the static baseline;
+  // with stealing on, idle workers pick up a straggler task's remaining
+  // seed walks, which whole-matrix scheduling could never migrate.
   std::vector<int> owner(static_cast<std::size_t>(m_total), 0);
-  for (int w = 0; w < ranks; ++w) {
+  for (int w = 0; w < workers; ++w) {
     const auto lo = static_cast<index_t>(
         static_cast<std::uint64_t>(m_total) * static_cast<std::uint64_t>(w) /
-        static_cast<std::uint64_t>(ranks));
+        static_cast<std::uint64_t>(workers));
     const auto hi = static_cast<index_t>(
         static_cast<std::uint64_t>(m_total) * (static_cast<std::uint64_t>(w) + 1) /
-        static_cast<std::uint64_t>(ranks));
+        static_cast<std::uint64_t>(workers));
     for (index_t t = lo; t < hi; ++t) owner[static_cast<std::size_t>(t)] = w;
   }
 
@@ -129,36 +133,31 @@ void run_fine_granularity(const HubbardModel& model,
         : sel(s), heavy(h), up(nn, s), dn(nn, s) {}
   };
 
-  std::vector<std::unique_ptr<TaskWork>> tasks;
-  tasks.reserve(static_cast<std::size_t>(m_total));
-  std::vector<std::vector<double>> done(static_cast<std::size_t>(ranks));
+  std::vector<std::unique_ptr<TaskWork>> work;
+  work.reserve(static_cast<std::size_t>(m_total));
+  // One result slot per task: the Measure nodes write disjoint entries, so
+  // the per-task accumulation order is fixed and worker-count independent.
+  std::vector<Measurements> results(static_cast<std::size_t>(m_total),
+                                    Measurements(l, dmax));
 
   sched::TaskGraph graph;
   for (index_t t = 0; t < m_total; ++t) {
-    // Per-task q from (seed, task index) alone — identical to the coarse
-    // path, so the same blocks of G are selected.
-    util::Rng task_rng(options.seed, static_cast<std::uint64_t>(t) + 1);
-    const index_t q =
-        static_cast<index_t>(task_rng.below(static_cast<std::uint64_t>(c)));
-    const pcyclic::Selection sel(l, c, q);
-    const bool heavy = t < heavy_cutoff;
-    tasks.push_back(std::make_unique<TaskWork>(sel, heavy, n));
-    TaskWork* tw = tasks.back().get();
+    const FsiBatchTask& task = tasks[static_cast<std::size_t>(t)];
+    const pcyclic::Selection sel(l, c, task.q);
+    work.push_back(std::make_unique<TaskWork>(sel, task.heavy, n));
+    TaskWork* tw = work.back().get();
     const int hint = owner[static_cast<std::size_t>(t)];
     const index_t b = sel.b();
+    const index_t q = task.q;
 
     std::vector<sched::NodeId> fences;  // all wrap nodes of both spins
     for (SpinWork* sw : {&tw->up, &tw->dn}) {
       const Spin spin = (sw == &tw->up) ? Spin::Up : Spin::Down;
       const sched::NodeId build = graph.add_node(
-          [&model, &all_fields, sw, spin, t, l, n, field_len](int) {
+          [&model, &task, sw, spin](int) {
             FSI_OBS_SPAN("qmc.build_m");
-            const HsField field = HsField::deserialize(
-                l, n,
-                all_fields.data() + static_cast<std::size_t>(t) * field_len,
-                field_len);
             sw->mat = std::make_unique<pcyclic::PCyclicMatrix>(
-                model.build_m(field, spin));
+                model.build_m(task.field, spin));
             sw->ops = std::make_unique<pcyclic::BlockOps>(*sw->mat);
           },
           sched::Stage::Build, hint);
@@ -202,21 +201,21 @@ void run_fine_granularity(const HubbardModel& model,
         }
       };
       emit_wrap(pcyclic::Pattern::AllDiagonals, &sw->diag);
-      if (heavy) {
+      if (tw->heavy) {
         emit_wrap(pcyclic::Pattern::Rows, &sw->rows);
         emit_wrap(pcyclic::Pattern::Columns, &sw->cols);
       }
     }
 
-    // The per-task Measure node: serial accumulation into a per-task buffer
-    // (fixed floating-point order), then recycle/release everything.  The
-    // worker id routes the record into that worker's private result vector.
+    // The per-task Measure node: serial accumulation into this task's
+    // result slot (fixed floating-point order), then recycle/release
+    // everything back to the workspace pool.
     const sched::NodeId measure = graph.add_node(
-        [&model, &done, tw, t, l, dmax](int worker) {
+        [&model, &results, tw, t](int) {
           FSI_OBS_SPAN("qmc.measure");
           sched::recycle(std::move(tw->up.gtilde));
           sched::recycle(std::move(tw->dn.gtilde));
-          Measurements task_meas(l, dmax);
+          Measurements& task_meas = results[static_cast<std::size_t>(t)];
           task_meas.add_sample(1.0);
           accumulate_equal_time(model.lattice(), tw->up.diag, tw->dn.diag,
                                 model.params().t, 1.0, false, task_meas);
@@ -230,10 +229,6 @@ void run_fine_granularity(const HubbardModel& model,
             s->ops.reset();
             s->mat.reset();
           }
-          std::vector<double>& rec = done[static_cast<std::size_t>(worker)];
-          rec.push_back(static_cast<double>(t));
-          const std::vector<double> payload = task_meas.serialize();
-          rec.insert(rec.end(), payload.begin(), payload.end());
         },
         sched::Stage::Measure, hint);
     for (sched::NodeId id : fences) graph.add_edge(id, measure);
@@ -241,30 +236,30 @@ void run_fine_granularity(const HubbardModel& model,
 
   sched::ExecOptions exec_opts = sched::ExecOptions::from_env();
   if (options.schedule == Schedule::Static) exec_opts.work_stealing = false;
-  exec_opts.omp_threads = options.omp_threads_per_rank;
+  exec_opts.omp_threads = options.omp_threads_per_worker;
   const sched::GraphStats gs =
-      sched::Executor::instance().run_graph(graph, ranks, exec_opts);
+      sched::Executor::instance().run_graph(graph, workers, exec_opts);
 
-  result.global = merge_records(done, m_total, l, dmax, record_len);
-  result.sched.workers = ranks;
-  result.sched.tasks = static_cast<std::uint32_t>(m_total);
-  result.sched.steal_batches = gs.steal_batches;
-  result.sched.stolen_tasks = gs.stolen_nodes;
-  result.sched.busy_max_seconds = gs.busy_max_seconds;
-  result.sched.busy_mean_seconds = gs.busy_mean_seconds;
-  result.sched.busy_seconds = gs.busy_seconds;
-  result.sched.graph_nodes = gs.nodes;
-  result.sched.critical_path_seconds = gs.critical_path_seconds;
-  result.sched.ready_depth_mean = gs.ready_depth_mean;
-  result.sched.stage_build_seconds = gs.of(sched::Stage::Build).busy_seconds;
-  result.sched.stage_cls_seconds = gs.of(sched::Stage::Cls).busy_seconds;
-  result.sched.stage_bsofi_seconds = gs.of(sched::Stage::Bsofi).busy_seconds;
-  result.sched.stage_wrap_seconds = gs.of(sched::Stage::Wrap).busy_seconds;
-  result.sched.stage_measure_seconds =
-      gs.of(sched::Stage::Measure).busy_seconds;
+  if (sched_out != nullptr) {
+    sched_out->workers = workers;
+    sched_out->tasks = static_cast<std::uint32_t>(m_total);
+    sched_out->steal_batches = gs.steal_batches;
+    sched_out->stolen_tasks = gs.stolen_nodes;
+    sched_out->busy_max_seconds = gs.busy_max_seconds;
+    sched_out->busy_mean_seconds = gs.busy_mean_seconds;
+    sched_out->busy_seconds = gs.busy_seconds;
+    sched_out->graph_nodes = gs.nodes;
+    sched_out->critical_path_seconds = gs.critical_path_seconds;
+    sched_out->ready_depth_mean = gs.ready_depth_mean;
+    sched_out->stage_build_seconds = gs.of(sched::Stage::Build).busy_seconds;
+    sched_out->stage_cls_seconds = gs.of(sched::Stage::Cls).busy_seconds;
+    sched_out->stage_bsofi_seconds = gs.of(sched::Stage::Bsofi).busy_seconds;
+    sched_out->stage_wrap_seconds = gs.of(sched::Stage::Wrap).busy_seconds;
+    sched_out->stage_measure_seconds =
+        gs.of(sched::Stage::Measure).busy_seconds;
+  }
+  return results;
 }
-
-}  // namespace
 
 MultiGfResult run_parallel_fsi(const HubbardModel& model,
                                const MultiGfOptions& options) {

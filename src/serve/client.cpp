@@ -1,0 +1,149 @@
+#include "fsi/serve/client.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::serve {
+
+struct Client::Impl {
+  Socket sock;
+  std::thread reader;
+  std::atomic<bool> open{false};
+  std::mutex write_mu;
+
+  std::mutex pending_mu;
+  std::map<std::uint64_t, std::promise<InvertResponse>> pending;
+  std::uint64_t next_id = 1;
+
+  void reader_loop();
+  void fail_all(const std::string& why);
+};
+
+void Client::Impl::fail_all(const std::string& why) {
+  std::map<std::uint64_t, std::promise<InvertResponse>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu);
+    orphaned.swap(pending);
+  }
+  for (auto& [id, promise] : orphaned) {
+    InvertResponse r;
+    r.id = id;
+    r.status = Status::Error;
+    r.message = why;
+    promise.set_value(std::move(r));
+  }
+}
+
+void Client::Impl::reader_loop() {
+  FrameParser parser;
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::vector<std::uint8_t> payload;
+  std::string why = "connection closed";
+  try {
+    for (;;) {
+      const long got = sock.recv_some(buf.data(), buf.size());
+      if (got <= 0) break;
+      parser.feed(buf.data(), static_cast<std::size_t>(got));
+      while (parser.next(payload)) {
+        const Decoded d = decode_payload(payload.data(), payload.size());
+        FSI_CHECK(d.type == MsgType::InvertResponse,
+                  "client: server sent a non-response message");
+        std::promise<InvertResponse> promise;
+        bool found = false;
+        {
+          std::lock_guard<std::mutex> lock(pending_mu);
+          const auto it = pending.find(d.response.id);
+          if (it != pending.end()) {
+            promise = std::move(it->second);
+            pending.erase(it);
+            found = true;
+          }
+        }
+        // id 0: a server-initiated error for an undecodable request; it
+        // cannot be matched, so it resolves the oldest outstanding future
+        // below via fail_all when the server closes, or is dropped here.
+        if (found) promise.set_value(InvertResponse(d.response));
+      }
+    }
+  } catch (const std::exception& e) {
+    why = e.what();
+  }
+  open.store(false, std::memory_order_relaxed);
+  fail_all(why);
+}
+
+Client::Client(const Endpoint& endpoint) : impl_(std::make_unique<Impl>()) {
+  impl_->sock = connect_to(endpoint);
+  impl_->open.store(true, std::memory_order_relaxed);
+  impl_->reader = std::thread([impl = impl_.get()] { impl->reader_loop(); });
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (impl_ == nullptr) return;
+  impl_->open.store(false, std::memory_order_relaxed);
+  impl_->sock.shutdown_both();
+  if (impl_->reader.joinable()) impl_->reader.join();
+  impl_->sock.close();
+  impl_->fail_all("client closed");
+}
+
+bool Client::connected() const {
+  return impl_->open.load(std::memory_order_relaxed);
+}
+
+std::future<InvertResponse> Client::submit(InvertRequest request) {
+  FSI_CHECK(connected(), "client: connection is closed");
+  std::future<InvertResponse> future;
+  {
+    std::lock_guard<std::mutex> lock(impl_->pending_mu);
+    request.id = impl_->next_id++;
+    auto [it, inserted] =
+        impl_->pending.emplace(request.id, std::promise<InvertResponse>());
+    FSI_ASSERT(inserted);
+    future = it->second.get_future();
+  }
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(request));
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->write_mu);
+    sent = impl_->sock.send_all(frame.data(), frame.size());
+  }
+  if (!sent) {
+    impl_->open.store(false, std::memory_order_relaxed);
+    // The reader will fail_all() when recv notices, but resolve this one
+    // now in case the reader is blocked on a half-open connection.
+    std::promise<InvertResponse> promise;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(impl_->pending_mu);
+      const auto it = impl_->pending.find(request.id);
+      if (it != impl_->pending.end()) {
+        promise = std::move(it->second);
+        impl_->pending.erase(it);
+        found = true;
+      }
+    }
+    if (found) {
+      InvertResponse r;
+      r.id = request.id;
+      r.status = Status::Error;
+      r.message = "send failed: connection closed";
+      promise.set_value(std::move(r));
+    }
+  }
+  return future;
+}
+
+InvertResponse Client::request(InvertRequest req) {
+  return submit(std::move(req)).get();
+}
+
+}  // namespace fsi::serve

@@ -1,0 +1,96 @@
+#include "fsi/serve/queue.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "fsi/obs/metrics.hpp"
+
+namespace fsi::serve {
+
+bool operator<(const BatchKey& a, const BatchKey& b) {
+  return std::tie(a.lx, a.ly, a.l, a.c, a.t, a.u, a.beta) <
+         std::tie(b.lx, b.ly, b.l, b.c, b.t, b.u, b.beta);
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t max_depth)
+    : max_depth_(max_depth) {}
+
+void AdmissionQueue::note_depth_locked() {
+  high_water_ = std::max(high_water_, queue_.size());
+  obs::metrics::set(obs::metrics::Gauge::ServeQueueDepth,
+                    static_cast<double>(queue_.size()));
+}
+
+bool AdmissionQueue::try_push(PendingRequest&& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= max_depth_) return false;
+    queue_.push_back(std::move(r));
+    note_depth_locked();
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void AdmissionQueue::take_matching(const BatchKey& key, std::size_t max_batch,
+                                   std::vector<PendingRequest>& out) {
+  for (auto it = queue_.begin(); it != queue_.end() && out.size() < max_batch;) {
+    if (it->key() == key) {
+      out.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  note_depth_locked();
+}
+
+std::vector<PendingRequest> AdmissionQueue::next_batch(
+    std::chrono::microseconds window, std::size_t max_batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // shutdown with nothing queued
+
+  std::vector<PendingRequest> batch;
+  const BatchKey key = queue_.front().key();
+  take_matching(key, max_batch, batch);
+
+  // Straggler window: late-arriving compatible requests join this batch
+  // instead of paying a whole engine run of their own.
+  const auto close_at = std::chrono::steady_clock::now() + window;
+  while (batch.size() < max_batch && !shutdown_) {
+    if (cv_.wait_until(lock, close_at) == std::cv_status::timeout) break;
+    take_matching(key, max_batch, batch);
+  }
+  return batch;
+}
+
+void AdmissionQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> AdmissionQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> out;
+  out.reserve(queue_.size());
+  for (auto& r : queue_) out.push_back(std::move(r));
+  queue_.clear();
+  note_depth_locked();
+  return out;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t AdmissionQueue::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace fsi::serve

@@ -1,0 +1,492 @@
+#include "fsi/serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "fsi/obs/env.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
+#include "fsi/serve/queue.hpp"
+#include "fsi/util/check.hpp"
+
+namespace fsi::serve {
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  const char* sock = std::getenv("FSI_SERVE_SOCKET");
+  if (sock != nullptr && sock[0] != '\0') o.endpoint = Endpoint::parse(sock);
+  o.queue_depth = static_cast<std::size_t>(std::max(
+      1L, obs::env_long("FSI_SERVE_QUEUE",
+                        static_cast<long>(o.queue_depth))));
+  o.batch_window_us =
+      std::max(0L, obs::env_long("FSI_SERVE_BATCH_WINDOW_US",
+                                 static_cast<long>(o.batch_window_us)));
+  o.max_batch = static_cast<std::size_t>(std::max(
+      1L, obs::env_long("FSI_SERVE_MAX_BATCH",
+                        static_cast<long>(o.max_batch))));
+  o.retry_after_ms = static_cast<std::uint32_t>(std::max(
+      0L, obs::env_long("FSI_SERVE_RETRY_AFTER_MS",
+                        static_cast<long>(o.retry_after_ms))));
+  o.default_deadline_ms =
+      std::max(0L, obs::env_long("FSI_SERVE_DEADLINE_MS",
+                                 static_cast<long>(o.default_deadline_ms)));
+  o.batch.num_workers = static_cast<int>(
+      obs::env_long("FSI_SERVE_WORKERS", o.batch.num_workers));
+  return o;
+}
+
+namespace {
+
+/// One live client connection: the socket, a write lock so the batcher and
+/// the reader can both answer on it, and the liveness flag the queue's
+/// cancellation checks read.
+struct Conn {
+  Socket sock;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+  std::thread reader;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)), queue(opts.queue_depth) {}
+
+  ServerOptions opts;
+  AdmissionQueue queue;
+  std::optional<Listener> listener;
+  Endpoint bound;  ///< resolved at start(); outlives the listener so
+                   ///< endpoint() stays valid after stop()
+  std::thread accept_thread;
+  std::thread batcher_thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Conn>> conns;
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+  std::vector<double> ok_latencies_s;  ///< one entry per Ok response
+
+  /// Batcher-thread-only cache: one HubbardModel per batch key, so repeated
+  /// batches of the same shape skip the matrix-exponential setup.
+  std::map<BatchKey, std::unique_ptr<qmc::HubbardModel>> models;
+
+  // ---------------------------------------------------------------------
+  void send_response(const std::shared_ptr<Conn>& conn, InvertResponse&& r);
+  void handle_payload(const std::shared_ptr<Conn>& conn,
+                      const std::vector<std::uint8_t>& payload);
+  void process_request(const std::shared_ptr<Conn>& conn, InvertRequest&& req);
+  void reader_loop(std::shared_ptr<Conn> conn);
+  void accept_loop();
+  void batcher_loop();
+  void run_batch(std::vector<PendingRequest>&& batch);
+  const qmc::HubbardModel& model_for(const BatchKey& key);
+
+  void count(std::uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    ++(stats.*field);
+  }
+};
+
+void Server::Impl::send_response(const std::shared_ptr<Conn>& conn,
+                                 InvertResponse&& r) {
+  obs::Span span("serve.serialize");
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_response(r));
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load(std::memory_order_relaxed)) return;
+  if (!conn->sock.send_all(frame.data(), frame.size()))
+    conn->open.store(false, std::memory_order_relaxed);
+}
+
+void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
+                                  const std::vector<std::uint8_t>& payload) {
+  Decoded d;
+  try {
+    d = decode_payload(payload.data(), payload.size());
+  } catch (const util::CheckError& e) {
+    // SchemaMismatch or a malformed body.  The frame boundary is intact, so
+    // the connection survives; the client learns why its request died.
+    count(&ServerStats::malformed);
+    obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    InvertResponse r;
+    r.id = 0;
+    r.status = Status::Malformed;
+    r.message = e.what();
+    send_response(conn, std::move(r));
+    return;
+  }
+  if (d.type != MsgType::InvertRequest) {
+    count(&ServerStats::malformed);
+    obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    InvertResponse r;
+    r.id = 0;
+    r.status = Status::Malformed;
+    r.message = "server accepts InvertRequest messages only";
+    send_response(conn, std::move(r));
+    return;
+  }
+  process_request(conn, std::move(d.request));
+}
+
+void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
+                                   InvertRequest&& req) {
+  const std::int64_t arrival_ns = obs::now_ns();
+  InvertResponse reject;
+  reject.id = req.id;
+
+  if (stopping.load()) {
+    count(&ServerStats::shed_shutdown);
+    reject.status = Status::ShuttingDown;
+    send_response(conn, std::move(reject));
+    return;
+  }
+
+  const std::string why = validate_request(req);
+  if (!why.empty()) {
+    count(&ServerStats::malformed);
+    obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    reject.status = Status::Malformed;
+    reject.message = why;
+    send_response(conn, std::move(reject));
+    return;
+  }
+
+  // Deadline: relative microsecond budget stamped at arrival.  A
+  // non-positive budget (other than "none") is already expired — reject
+  // before it can consume a queue slot.
+  std::int64_t deadline_us = req.deadline_us;
+  if (deadline_us == 0 && opts.default_deadline_ms > 0)
+    deadline_us = opts.default_deadline_ms * 1000;
+  if (req.deadline_us < 0) {
+    count(&ServerStats::deadline_miss);
+    obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
+    reject.status = Status::DeadlineMiss;
+    reject.message = "deadline expired on arrival";
+    send_response(conn, std::move(reject));
+    return;
+  }
+
+  PendingRequest p;
+  p.c = effective_cluster(req);
+  p.q = resolve_q(req, p.c);
+  p.arrival_ns = arrival_ns;
+  p.deadline_ns = deadline_us > 0 ? arrival_ns + deadline_us * 1000 : 0;
+  p.request = std::move(req);
+  std::weak_ptr<Conn> weak = conn;
+  p.alive = [weak] {
+    const auto c = weak.lock();
+    return c != nullptr && c->open.load(std::memory_order_relaxed);
+  };
+  p.respond = [this, weak](InvertResponse&& r) {
+    if (const auto c = weak.lock()) send_response(c, std::move(r));
+  };
+
+  if (!queue.try_push(std::move(p))) {
+    // Explicit backpressure: the queue is the only buffer and it is full.
+    count(&ServerStats::rejected_full);
+    obs::metrics::add(obs::metrics::Counter::ServeRejected, 1);
+    reject.status = Status::RetryAfter;
+    reject.retry_after_ms = opts.retry_after_ms;
+    reject.message = "admission queue full";
+    send_response(conn, std::move(reject));
+    return;
+  }
+  count(&ServerStats::admitted);
+  obs::metrics::add(obs::metrics::Counter::ServeRequests, 1);
+}
+
+void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
+  FrameParser parser;
+  std::vector<std::uint8_t> buf(1 << 16);
+  std::vector<std::uint8_t> payload;
+  bool fatal = false;
+  while (!fatal) {
+    const long got = conn->sock.recv_some(buf.data(), buf.size());
+    if (got <= 0) break;  // disconnect (or error): cancellation path
+    parser.feed(buf.data(), static_cast<std::size_t>(got));
+    for (;;) {
+      bool have = false;
+      try {
+        have = parser.next(payload);
+      } catch (const util::CheckError& e) {
+        // Bad magic or oversized frame: the stream cannot be resynchronised.
+        // Tell the client why (best effort), then drop the connection.
+        count(&ServerStats::malformed);
+        obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+        InvertResponse r;
+        r.status = Status::Malformed;
+        r.message = e.what();
+        send_response(conn, std::move(r));
+        fatal = true;
+        break;
+      }
+      if (!have) break;
+      handle_payload(conn, payload);
+    }
+  }
+  conn->open.store(false, std::memory_order_relaxed);
+  conn->sock.shutdown_both();
+}
+
+void Server::Impl::accept_loop() {
+  for (;;) {
+    Socket s = listener->accept_once();
+    if (stopping.load()) return;
+    if (!s.valid()) continue;
+
+    auto conn = std::make_shared<Conn>();
+    conn->sock = std::move(s);
+    count(&ServerStats::connections);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      // Reap connections whose reader already finished, so a long-lived
+      // daemon does not accumulate dead Conn entries.
+      for (auto it = conns.begin(); it != conns.end();) {
+        if (!(*it)->open.load() && (*it)->reader.joinable()) {
+          (*it)->reader.join();
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      conns.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+const qmc::HubbardModel& Server::Impl::model_for(const BatchKey& key) {
+  auto it = models.find(key);
+  if (it == models.end()) {
+    qmc::Lattice lat = key.ly == 1
+                           ? qmc::Lattice::chain(static_cast<index_t>(key.lx))
+                           : qmc::Lattice::rectangle(
+                                 static_cast<index_t>(key.lx),
+                                 static_cast<index_t>(key.ly));
+    qmc::HubbardParams params;
+    params.t = key.t;
+    params.u = key.u;
+    params.beta = key.beta;
+    params.l = static_cast<index_t>(key.l);
+    it = models
+             .emplace(key, std::make_unique<qmc::HubbardModel>(
+                               std::move(lat), params))
+             .first;
+  }
+  return *it->second;
+}
+
+void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
+  const std::int64_t dispatch_ns = obs::now_ns();
+
+  // Filter: clients that vanished while queued, deadlines that expired.
+  std::vector<PendingRequest> live;
+  live.reserve(batch.size());
+  for (PendingRequest& p : batch) {
+    if (!p.alive()) {
+      count(&ServerStats::cancelled);
+      obs::metrics::add(obs::metrics::Counter::ServeCancelled, 1);
+      continue;
+    }
+    if (stopping.load()) {
+      count(&ServerStats::shed_shutdown);
+      InvertResponse r;
+      r.id = p.request.id;
+      r.status = Status::ShuttingDown;
+      p.respond(std::move(r));
+      continue;
+    }
+    if (p.expired(dispatch_ns)) {
+      count(&ServerStats::deadline_miss);
+      obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
+      InvertResponse r;
+      r.id = p.request.id;
+      r.status = Status::DeadlineMiss;
+      r.queue_wait_us =
+          static_cast<std::uint64_t>((dispatch_ns - p.arrival_ns) / 1000);
+      r.message = "deadline expired while queued";
+      p.respond(std::move(r));
+      continue;
+    }
+    live.push_back(std::move(p));
+  }
+  if (live.empty()) return;
+
+  // Observability: per-request queue wait + the batch-formation interval
+  // (first arrival -> dispatch).
+  std::int64_t first_arrival = live.front().arrival_ns;
+  for (const PendingRequest& p : live) {
+    first_arrival = std::min(first_arrival, p.arrival_ns);
+    obs::record_interval("serve.queue_wait", p.arrival_ns, dispatch_ns);
+    obs::metrics::record(
+        obs::metrics::Hist::ServeQueueWait,
+        static_cast<double>(dispatch_ns - p.arrival_ns) * 1e-9);
+  }
+  obs::record_interval("serve.batch_form", first_arrival, dispatch_ns);
+
+  const BatchKey key = live.front().key();
+  const qmc::HubbardModel& model = model_for(key);
+
+  std::vector<qmc::FsiBatchTask> tasks;
+  tasks.reserve(live.size());
+  const index_t n = model.num_sites();
+  for (const PendingRequest& p : live) {
+    tasks.push_back(qmc::FsiBatchTask{
+        qmc::HsField::deserialize(static_cast<index_t>(key.l), n,
+                                  p.request.field.data(),
+                                  p.request.field.size()),
+        p.q, p.request.time_dependent});
+  }
+
+  qmc::FsiBatchOptions batch_opts = opts.batch;
+  batch_opts.cluster_size = key.c;
+
+  std::vector<qmc::Measurements> results;
+  std::string engine_error;
+  const std::int64_t exec_t0 = obs::now_ns();
+  try {
+    obs::Span span("serve.execute");
+    results = opts.engine ? opts.engine(model, tasks, batch_opts)
+                          : qmc::run_fsi_batch(model, tasks, batch_opts);
+    FSI_CHECK(results.size() == tasks.size(),
+              "serve: engine returned wrong result count");
+  } catch (const std::exception& e) {
+    engine_error = e.what();
+  }
+  const std::int64_t exec_t1 = obs::now_ns();
+  const auto execute_us =
+      static_cast<std::uint64_t>((exec_t1 - exec_t0) / 1000);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    ++stats.batches;
+    stats.batched_requests += live.size();
+    stats.queue_high_water =
+        std::max(stats.queue_high_water, queue.max_depth_seen());
+  }
+  obs::metrics::add(obs::metrics::Counter::ServeBatches, 1);
+  obs::metrics::record(obs::metrics::Hist::ServeBatchOccupancy,
+                       static_cast<double>(live.size()));
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    PendingRequest& p = live[i];
+    InvertResponse r;
+    r.id = p.request.id;
+    r.q_used = static_cast<std::int32_t>(p.q);
+    r.queue_wait_us =
+        static_cast<std::uint64_t>((dispatch_ns - p.arrival_ns) / 1000);
+    r.execute_us = execute_us;
+    r.batch_size = static_cast<std::uint32_t>(live.size());
+    if (!engine_error.empty()) {
+      count(&ServerStats::errors);
+      obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+      r.status = Status::Error;
+      r.message = engine_error;
+    } else {
+      r.status = Status::Ok;
+      r.l = key.l;
+      r.dmax =
+          static_cast<std::uint32_t>(results[i].num_distance_classes());
+      r.measurements = results[i].serialize();
+      r.deadline_exceeded = p.deadline_ns != 0 && exec_t1 >= p.deadline_ns;
+      const double latency_s =
+          static_cast<double>(exec_t1 - p.arrival_ns) * 1e-9;
+      obs::metrics::record(obs::metrics::Hist::ServeLatency, latency_s);
+      obs::record_interval("serve.request", p.arrival_ns, exec_t1);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu);
+        ++stats.served_ok;
+        ok_latencies_s.push_back(latency_s);
+      }
+    }
+    p.respond(std::move(r));
+  }
+}
+
+void Server::Impl::batcher_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = queue.next_batch(
+        std::chrono::microseconds(opts.batch_window_us), opts.max_batch);
+    if (batch.empty()) return;  // shutdown with an empty queue
+    run_batch(std::move(batch));
+  }
+}
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  FSI_CHECK(!impl_->started.load(), "serve: start() called twice");
+  impl_->listener.emplace(Listener::listen_on(impl_->opts.endpoint));
+  impl_->bound = impl_->listener->endpoint();
+  impl_->started.store(true);
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  impl_->batcher_thread = std::thread([this] { impl_->batcher_loop(); });
+}
+
+void Server::stop() {
+  if (!impl_->started.load()) return;
+  if (impl_->stopping.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit stop()): the
+    // first stop() already joined everything.
+    return;
+  }
+  // 1. The batcher answers remaining queued requests with ShuttingDown
+  //    (run_batch's stopping check) and exits once the queue is empty.
+  impl_->queue.shutdown();
+  if (impl_->batcher_thread.joinable()) impl_->batcher_thread.join();
+  // 2. Unblock and join the accept loop.
+  impl_->listener->wake();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  // 3. Close every connection and join its reader.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    conns.swap(impl_->conns);
+  }
+  for (const auto& conn : conns) {
+    conn->open.store(false, std::memory_order_relaxed);
+    conn->sock.shutdown_both();
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  impl_->listener.reset();
+}
+
+const Endpoint& Server::endpoint() const {
+  FSI_CHECK(impl_->started.load(), "serve: server not started");
+  return impl_->bound;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mu);
+  ServerStats s = impl_->stats;
+  s.queue_high_water =
+      std::max(s.queue_high_water, impl_->queue.max_depth_seen());
+  return s;
+}
+
+double Server::latency_quantile(double p) const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mu);
+  if (impl_->ok_latencies_s.empty()) return 0.0;
+  std::vector<double> sorted = impl_->ok_latencies_s;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(1.0, std::max(0.0, p));
+  const auto idx = static_cast<std::size_t>(
+      clamped * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[idx];
+}
+
+}  // namespace fsi::serve

@@ -1,5 +1,6 @@
 #include "fsi/util/cli.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 
@@ -15,7 +16,17 @@ const char* Cli::find(const std::string& name) const {
     const char* rest = arg + flag.size();
     if (*rest == '=') return rest + 1;
     if (*rest == '\0') {
-      if (i + 1 < argc_ && argv_[i + 1][0] != '-') return argv_[i + 1];
+      if (i + 1 < argc_) {
+        const char* next = argv_[i + 1];
+        // A leading '-' is another flag — unless it spells a negative
+        // number (e.g. "--deadline-us -1").
+        const bool negative_number =
+            next[0] == '-' &&
+            (std::isdigit(static_cast<unsigned char>(next[1])) != 0 ||
+             (next[1] == '.' &&
+              std::isdigit(static_cast<unsigned char>(next[2])) != 0));
+        if (next[0] != '-' || negative_number) return next;
+      }
       return "";  // bare flag
     }
   }

@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <thread>
@@ -161,6 +164,48 @@ TEST(ObsTrace, ExportedFsiTraceIsValidAndContainsStageSpans) {
   EXPECT_GT(report.total().measured_flops, 0.0);
   JsonChecker report_checker(report.json());
   EXPECT_TRUE(report_checker.parse()) << report.json();
+}
+
+TEST(ObsTrace, TraceArtifactsRouteThroughArtifactDir) {
+  TraceSession session;
+  { FSI_OBS_SPAN("route.me"); }
+
+  char dir_template[] = "/tmp/fsi_trace_route_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir(dir_template);
+
+  const char* old_bench = std::getenv("FSI_BENCH_DIR");
+  const std::string saved_bench = old_bench != nullptr ? old_bench : "";
+  const char* old_file = std::getenv("FSI_TRACE_FILE");
+  const std::string saved_file = old_file != nullptr ? old_file : "";
+  ::unsetenv("FSI_TRACE_FILE");
+  ::setenv("FSI_BENCH_DIR", dir.c_str(), 1);
+
+  // A bare basename lands under artifact_dir(), next to BENCH_*.json.
+  const std::string routed = obs::write_trace_if_enabled("routing_check");
+  EXPECT_EQ(routed, dir + "/routing_check.trace.json");
+  EXPECT_TRUE(std::filesystem::exists(routed));
+
+  // An explicit path (contains '/') is honoured verbatim.
+  const std::string verbatim = obs::write_trace_if_enabled(dir + "/verbatim");
+  EXPECT_EQ(verbatim, dir + "/verbatim.trace.json");
+  EXPECT_TRUE(std::filesystem::exists(verbatim));
+
+  // $FSI_TRACE_FILE overrides both.
+  const std::string forced = dir + "/forced.json";
+  ::setenv("FSI_TRACE_FILE", forced.c_str(), 1);
+  EXPECT_EQ(obs::write_trace_if_enabled("ignored_basename"), forced);
+  EXPECT_TRUE(std::filesystem::exists(forced));
+
+  if (saved_file.empty())
+    ::unsetenv("FSI_TRACE_FILE");
+  else
+    ::setenv("FSI_TRACE_FILE", saved_file.c_str(), 1);
+  if (saved_bench.empty())
+    ::unsetenv("FSI_BENCH_DIR");
+  else
+    ::setenv("FSI_BENCH_DIR", saved_bench.c_str(), 1);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ObsTrace, ClearResetsEventsButNotCounters) {

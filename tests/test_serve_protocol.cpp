@@ -1,0 +1,674 @@
+// Protocol, admission-queue and server-robustness tests of fsi::serve.
+//
+// Everything here is deliberately OpenMP-free: models are tiny (every gemm
+// stays under kParallelFlopThreshold, i.e. serial) and the server tests
+// substitute a stub Engine, so this binary can run under the ThreadSanitizer
+// CI job alongside the scheduler/executor suites (suite names carry the
+// Serve prefix the TSan ctest regex selects).  The end-to-end numerical
+// tests — real engine, OpenMP inside — live in test_serve.cpp.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fsi/obs/metrics.hpp"
+#include "fsi/serve/client.hpp"
+#include "fsi/serve/protocol.hpp"
+#include "fsi/serve/queue.hpp"
+#include "fsi/serve/server.hpp"
+#include "fsi/serve/socket.hpp"
+#include "fsi/util/check.hpp"
+
+namespace {
+
+using namespace fsi;
+using namespace fsi::serve;
+
+InvertRequest tiny_request(std::uint64_t id = 1) {
+  InvertRequest r;
+  r.id = id;
+  r.lx = 2;
+  r.ly = 1;
+  r.l = 2;
+  r.c = 1;
+  r.q = 0;
+  r.seed = 3;
+  r.field = random_field(r.lx, r.ly, r.l, r.seed);
+  return r;
+}
+
+std::string test_socket_path(const char* tag) {
+  return "unix:/tmp/fsi_serve_test_" + std::to_string(::getpid()) + "_" +
+         tag + ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  InvertRequest r = tiny_request(42);
+  r.deadline_us = 12345;
+  r.time_dependent = false;
+  const auto payload = encode_request(r);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertRequest);
+  EXPECT_EQ(d.request.id, 42u);
+  EXPECT_EQ(d.request.lx, r.lx);
+  EXPECT_EQ(d.request.ly, r.ly);
+  EXPECT_EQ(d.request.l, r.l);
+  EXPECT_EQ(d.request.c, r.c);
+  EXPECT_EQ(d.request.q, r.q);
+  EXPECT_EQ(d.request.seed, r.seed);
+  EXPECT_EQ(d.request.t, r.t);
+  EXPECT_EQ(d.request.u, r.u);
+  EXPECT_EQ(d.request.beta, r.beta);
+  EXPECT_EQ(d.request.deadline_us, r.deadline_us);
+  EXPECT_EQ(d.request.time_dependent, r.time_dependent);
+  EXPECT_EQ(d.request.field, r.field);
+}
+
+TEST(ServeProtocol, ResponseRoundTrip) {
+  InvertResponse r;
+  r.id = 7;
+  r.status = Status::Ok;
+  r.q_used = 3;
+  r.deadline_exceeded = true;
+  r.queue_wait_us = 100;
+  r.execute_us = 200;
+  r.batch_size = 4;
+  r.l = 8;
+  r.dmax = 2;
+  r.measurements = {1.0, -2.5, 3.25};
+  r.message = "all good";
+  const auto payload = encode_response(r);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertResponse);
+  EXPECT_EQ(d.response.id, 7u);
+  EXPECT_EQ(d.response.status, Status::Ok);
+  EXPECT_EQ(d.response.q_used, 3);
+  EXPECT_TRUE(d.response.deadline_exceeded);
+  EXPECT_EQ(d.response.queue_wait_us, 100u);
+  EXPECT_EQ(d.response.execute_us, 200u);
+  EXPECT_EQ(d.response.batch_size, 4u);
+  EXPECT_EQ(d.response.l, 8u);
+  EXPECT_EQ(d.response.dmax, 2u);
+  EXPECT_EQ(d.response.measurements, r.measurements);
+  EXPECT_EQ(d.response.message, "all good");
+}
+
+TEST(ServeProtocol, TruncatedPayloadThrows) {
+  const auto payload = encode_request(tiny_request());
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{17}, payload.size() - 1}) {
+    EXPECT_THROW(decode_payload(payload.data(), keep), util::CheckError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(ServeProtocol, SchemaMismatchThrowsDistinctType) {
+  auto payload = encode_request(tiny_request());
+  const std::uint32_t bad_version = kSchemaVersion + 7;
+  std::memcpy(payload.data(), &bad_version, sizeof bad_version);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()), SchemaMismatch);
+  try {
+    decode_payload(payload.data(), payload.size());
+    FAIL() << "expected SchemaMismatch";
+  } catch (const SchemaMismatch& e) {
+    EXPECT_EQ(e.got_version, bad_version);
+  }
+}
+
+TEST(ServeProtocol, TrailingBytesThrow) {
+  auto payload = encode_request(tiny_request());
+  payload.push_back(0xAB);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()),
+               util::CheckError);
+}
+
+TEST(ServeProtocol, UnknownMessageTypeThrows) {
+  auto payload = encode_request(tiny_request());
+  const std::uint32_t bad_type = 99;
+  std::memcpy(payload.data() + sizeof(std::uint32_t), &bad_type,
+              sizeof bad_type);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()),
+               util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+TEST(ServeFrameParser, ByteByByteDelivery) {
+  const auto p1 = encode_request(tiny_request(1));
+  const auto p2 = encode_response(InvertResponse{});
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, p1);
+  append_frame(stream, p2);
+
+  FrameParser parser;
+  std::vector<std::vector<std::uint8_t>> got;
+  std::vector<std::uint8_t> payload;
+  for (const std::uint8_t byte : stream) {
+    parser.feed(&byte, 1);
+    while (parser.next(payload)) got.push_back(payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], p1);
+  EXPECT_EQ(got[1], p2);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(ServeFrameParser, BadMagicThrows) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, encode_request(tiny_request()));
+  stream[0] ^= 0xFF;
+  FrameParser parser;
+  parser.feed(stream.data(), stream.size());
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(parser.next(payload), util::CheckError);
+}
+
+TEST(ServeFrameParser, OversizedFrameThrows) {
+  // Declared length above the parser's bound: rejected from the header
+  // alone, before any allocation of the declared size.
+  std::vector<std::uint8_t> header;
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t huge = 1u << 20;
+  header.resize(8);
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &huge, 4);
+  FrameParser parser(/*max_frame_bytes=*/1u << 16);
+  parser.feed(header.data(), header.size());
+  std::vector<std::uint8_t> payload;
+  EXPECT_THROW(parser.next(payload), util::CheckError);
+}
+
+TEST(ServeFrameParser, TruncatedFrameStaysPending) {
+  std::vector<std::uint8_t> stream;
+  append_frame(stream, encode_request(tiny_request()));
+  FrameParser parser;
+  parser.feed(stream.data(), stream.size() - 5);
+  std::vector<std::uint8_t> payload;
+  EXPECT_FALSE(parser.next(payload));  // incomplete: no frame, no throw
+  parser.feed(stream.data() + stream.size() - 5, 5);
+  EXPECT_TRUE(parser.next(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Validation and derived quantities
+
+TEST(ServeProtocol, ValidateRequestCatchesBadInputs) {
+  EXPECT_EQ(validate_request(tiny_request()), "");
+
+  InvertRequest r = tiny_request();
+  r.lx = 0;
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.c = 3;  // does not divide L = 2
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.q = 5;  // c = 1, so q must be 0
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.field.pop_back();
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.field[0] = 0.5;  // not an Ising value
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.beta = -1.0;
+  EXPECT_NE(validate_request(r), "");
+}
+
+TEST(ServeProtocol, ResolveQDeterministicAndInRange) {
+  InvertRequest r = tiny_request();
+  r.l = 8;
+  r.c = 4;
+  r.q = -1;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    r.seed = seed;
+    const index_t q1 = resolve_q(r, 4);
+    const index_t q2 = resolve_q(r, 4);
+    EXPECT_EQ(q1, q2);
+    EXPECT_GE(q1, 0);
+    EXPECT_LT(q1, 4);
+  }
+  r.q = 2;
+  EXPECT_EQ(resolve_q(r, 4), 2);
+}
+
+TEST(ServeEndpoint, ParseSpecs) {
+  const Endpoint u = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_TRUE(u.is_unix);
+  EXPECT_EQ(u.path, "/tmp/x.sock");
+  EXPECT_EQ(u.describe(), "unix:/tmp/x.sock");
+
+  const Endpoint t = Endpoint::parse("tcp:127.0.0.1:7070");
+  EXPECT_FALSE(t.is_unix);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 7070);
+
+  EXPECT_THROW(Endpoint::parse("http://x"), util::CheckError);
+  EXPECT_THROW(Endpoint::parse("unix:"), util::CheckError);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:notaport"), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+
+PendingRequest pending(std::uint64_t id, std::uint32_t l = 2) {
+  PendingRequest p;
+  p.request = tiny_request(id);
+  p.request.l = l;
+  p.c = 1;
+  p.q = 0;
+  p.respond = [](InvertResponse&&) {};
+  p.alive = [] { return true; };
+  return p;
+}
+
+TEST(ServeQueue, BoundedPushExplicitOverflow) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.try_push(pending(1)));
+  EXPECT_TRUE(q.try_push(pending(2)));
+  EXPECT_FALSE(q.try_push(pending(3)));  // full: caller sheds explicitly
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.max_depth_seen(), 2u);
+}
+
+TEST(ServeQueue, CoalescesSameKeyOnly) {
+  AdmissionQueue q(8);
+  ASSERT_TRUE(q.try_push(pending(1, /*l=*/2)));
+  ASSERT_TRUE(q.try_push(pending(2, /*l=*/4)));  // different key
+  ASSERT_TRUE(q.try_push(pending(3, /*l=*/2)));
+
+  auto batch = q.next_batch(std::chrono::microseconds(0), 8);
+  ASSERT_EQ(batch.size(), 2u);  // ids 1 and 3 coalesce; 2 stays queued
+  EXPECT_EQ(batch[0].request.id, 1u);
+  EXPECT_EQ(batch[1].request.id, 3u);
+  EXPECT_EQ(q.depth(), 1u);
+
+  batch = q.next_batch(std::chrono::microseconds(0), 8);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.id, 2u);
+}
+
+TEST(ServeQueue, MaxBatchBounds) {
+  AdmissionQueue q(8);
+  for (std::uint64_t i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(pending(i)));
+  const auto batch = q.next_batch(std::chrono::microseconds(0), 3);
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(ServeQueue, StragglerJoinsWithinWindow) {
+  AdmissionQueue q(8);
+  ASSERT_TRUE(q.try_push(pending(1)));
+  std::thread late([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(q.try_push(pending(2)));
+  });
+  const auto batch = q.next_batch(std::chrono::milliseconds(500), 8);
+  late.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(ServeQueue, ShutdownWakesAndDrains) {
+  AdmissionQueue q(8);
+  std::thread stopper([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.shutdown();
+  });
+  const auto batch = q.next_batch(std::chrono::milliseconds(0), 8);
+  stopper.join();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_FALSE(q.try_push(pending(9)));  // shut down: nothing admitted
+}
+
+// ---------------------------------------------------------------------------
+// Server robustness with a stub engine (no OpenMP anywhere on these paths)
+
+/// Engine stub: optionally blocks until release(); returns one Measurements
+/// per task with a deterministic sample count.
+struct GateEngine {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = true;
+  std::atomic<int> calls{0};
+  std::atomic<int> started{0};
+
+  void hold() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = false;
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+  bool wait_started(int n, int timeout_ms = 5000) {
+    const auto stop = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(timeout_ms);
+    while (started.load() < n) {
+      if (std::chrono::steady_clock::now() > stop) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+  Engine engine() {
+    return [this](const qmc::HubbardModel& model,
+                  const std::vector<qmc::FsiBatchTask>& tasks,
+                  const qmc::FsiBatchOptions&) {
+      started.fetch_add(1);
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return released; });
+      }
+      calls.fetch_add(1);
+      std::vector<qmc::Measurements> out;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        qmc::Measurements m(model.params().l,
+                            model.lattice().num_distance_classes());
+        m.add_sample(1.0);
+        out.push_back(std::move(m));
+      }
+      return out;
+    };
+  }
+};
+
+ServerOptions stub_options(const std::string& socket_spec, GateEngine& gate) {
+  ServerOptions o;
+  o.endpoint = Endpoint::parse(socket_spec);
+  o.queue_depth = 2;
+  o.batch_window_us = 0;
+  o.max_batch = 1;
+  o.retry_after_ms = 7;
+  o.engine = gate.engine();
+  return o;
+}
+
+TEST(ServeServer, StubRoundTripOverUnixSocket) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("roundtrip"), gate));
+  server.start();
+
+  Client client(server.endpoint());
+  const InvertResponse r = client.request(tiny_request());
+  EXPECT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.batch_size, 1u);
+  EXPECT_EQ(r.l, 2u);
+  EXPECT_FALSE(r.measurements.empty());
+
+  server.stop();
+  EXPECT_EQ(server.stats().served_ok, 1u);
+}
+
+TEST(ServeServer, OverloadShedsWithRetryAfter) {
+  GateEngine gate;
+  gate.hold();
+  Server server(stub_options(test_socket_path("overload"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  // First request occupies the engine (batcher popped it off the queue).
+  auto f0 = client.submit(tiny_request(1));
+  ASSERT_TRUE(gate.wait_started(1));
+
+  // Two more fill the bounded queue; the rest must shed with RetryAfter —
+  // explicit backpressure, not unbounded buffering.
+  auto f1 = client.submit(tiny_request(2));
+  auto f2 = client.submit(tiny_request(3));
+  // Give the reader a moment to admit both before overflowing.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 3 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(server.stats().admitted, 3u);
+
+  auto f3 = client.submit(tiny_request(4));
+  auto f4 = client.submit(tiny_request(5));
+  const InvertResponse r3 = f3.get();
+  const InvertResponse r4 = f4.get();
+  EXPECT_EQ(r3.status, Status::RetryAfter);
+  EXPECT_EQ(r3.retry_after_ms, 7u);
+  EXPECT_EQ(r4.status, Status::RetryAfter);
+
+  gate.release();
+  EXPECT_EQ(f0.get().status, Status::Ok);
+  EXPECT_EQ(f1.get().status, Status::Ok);
+  EXPECT_EQ(f2.get().status, Status::Ok);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.served_ok, 3u);
+  EXPECT_EQ(s.rejected_full, 2u);
+  EXPECT_EQ(s.queue_high_water, 2u);
+}
+
+TEST(ServeServer, DeadlineExpiredOnArrival) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("dl_arrival"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  InvertRequest r = tiny_request();
+  r.deadline_us = -1;
+  const InvertResponse resp = client.request(std::move(r));
+  EXPECT_EQ(resp.status, Status::DeadlineMiss);
+
+  server.stop();
+  EXPECT_EQ(server.stats().deadline_miss, 1u);
+  EXPECT_EQ(server.stats().served_ok, 0u);
+  EXPECT_EQ(gate.calls.load(), 0);  // never reached the engine
+}
+
+TEST(ServeServer, DeadlineExpiresWhileQueued) {
+  GateEngine gate;
+  gate.hold();
+  Server server(stub_options(test_socket_path("dl_queue"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  auto f0 = client.submit(tiny_request(1));  // blocks the engine
+  ASSERT_TRUE(gate.wait_started(1));
+
+  InvertRequest r = tiny_request(2);
+  r.deadline_us = 1000;  // 1 ms — will expire while the engine is held
+  auto f1 = client.submit(std::move(r));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.release();
+
+  EXPECT_EQ(f0.get().status, Status::Ok);
+  const InvertResponse r1 = f1.get();
+  EXPECT_EQ(r1.status, Status::DeadlineMiss);
+  EXPECT_GE(r1.queue_wait_us, 1000u);
+
+  server.stop();
+  EXPECT_EQ(gate.calls.load(), 1);  // the expired request never executed
+}
+
+TEST(ServeServer, MalformedRequestRejectedConnectionSurvives) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("malformed"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  InvertRequest bad = tiny_request();
+  bad.field.pop_back();  // wrong length
+  const InvertResponse r = client.request(std::move(bad));
+  EXPECT_EQ(r.status, Status::Malformed);
+  EXPECT_NE(r.message.find("field length"), std::string::npos);
+
+  // Same connection keeps working.
+  EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
+  server.stop();
+}
+
+TEST(ServeServer, WrongSchemaAnsweredMalformed) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("schema"), gate));
+  server.start();
+
+  Socket raw = connect_to(server.endpoint());
+  auto payload = encode_request(tiny_request());
+  const std::uint32_t bad_version = 99;
+  std::memcpy(payload.data(), &bad_version, sizeof bad_version);
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, payload);
+  ASSERT_TRUE(raw.send_all(frame.data(), frame.size()));
+
+  FrameParser parser;
+  std::vector<std::uint8_t> resp_payload;
+  std::uint8_t buf[4096];
+  while (!parser.next(resp_payload)) {
+    const long got = raw.recv_some(buf, sizeof buf);
+    ASSERT_GT(got, 0);
+    parser.feed(buf, static_cast<std::size_t>(got));
+  }
+  const Decoded d = decode_payload(resp_payload.data(), resp_payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertResponse);
+  EXPECT_EQ(d.response.status, Status::Malformed);
+  EXPECT_NE(d.response.message.find("schema"), std::string::npos);
+  raw.close();
+
+  // The daemon keeps serving.
+  Client client(server.endpoint());
+  EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
+  server.stop();
+}
+
+TEST(ServeServer, TruncatedFrameDisconnectKeepsServing) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("truncated"), gate));
+  server.start();
+
+  {
+    // Send half a request frame, then vanish mid-request.
+    Socket raw = connect_to(server.endpoint());
+    std::vector<std::uint8_t> frame;
+    append_frame(frame, encode_request(tiny_request()));
+    ASSERT_TRUE(raw.send_all(frame.data(), frame.size() / 2));
+    raw.close();
+  }
+  {
+    // Oversized declared length: the server answers Malformed and closes.
+    Socket raw = connect_to(server.endpoint());
+    std::uint8_t header[8];
+    const std::uint32_t magic = kFrameMagic;
+    const std::uint32_t huge = (64u << 20) + 1;
+    std::memcpy(header, &magic, 4);
+    std::memcpy(header + 4, &huge, 4);
+    ASSERT_TRUE(raw.send_all(header, sizeof header));
+    std::uint8_t buf[4096];
+    while (raw.recv_some(buf, sizeof buf) > 0) {
+    }  // drain until the server closes
+  }
+
+  Client client(server.endpoint());
+  EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
+  server.stop();
+  EXPECT_EQ(server.stats().served_ok, 1u);
+}
+
+TEST(ServeServer, DisconnectWhileQueuedCancels) {
+  GateEngine gate;
+  gate.hold();
+  Server server(stub_options(test_socket_path("cancel"), gate));
+  server.start();
+
+  Client keeper(server.endpoint());
+  auto f0 = keeper.submit(tiny_request(1));  // blocks the engine
+  ASSERT_TRUE(gate.wait_started(1));
+
+  {
+    Client quitter(server.endpoint());
+    auto f1 = quitter.submit(tiny_request(2));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.stats().admitted < 2 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.stats().admitted, 2u);
+    // quitter's destructor closes the connection with the request queued.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.release();
+
+  EXPECT_EQ(f0.get().status, Status::Ok);
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.served_ok, 1u);
+  EXPECT_EQ(s.cancelled, 1u);  // dropped without touching the engine
+  EXPECT_EQ(gate.calls.load(), 1);
+}
+
+TEST(ServeServer, StopAnswersQueuedWithShuttingDown) {
+  GateEngine gate;
+  gate.hold();
+  Server server(stub_options(test_socket_path("shutdown"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  auto f0 = client.submit(tiny_request(1));  // in flight, engine held
+  ASSERT_TRUE(gate.wait_started(1));
+  auto f1 = client.submit(tiny_request(2));  // queued behind it
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().admitted < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(server.stats().admitted, 2u);
+
+  std::thread stopper([&server] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.release();  // stop() waits for the in-flight batch
+  stopper.join();
+
+  EXPECT_EQ(f0.get().status, Status::Ok);
+  EXPECT_EQ(f1.get().status, Status::ShuttingDown);
+  EXPECT_EQ(server.stats().shed_shutdown, 1u);
+}
+
+TEST(ServeServer, MetricsCountOutcomes) {
+  namespace m = obs::metrics;
+  const auto base_req = m::total(m::Counter::ServeRequests);
+  const auto base_rej = m::total(m::Counter::ServeRejected);
+  const auto base_dl = m::total(m::Counter::ServeDeadlineMiss);
+
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("metrics"), gate));
+  server.start();
+  Client client(server.endpoint());
+  EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
+  InvertRequest late = tiny_request();
+  late.deadline_us = -1;
+  EXPECT_EQ(client.request(std::move(late)).status, Status::DeadlineMiss);
+  server.stop();
+
+  EXPECT_EQ(m::total(m::Counter::ServeRequests), base_req + 1);
+  EXPECT_EQ(m::total(m::Counter::ServeRejected), base_rej);
+  EXPECT_EQ(m::total(m::Counter::ServeDeadlineMiss), base_dl + 1);
+  EXPECT_GT(m::hist(m::Hist::ServeLatency).count, 0u);
+  EXPECT_GT(m::hist(m::Hist::ServeBatchOccupancy).count, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+/// \file fsi_request.cpp
+/// \brief CLI client for the fsi_serve daemon: submit inversion requests,
+/// optionally verify the responses bit-for-bit against an in-process
+/// selinv::fsi run of the same fields.
+///
+/// Usage:
+///   fsi_request --socket unix:/tmp/fsi.sock [--lx 4 --ly 1 --L 8 --c 0]
+///               [--t 1 --u 2 --beta 1] [--count 4] [--seed 7]
+///               [--deadline-us 0] [--equal-time-only]
+///               [--verify] [--expect-status ok]
+///
+/// --count N pipelines N requests over one connection (fields seeded
+/// seed, seed+1, ...), so concurrent fsi_request processes exercise the
+/// server's batch coalescing.  --verify recomputes every inversion
+/// in-process through qmc::run_fsi_batch and fails unless the serve-path
+/// measurements match bit-for-bit.  --expect-status makes a rejection the
+/// *expected* outcome (e.g. --deadline-us -1 --expect-status deadline-miss
+/// in the CI smoke test).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fsi/qmc/multi_gf.hpp"
+#include "fsi/serve/client.hpp"
+#include "fsi/util/cli.hpp"
+
+namespace {
+
+using namespace fsi;
+
+/// In-process reference: the same field and wrap offset through the same
+/// batch engine the server uses.  Bit-identity holds regardless of the
+/// server-side batch composition because each task's sub-graph and its
+/// measurement accumulation are independent and deterministic.
+std::vector<double> reference_measurements(const serve::InvertRequest& req) {
+  const qmc::Lattice lat =
+      req.ly == 1 ? qmc::Lattice::chain(static_cast<qmc::index_t>(req.lx))
+                  : qmc::Lattice::rectangle(static_cast<qmc::index_t>(req.lx),
+                                            static_cast<qmc::index_t>(req.ly));
+  qmc::HubbardParams params;
+  params.t = req.t;
+  params.u = req.u;
+  params.beta = req.beta;
+  params.l = static_cast<qmc::index_t>(req.l);
+  const qmc::HubbardModel model(lat, params);
+
+  const qmc::index_t c = serve::effective_cluster(req);
+  std::vector<qmc::FsiBatchTask> tasks;
+  tasks.push_back(qmc::FsiBatchTask{
+      qmc::HsField::deserialize(static_cast<qmc::index_t>(req.l),
+                                model.num_sites(), req.field.data(),
+                                req.field.size()),
+      serve::resolve_q(req, c), req.time_dependent});
+  qmc::FsiBatchOptions opts;
+  opts.cluster_size = c;
+  return qmc::run_fsi_batch(model, tasks, opts).front().serialize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  const std::string socket_spec =
+      cli.get_string("socket", "unix:fsi_serve.sock");
+  const int count = cli.get_int("count", 1);
+  const std::string expect =
+      cli.get_string("expect-status", "ok");
+  const bool verify = cli.has("verify");
+
+  serve::InvertRequest base;
+  base.lx = static_cast<std::uint32_t>(cli.get_int("lx", 4));
+  base.ly = static_cast<std::uint32_t>(cli.get_int("ly", 1));
+  base.l = static_cast<std::uint32_t>(cli.get_int("L", 8));
+  base.c = static_cast<std::uint32_t>(cli.get_int("c", 0));
+  base.q = cli.get_int("q", -1);
+  base.t = cli.get_double("t", 1.0);
+  base.u = cli.get_double("u", 2.0);
+  base.beta = cli.get_double("beta", 1.0);
+  base.deadline_us = cli.get_int("deadline-us", 0);
+  base.time_dependent = !cli.has("equal-time-only");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  int failures = 0;
+  try {
+    serve::Client client(serve::Endpoint::parse(socket_spec));
+
+    // Pipeline all requests before collecting, so the server can coalesce.
+    std::vector<serve::InvertRequest> requests;
+    std::vector<std::future<serve::InvertResponse>> futures;
+    for (int i = 0; i < count; ++i) {
+      serve::InvertRequest req = base;
+      req.seed = seed + static_cast<std::uint64_t>(i);
+      req.field = serve::random_field(req.lx, req.ly, req.l, req.seed);
+      futures.push_back(client.submit(req));
+      requests.push_back(std::move(req));
+    }
+
+    for (int i = 0; i < count; ++i) {
+      const serve::InvertResponse resp = futures[static_cast<std::size_t>(i)].get();
+      const std::string got = serve::status_name(resp.status);
+      if (got != expect) {
+        std::fprintf(stderr,
+                     "fsi_request: request %d: status %s (expected %s)%s%s\n",
+                     i, got.c_str(), expect.c_str(),
+                     resp.message.empty() ? "" : ": ",
+                     resp.message.c_str());
+        ++failures;
+        continue;
+      }
+      if (resp.status == serve::Status::Ok) {
+        std::printf("fsi_request: request %d ok: batch %u, queue wait %llu us, "
+                    "execute %llu us, %zu measurement doubles\n",
+                    i, resp.batch_size,
+                    static_cast<unsigned long long>(resp.queue_wait_us),
+                    static_cast<unsigned long long>(resp.execute_us),
+                    resp.measurements.size());
+        if (verify) {
+          const std::vector<double> expected =
+              reference_measurements(requests[static_cast<std::size_t>(i)]);
+          const bool same =
+              expected.size() == resp.measurements.size() &&
+              std::memcmp(expected.data(), resp.measurements.data(),
+                          expected.size() * sizeof(double)) == 0;
+          if (!same) {
+            std::fprintf(stderr,
+                         "fsi_request: request %d: serve-path measurements "
+                         "differ from the in-process reference\n", i);
+            ++failures;
+          } else {
+            std::printf("fsi_request: request %d verified bit-identical to "
+                        "in-process selected inversion\n", i);
+          }
+        }
+      } else {
+        std::printf("fsi_request: request %d: %s as expected%s%s\n", i,
+                    got.c_str(), resp.message.empty() ? "" : ": ",
+                    resp.message.c_str());
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsi_request: %s\n", e.what());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

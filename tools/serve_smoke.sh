@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke test of the fsi::serve daemon as CI (and operators) run it: boot
+# fsi_serve on a Unix socket, drive it with concurrent fsi_request clients
+# of mixed sizes — every response verified bit-identical against the
+# in-process qmc::run_fsi_batch reference — plus one past-deadline request
+# that must be shed with an explicit DeadlineMiss, then stop the daemon
+# with SIGTERM and check it exits cleanly and writes its telemetry.
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+build=${1:-build}
+sock="unix:/tmp/fsi_serve_smoke_$$.sock"
+artifacts=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$artifacts"' EXIT
+
+FSI_BENCH_DIR="$artifacts" "$build"/tools/fsi_serve \
+    --socket "$sock" --queue 32 --window-us 20000 --max-batch 4 &
+server_pid=$!
+
+# Wait for the socket to appear (the daemon binds before serving).
+for _ in $(seq 1 50); do
+  [ -S "${sock#unix:}" ] && break
+  sleep 0.1
+done
+[ -S "${sock#unix:}" ] || { echo "serve_smoke: daemon never bound $sock"; exit 1; }
+
+# Concurrent clients, mixed sizes; --verify diffs every response against
+# the in-process selected inversion (bit-identical or non-zero exit).
+pids=()
+"$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8  --count 3 --seed 11 --verify & pids+=($!)
+"$build"/tools/fsi_request --socket "$sock" --lx 6 --L 12 --count 2 --seed 23 --verify & pids+=($!)
+"$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8  --count 3 --seed 37 --verify & pids+=($!)
+# One request with an already-expired deadline: must be rejected, not run.
+"$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8 \
+    --deadline-us -1 --expect-status deadline-miss & pids+=($!)
+
+fail=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+[ "$fail" -eq 0 ] || { echo "serve_smoke: a client failed"; exit 1; }
+
+# Graceful shutdown on SIGTERM; the daemon prints stats and writes
+# BENCH_fsi_serve.json telemetry into $FSI_BENCH_DIR.
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "serve_smoke: daemon exited non-zero"; exit 1; }
+test -s "$artifacts/BENCH_fsi_serve.json" \
+    || { echo "serve_smoke: daemon telemetry missing"; exit 1; }
+
+python3 - "$artifacts/BENCH_fsi_serve.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+metrics = {m["key"]: m["value"] for m in doc["metrics"]}
+assert metrics["served_ok"] == 8, metrics
+assert metrics["deadline_miss"] == 1, metrics
+assert metrics["latency_p99_ms"] > 0, metrics
+print(f"serve_smoke OK: {int(metrics['served_ok'])} served, "
+      f"{int(metrics['deadline_miss'])} shed by deadline, "
+      f"p99 {metrics['latency_p99_ms']:.2f} ms")
+EOF
