@@ -45,7 +45,7 @@ struct BatchKey {
   friend bool operator!=(const BatchKey& a, const BatchKey& b) {
     return !(a == b);
   }
-  /// Strict weak order so keys can index the server's model cache.
+  /// Strict weak order so keys can index ordered containers.
   friend bool operator<(const BatchKey& a, const BatchKey& b);
 };
 

@@ -80,6 +80,8 @@ struct ServerStats {
   std::uint64_t batches = 0;        ///< engine batches dispatched
   std::uint64_t batched_requests = 0;  ///< requests carried by those batches
   std::size_t queue_high_water = 0; ///< max queue depth observed
+  std::uint64_t models_built = 0;   ///< HubbardModel constructions (cache misses)
+  std::size_t model_cache_size = 0; ///< current model-cache entries (bounded)
 
   double batch_occupancy_mean() const {
     return batches > 0

@@ -67,7 +67,9 @@ double WireReader::get_f64() {
 
 std::vector<double> WireReader::get_f64_vector() {
   const std::uint64_t count = get_u64();
-  FSI_CHECK(count * sizeof(double) <= remaining(),
+  // Divide instead of multiplying: `count * sizeof(double)` wraps for
+  // hostile counts near 2^64 and would pass the bound.
+  FSI_CHECK(count <= remaining() / sizeof(double),
             "wire: vector length exceeds payload");
   std::vector<double> v(static_cast<std::size_t>(count));
   if (count > 0) get_bytes(v.data(), v.size() * sizeof(double));

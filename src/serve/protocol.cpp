@@ -1,5 +1,6 @@
 #include "fsi/serve/protocol.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <sstream>
 
@@ -177,7 +178,8 @@ std::string validate_request(const InvertRequest& r) {
                  static_cast<std::uint32_t>(effective_cluster(r))) {
     why << "wrap offset q=" << r.q << " out of [0, c=" << effective_cluster(r)
         << ")";
-  } else if (!(r.beta > 0.0) || !(r.t == r.t) || !(r.u == r.u)) {
+  } else if (!std::isfinite(r.t) || !std::isfinite(r.u) ||
+             !std::isfinite(r.beta) || !(r.beta > 0.0)) {
     why << "non-finite or non-positive physics parameters";
   } else if (r.field.size() !=
              static_cast<std::size_t>(r.l) * r.lx * r.ly) {

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <map>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "fsi/obs/env.hpp"
 #include "fsi/obs/metrics.hpp"
@@ -78,8 +79,12 @@ struct Server::Impl {
   std::vector<double> ok_latencies_s;  ///< one entry per Ok response
 
   /// Batcher-thread-only cache: one HubbardModel per batch key, so repeated
-  /// batches of the same shape skip the matrix-exponential setup.
-  std::map<BatchKey, std::unique_ptr<qmc::HubbardModel>> models;
+  /// batches of the same shape skip the matrix-exponential setup.  LRU at
+  /// the front, bounded — the key holds client-supplied doubles (t, u,
+  /// beta), so an unbounded map would let a parameter-sweeping (or hostile)
+  /// client grow server memory without limit.
+  static constexpr std::size_t kModelCacheCap = 8;
+  std::list<std::pair<BatchKey, std::unique_ptr<qmc::HubbardModel>>> models;
 
   // ---------------------------------------------------------------------
   void send_response(const std::shared_ptr<Conn>& conn, InvertResponse&& r);
@@ -168,6 +173,11 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
   std::int64_t deadline_us = req.deadline_us;
   if (deadline_us == 0 && opts.default_deadline_ms > 0)
     deadline_us = opts.default_deadline_ms * 1000;
+  // Clamp before converting to ns: a huge client-supplied budget (up to
+  // INT64_MAX) would overflow `arrival_ns + deadline_us * 1000` — signed
+  // overflow is UB and the wrapped deadline would expire instantly.
+  constexpr std::int64_t kMaxDeadlineUs = 86'400'000'000;  // 24 h
+  deadline_us = std::min(deadline_us, kMaxDeadlineUs);
   if (req.deadline_us < 0) {
     count(&ServerStats::deadline_miss);
     obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
@@ -232,7 +242,22 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
         break;
       }
       if (!have) break;
-      handle_payload(conn, payload);
+      try {
+        handle_payload(conn, payload);
+      } catch (const std::exception& e) {
+        // Defense in depth: handle_payload answers protocol errors itself,
+        // so anything reaching here (e.g. std::bad_alloc from a hostile
+        // frame) is unexpected — never let it escape the thread and
+        // std::terminate the daemon.  Answer and drop the connection.
+        count(&ServerStats::malformed);
+        obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+        InvertResponse r;
+        r.status = Status::Malformed;
+        r.message = e.what();
+        send_response(conn, std::move(r));
+        fatal = true;
+        break;
+      }
     }
   }
   conn->open.store(false, std::memory_order_relaxed);
@@ -267,24 +292,31 @@ void Server::Impl::accept_loop() {
 }
 
 const qmc::HubbardModel& Server::Impl::model_for(const BatchKey& key) {
-  auto it = models.find(key);
-  if (it == models.end()) {
-    qmc::Lattice lat = key.ly == 1
-                           ? qmc::Lattice::chain(static_cast<index_t>(key.lx))
-                           : qmc::Lattice::rectangle(
-                                 static_cast<index_t>(key.lx),
-                                 static_cast<index_t>(key.ly));
-    qmc::HubbardParams params;
-    params.t = key.t;
-    params.u = key.u;
-    params.beta = key.beta;
-    params.l = static_cast<index_t>(key.l);
-    it = models
-             .emplace(key, std::make_unique<qmc::HubbardModel>(
-                               std::move(lat), params))
-             .first;
+  for (auto it = models.begin(); it != models.end(); ++it) {
+    if (it->first == key) {
+      models.splice(models.begin(), models, it);  // mark most-recently-used
+      return *models.front().second;
+    }
   }
-  return *it->second;
+  qmc::Lattice lat = key.ly == 1
+                         ? qmc::Lattice::chain(static_cast<index_t>(key.lx))
+                         : qmc::Lattice::rectangle(
+                               static_cast<index_t>(key.lx),
+                               static_cast<index_t>(key.ly));
+  qmc::HubbardParams params;
+  params.t = key.t;
+  params.u = key.u;
+  params.beta = key.beta;
+  params.l = static_cast<index_t>(key.l);
+  models.emplace_front(
+      key, std::make_unique<qmc::HubbardModel>(std::move(lat), params));
+  if (models.size() > kModelCacheCap) models.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    ++stats.models_built;
+    stats.model_cache_size = models.size();
+  }
+  return *models.front().second;
 }
 
 void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {

@@ -16,10 +16,12 @@
 #include <condition_variable>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "fsi/io/wire.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/serve/protocol.hpp"
@@ -134,6 +136,18 @@ TEST(ServeProtocol, TrailingBytesThrow) {
                util::CheckError);
 }
 
+TEST(ServeWire, HostileVectorCountRejectedWithoutAllocation) {
+  // A count near 2^64 chosen so that `count * sizeof(double)` wraps to a
+  // small value: the length check must not be fooled into attempting a
+  // multi-exabyte vector allocation (std::length_error / bad_alloc).
+  io::WireWriter w;
+  w.put_u64(0x2000000000000001ULL);
+  w.put_f64(0.0);  // 8 bytes remaining — equals the wrapped product
+  const auto bytes = w.take();
+  io::WireReader r(bytes.data(), bytes.size());
+  EXPECT_THROW(r.get_f64_vector(), util::CheckError);
+}
+
 TEST(ServeProtocol, UnknownMessageTypeThrows) {
   auto payload = encode_request(tiny_request());
   const std::uint32_t bad_type = 99;
@@ -230,6 +244,26 @@ TEST(ServeProtocol, ValidateRequestCatchesBadInputs) {
 
   r = tiny_request();
   r.beta = -1.0;
+  EXPECT_NE(validate_request(r), "");
+
+  // Non-finite physics parameters: NaN is caught by self-comparison tricks,
+  // but +-infinity must be rejected too — an inf model would poison the
+  // server's model cache under that key.
+  const double inf = std::numeric_limits<double>::infinity();
+  r = tiny_request();
+  r.t = inf;
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.u = -inf;
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.beta = inf;
+  EXPECT_NE(validate_request(r), "");
+
+  r = tiny_request();
+  r.beta = std::numeric_limits<double>::quiet_NaN();
   EXPECT_NE(validate_request(r), "");
 }
 
@@ -480,6 +514,27 @@ TEST(ServeServer, DeadlineExpiredOnArrival) {
   EXPECT_EQ(gate.calls.load(), 0);  // never reached the engine
 }
 
+TEST(ServeServer, HugeDeadlineDoesNotOverflowOrExpire) {
+  // deadline_us = INT64_MAX used to overflow `arrival_ns + deadline_us *
+  // 1000` (signed overflow, UB) and could wrap to a negative deadline that
+  // expired instantly.  The server now clamps the budget; the request must
+  // be served normally.
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("huge_dl"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  InvertRequest r = tiny_request();
+  r.deadline_us = std::numeric_limits<std::int64_t>::max();
+  const InvertResponse resp = client.request(std::move(r));
+  EXPECT_EQ(resp.status, Status::Ok);
+  EXPECT_FALSE(resp.deadline_exceeded);
+
+  server.stop();
+  EXPECT_EQ(server.stats().deadline_miss, 0u);
+  EXPECT_EQ(server.stats().served_ok, 1u);
+}
+
 TEST(ServeServer, DeadlineExpiresWhileQueued) {
   GateEngine gate;
   gate.hold();
@@ -554,6 +609,83 @@ TEST(ServeServer, WrongSchemaAnsweredMalformed) {
   Client client(server.endpoint());
   EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
   server.stop();
+}
+
+TEST(ServeServer, HostileFieldCountAnsweredMalformedDaemonSurvives) {
+  // The original remote-DoS shape: a well-framed request whose field-vector
+  // length prefix is a wrap-inducing u64.  The decode must fail as a bounds
+  // check (answered Malformed), not escape the reader thread as
+  // std::length_error and terminate the daemon.
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("hostile_count"), gate));
+  server.start();
+
+  io::WireWriter w;
+  w.put_u32(kSchemaVersion);
+  w.put_u32(static_cast<std::uint32_t>(MsgType::InvertRequest));
+  w.put_u64(77);   // id
+  w.put_u32(2);    // lx
+  w.put_u32(1);    // ly
+  w.put_u32(2);    // l
+  w.put_u32(1);    // c
+  w.put_i32(0);    // q
+  w.put_u64(3);    // seed
+  w.put_f64(1.0);  // t
+  w.put_f64(2.0);  // u
+  w.put_f64(1.0);  // beta
+  w.put_i64(0);    // deadline_us
+  w.put_u8(0);     // time_dependent
+  w.put_u64(0x2000000000000001ULL);  // hostile field count
+  w.put_f64(0.0);  // 8 bytes of "field" — matches the wrapped product
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, w.take());
+
+  Socket raw = connect_to(server.endpoint());
+  ASSERT_TRUE(raw.send_all(frame.data(), frame.size()));
+  FrameParser parser;
+  std::vector<std::uint8_t> resp_payload;
+  std::uint8_t buf[4096];
+  while (!parser.next(resp_payload)) {
+    const long got = raw.recv_some(buf, sizeof buf);
+    ASSERT_GT(got, 0);
+    parser.feed(buf, static_cast<std::size_t>(got));
+  }
+  const Decoded d = decode_payload(resp_payload.data(), resp_payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertResponse);
+  EXPECT_EQ(d.response.status, Status::Malformed);
+  raw.close();
+
+  // The daemon keeps serving.
+  Client client(server.endpoint());
+  EXPECT_EQ(client.request(tiny_request()).status, Status::Ok);
+  server.stop();
+}
+
+TEST(ServeServer, ModelCacheStaysBounded) {
+  // The model cache is keyed on client-supplied (t, u, beta): a client
+  // sweeping parameters must not grow server memory without bound.
+  GateEngine gate;
+  ServerOptions o = stub_options(test_socket_path("model_cache"), gate);
+  o.queue_depth = 64;
+  Server server(std::move(o));
+  server.start();
+  Client client(server.endpoint());
+
+  for (int i = 0; i < 12; ++i) {
+    InvertRequest r = tiny_request(static_cast<std::uint64_t>(i));
+    r.beta = 1.0 + 0.25 * i;  // distinct batch key per request
+    ASSERT_EQ(client.request(std::move(r)).status, Status::Ok);
+  }
+  // A repeat of the most recent key is a cache hit, not a rebuild.
+  InvertRequest again = tiny_request(99);
+  again.beta = 1.0 + 0.25 * 11;
+  ASSERT_EQ(client.request(std::move(again)).status, Status::Ok);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.models_built, 12u);      // 12 distinct keys, 1 hit
+  EXPECT_LE(s.model_cache_size, 8u);   // kModelCacheCap: old entries evicted
+  EXPECT_EQ(s.served_ok, 13u);
 }
 
 TEST(ServeServer, TruncatedFrameDisconnectKeepsServing) {
