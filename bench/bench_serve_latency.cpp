@@ -64,6 +64,7 @@ struct RunResult {
   double wall_s = 0.0;
   double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;
   double occupancy_mean = 0.0;
+  std::uint64_t queue_high_water = 0;
 };
 
 /// One pipelined burst of \p requests identical-shape requests against a
@@ -108,7 +109,9 @@ RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
   out.p95_s = server.latency_quantile(0.95);
   out.p99_s = server.latency_quantile(0.99);
   server.stop();
-  out.occupancy_mean = server.stats().batch_occupancy_mean();
+  const serve::ServerStats stats = server.stats();
+  out.occupancy_mean = stats.batch_occupancy_mean();
+  out.queue_high_water = stats.queue_high_water;
   return out;
 }
 
@@ -175,6 +178,16 @@ int main(int argc, char** argv) {
   telemetry.add_metric("verified_ratio", verified_ratio, "ratio", true, true);
   telemetry.add_metric("batch_occupancy_ratio", occupancy_ratio, "ratio", true,
                        true);
+  // Batching-telemetry plane (ungated: host-dependent): what the adaptive
+  // batching work (ROADMAP item 1) will use as its control inputs.
+  telemetry.add_metric("batch_occupancy_mean", on.occupancy_mean, "req/batch",
+                       false, true);
+  telemetry.add_metric("queue_high_water_batched",
+                       static_cast<double>(on.queue_high_water), "requests",
+                       false, false);
+  telemetry.add_metric("queue_high_water_unbatched",
+                       static_cast<double>(off.queue_high_water), "requests",
+                       false, false);
   bench::finish_bench(telemetry);
   return ok_ratio == 1.0 && verified_ratio == 1.0 ? 0 : 1;
 }

@@ -96,7 +96,7 @@ enum class Hist : int {
   NodeSeconds,    ///< per-node wall time in the graph executor
   ServeLatency,   ///< serve request latency (arrival -> response), seconds
   ServeQueueWait, ///< serve admission-queue wait per request, seconds
-  ServeBatchOccupancy,  ///< requests coalesced into each dispatched batch
+  ServeBatchOccupancy,  ///< dispatched batch size / max_batch, in (0, 1]
   kCount
 };
 
@@ -134,6 +134,54 @@ HistSnapshot hist(Hist h) noexcept;
 /// Zero one histogram across every thread's slot (same contract as
 /// reset(Counter): must not race with concurrent record()).
 void reset(Hist h) noexcept;
+
+// ---------------------------------------------------------------------------
+// Windowed histograms — rolling last-~10-seconds percentiles for the serve
+// telemetry plane.  The lifetime histograms above accumulate forever, which
+// is what benches want but useless as a *control input* (ROADMAP item 1:
+// adaptive batching needs the occupancy and queue wait of the last few
+// seconds, not of the whole process).  A windowed histogram is a ring of
+// kWindowSeconds one-second buckets, each holding fine log-spaced value
+// counts; buckets are invalidated lazily when their wall second falls out
+// of the window, so there is no sweeper thread.  Recording takes a mutex —
+// windowed hists are for request-rate paths (serve), not kernel-rate ones.
+
+/// Width of the rolling window, in one-second ring buckets.
+inline constexpr int kWindowSeconds = 10;
+/// Log-spaced value resolution: sub-buckets per decade.  8 per decade keeps
+/// any percentile estimate within ~33% of the true sample value.
+inline constexpr int kWindowSubBuckets = 8;
+inline constexpr int kWindowValueBuckets = kHistBuckets * kWindowSubBuckets;
+
+/// Merged view of one histogram's rolling window.  Percentiles are
+/// estimated from the log-spaced buckets (geometric midpoint, clamped to
+/// the observed [min, max]); an empty window is all zeros.
+struct WindowSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Record one sample into \p h's rolling window *and* its lifetime
+/// histogram (callers record once; both views stay consistent).
+/// \p now_ns is the sample's timestamp on the obs::now_ns() clock; the
+/// overload without it stamps the current time.  Thread-safe.
+void record_windowed(Hist h, double value, std::int64_t now_ns) noexcept;
+void record_windowed(Hist h, double value) noexcept;
+
+/// Snapshot of the samples recorded into \p h's window during the last
+/// kWindowSeconds seconds before \p now_ns (current time if omitted).
+WindowSnapshot window(Hist h, std::int64_t now_ns) noexcept;
+WindowSnapshot window(Hist h) noexcept;
+
+/// Drop every windowed sample of \p h (lifetime histogram untouched).
+void reset_window(Hist h) noexcept;
 
 // ---------------------------------------------------------------------------
 // Gauges — last-value-wins scalars (single global cell per gauge).

@@ -57,9 +57,25 @@ std::int64_t now_ns() noexcept;
 
 /// Record a completed interval [t0_ns, t1_ns] under \p name into the
 /// calling thread's buffer, if tracing is enabled.  Same lifetime contract
-/// as Span: \p name must outlive the trace.
+/// as Span: \p name must outlive the trace.  The three-argument form tags
+/// the event with the process-wide active trace id (see set_active_trace);
+/// the four-argument form tags it with an explicit correlation id — the
+/// serve plane uses it to stamp each request's wire trace_id onto its
+/// spans, so a client-side and a server-side trace can be stitched into
+/// one chrome://tracing timeline (events carry args.trace_id).
 void record_interval(const char* name, std::int64_t t0_ns,
                      std::int64_t t1_ns) noexcept;
+void record_interval(const char* name, std::int64_t t0_ns, std::int64_t t1_ns,
+                     std::uint64_t trace_id) noexcept;
+
+/// Process-wide correlation id applied to every span recorded while it is
+/// nonzero.  The serve batcher sets it to the carrying request's trace_id
+/// for the duration of an engine run, so the per-node executor spans of
+/// that batch (fsi.cls / fsi.bsofi / fsi.wrap, recorded on pool threads)
+/// are tagged without threading trace context through the task graph.
+/// Single-writer by design (one batcher thread); readers are racy-relaxed.
+void set_active_trace(std::uint64_t trace_id) noexcept;
+std::uint64_t active_trace() noexcept;
 
 /// RAII span: measures the enclosing scope and records it on destruction.
 /// \p name must be a string literal (or otherwise outlive the trace);

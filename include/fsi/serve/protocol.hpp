@@ -35,7 +35,18 @@ namespace fsi::serve {
 using dense::index_t;
 
 inline constexpr std::uint32_t kFrameMagic = 0x56525346;  // "FSRV" LE
-inline constexpr std::uint32_t kSchemaVersion = 1;
+/// Current wire schema.  v2 added end-to-end tracing (trace_id + client
+/// send timestamp on requests, a nanosecond timing breakdown on responses)
+/// and the Stats message pair.  v2 bodies are strict supersets of v1 —
+/// extension fields append after the v1 body — so the server decodes both
+/// and answers each request in the schema it arrived with; a v1 client
+/// never sees a v2 frame.
+inline constexpr std::uint32_t kSchemaVersion = 2;
+/// Oldest schema decode_payload still accepts.
+inline constexpr std::uint32_t kMinSchemaVersion = 1;
+/// Version tag of the StatsResponse *snapshot layout* (independent of the
+/// wire schema so the stats body can evolve without a protocol bump).
+inline constexpr std::uint32_t kStatsVersion = 1;
 /// Upper bound on one frame's payload; a declared length beyond this is
 /// treated as a malformed stream (protects the server from a hostile or
 /// corrupt length prefix).  64 MiB fits fields for N*L ~ 8M sites-slices.
@@ -44,6 +55,8 @@ inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
 enum class MsgType : std::uint32_t {
   InvertRequest = 1,
   InvertResponse = 2,
+  StatsRequest = 3,   ///< admin: ask for a live stats snapshot (v2+)
+  StatsResponse = 4,  ///< admin: the snapshot (v2+)
 };
 
 /// Response status.  RetryAfter and DeadlineMiss are *load-shedding*
@@ -74,6 +87,12 @@ struct InvertRequest {
   std::int64_t deadline_us = 0;  ///< relative budget; 0 = none, < 0 = expired
   bool time_dependent = true;    ///< also compute Rows/Columns + SPXX
   std::vector<double> field;     ///< HsField::serialize(), length l * lx * ly
+
+  // --- schema v2 extension (defaults when decoded from a v1 frame) ---
+  std::uint64_t trace_id = 0;       ///< correlation id stitched across the
+                                    ///< socket; 0 = untraced request
+  std::int64_t client_send_ns = 0;  ///< client clock at send (opaque to the
+                                    ///< server; echoed into the access log)
 };
 
 /// One inversion response.
@@ -90,11 +109,72 @@ struct InvertResponse {
   std::uint32_t dmax = 0;
   std::vector<double> measurements;   ///< qmc::Measurements::serialize()
   std::string message;                ///< human-readable detail on errors
+
+  // --- schema v2 extension: per-request timing breakdown (all zero when
+  // encoded for a v1 client).  The nanosecond fields split the request's
+  // server-side journey so a client can print where time went and place
+  // synthesized server spans on its own trace timeline:
+  //   queue_wait_ns : admission -> first gathered out of the queue
+  //   batch_wait_ns : gathered -> engine start (straggler window + setup)
+  //   exec_ns       : engine run of the carrying batch
+  std::uint64_t trace_id = 0;       ///< echo of the request's trace_id
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t batch_wait_ns = 0;
+  std::uint64_t exec_ns = 0;
+  double batch_occupancy = 0.0;     ///< carrying batch size / max_batch
+};
+
+/// Rolling-window percentile summary of one serve histogram (the last
+/// ~obs::metrics::kWindowSeconds seconds, not process lifetime).
+struct WindowStat {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Live introspection snapshot answered to a StatsRequest.  Lifetime
+/// counters mirror ServerStats; the WindowStat fields are rolling windows
+/// so consecutive polls show current load, not process history.
+struct StatsResponse {
+  std::uint64_t id = 0;
+  std::uint32_t stats_version = kStatsVersion;
+  std::uint64_t uptime_ns = 0;        ///< since Server::start()
+  std::uint64_t connections = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t served_ok = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t deadline_miss = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t models_built = 0;
+  std::uint64_t model_cache_hits = 0;
+  std::uint64_t model_cache_size = 0;
+  std::uint64_t queue_depth = 0;      ///< gauge at snapshot time
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t queue_capacity = 0;
+  WindowStat latency_s;               ///< rolling ServeLatency (seconds)
+  WindowStat queue_wait_s;            ///< rolling ServeQueueWait (seconds)
+  WindowStat occupancy;               ///< rolling ServeBatchOccupancy
+
+  double model_cache_hit_rate() const {
+    const std::uint64_t lookups = models_built + model_cache_hits;
+    return lookups > 0
+               ? static_cast<double>(model_cache_hits) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
 };
 
 /// Thrown by decode_payload on a well-framed payload whose schema version
-/// is not kSchemaVersion — distinct from CheckError so the server can
-/// answer Status::Malformed instead of dropping the connection.
+/// is outside [kMinSchemaVersion, kSchemaVersion] — distinct from
+/// CheckError so the server can answer Status::Malformed instead of
+/// dropping the connection.
 class SchemaMismatch : public util::CheckError {
  public:
   explicit SchemaMismatch(std::uint32_t got);
@@ -102,20 +182,31 @@ class SchemaMismatch : public util::CheckError {
 };
 
 /// Encode a message into a frame *payload* (schema | type | id | body).
-std::vector<std::uint8_t> encode_request(const InvertRequest& r);
-std::vector<std::uint8_t> encode_response(const InvertResponse& r);
+/// \p version selects the wire schema: kSchemaVersion by default; passing 1
+/// emits the legacy v1 body (no tracing fields) — the server uses this to
+/// answer v1 clients in kind, and the compat tests to impersonate them.
+std::vector<std::uint8_t> encode_request(const InvertRequest& r,
+                                         std::uint32_t version = kSchemaVersion);
+std::vector<std::uint8_t> encode_response(const InvertResponse& r,
+                                          std::uint32_t version = kSchemaVersion);
+/// Stats messages exist only in v2+, so they take no version parameter.
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t id);
+std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r);
 
-/// Decoded frame payload; exactly one of request/response is meaningful,
-/// selected by type.
+/// Decoded frame payload; exactly one of request/response/stats is
+/// meaningful, selected by type.  \p schema records the version the frame
+/// arrived with so a server can answer in the same dialect.
 struct Decoded {
   MsgType type = MsgType::InvertRequest;
+  std::uint32_t schema = kSchemaVersion;
   InvertRequest request;
   InvertResponse response;
+  StatsResponse stats;
 };
 
-/// Decode one frame payload.  Throws SchemaMismatch on a version mismatch
-/// and util::CheckError on truncation, trailing garbage or an unknown
-/// message type.
+/// Decode one frame payload.  Throws SchemaMismatch on an unsupported
+/// version and util::CheckError on truncation, trailing garbage or an
+/// unknown message type (Stats* under schema 1 is unknown: v1 never had it).
 Decoded decode_payload(const std::uint8_t* data, std::size_t size);
 
 /// Append [magic | length | payload] to \p out.

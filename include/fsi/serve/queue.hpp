@@ -56,6 +56,13 @@ struct PendingRequest {
   index_t q = 0;  ///< resolved wrapping offset
   std::int64_t arrival_ns = 0;   ///< obs::now_ns() at admission
   std::int64_t deadline_ns = 0;  ///< absolute expiry (0 = none)
+  /// obs::now_ns() when next_batch gathered this request out of the queue —
+  /// the boundary between its queue wait and its batch-formation wait in
+  /// the per-request timing breakdown.  Stamped by the queue.
+  std::int64_t popped_ns = 0;
+  /// Wire schema the request arrived with; the response is encoded in the
+  /// same dialect so v1 clients keep decoding.
+  std::uint32_t schema = kSchemaVersion;
   /// Deliver the response; must be safe to call from the batcher thread and
   /// must tolerate a concurrently closed connection.
   std::function<void(InvertResponse&&)> respond;

@@ -56,12 +56,17 @@ struct ServerOptions {
   std::size_t max_batch = 8;          ///< max requests coalesced per batch
   std::uint32_t retry_after_ms = 50;  ///< backoff hint in RetryAfter rejects
   std::int64_t default_deadline_ms = 0;  ///< applied when a request has none
+  /// Per-request JSONL access log path ("" = off): one line per response
+  /// with id, trace_id, status, timing breakdown and batch occupancy —
+  /// appended, flushed per line, so `tail -f` works on a live daemon.
+  std::string access_log;
   qmc::FsiBatchOptions batch;         ///< executor knobs of the engine runs
   Engine engine;                      ///< null = qmc::run_fsi_batch
 
   /// Defaults overridden by FSI_SERVE_SOCKET, FSI_SERVE_QUEUE,
   /// FSI_SERVE_BATCH_WINDOW_US, FSI_SERVE_MAX_BATCH,
-  /// FSI_SERVE_RETRY_AFTER_MS, FSI_SERVE_DEADLINE_MS, FSI_SERVE_WORKERS.
+  /// FSI_SERVE_RETRY_AFTER_MS, FSI_SERVE_DEADLINE_MS, FSI_SERVE_WORKERS,
+  /// FSI_SERVE_LOG.
   static ServerOptions from_env();
 };
 
@@ -81,6 +86,7 @@ struct ServerStats {
   std::uint64_t batched_requests = 0;  ///< requests carried by those batches
   std::size_t queue_high_water = 0; ///< max queue depth observed
   std::uint64_t models_built = 0;   ///< HubbardModel constructions (cache misses)
+  std::uint64_t model_cache_hits = 0;  ///< batches served from the cache
   std::size_t model_cache_size = 0; ///< current model-cache entries (bounded)
 
   double batch_occupancy_mean() const {
@@ -113,6 +119,12 @@ class Server {
   const Endpoint& endpoint() const;
 
   ServerStats stats() const;
+
+  /// The live introspection snapshot the daemon answers to a StatsRequest:
+  /// lifetime counters, queue gauges, model-cache hit rate, uptime, and
+  /// rolling-window latency / queue-wait / occupancy percentiles.  Safe to
+  /// call from any thread while the server runs.
+  StatsResponse stats_snapshot() const;
 
   /// Latency percentile (seconds) over all Ok responses so far;
   /// \p p in [0, 1].  Returns 0 when nothing was served.

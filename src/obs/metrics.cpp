@@ -5,6 +5,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "fsi/obs/trace.hpp"  // now_ns(): the windowed-histogram clock
+
 namespace fsi::obs::metrics {
 namespace {
 
@@ -215,6 +217,135 @@ void reset(Hist h) noexcept {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (Slot* s : registry()) reset_hist_slot(s->hists[static_cast<int>(h)]);
   hist_last_cell(h).store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed histograms.
+
+namespace {
+
+/// Fine log-spaced value bucket: kWindowSubBuckets per decade over the same
+/// decade span as the lifetime histograms.  Non-positive and NaN samples go
+/// to bucket 0, +inf to the last — nothing is silently dropped.
+int window_value_bucket(double value) noexcept {
+  if (!(value > 0.0)) return 0;
+  if (std::isinf(value)) return kWindowValueBuckets - 1;
+  const double scaled = std::log10(value) * kWindowSubBuckets;
+  const int idx = static_cast<int>(std::floor(scaled)) -
+                  kHistMinDecade * kWindowSubBuckets;
+  return std::clamp(idx, 0, kWindowValueBuckets - 1);
+}
+
+/// Lower edge of a fine bucket (inverse of window_value_bucket).
+double window_bucket_lower(int idx) noexcept {
+  return std::pow(10.0, static_cast<double>(idx) / kWindowSubBuckets +
+                            kHistMinDecade);
+}
+
+/// One wall second of samples.  epoch_s stamps which second the bucket
+/// holds; a bucket whose second fell out of the window is stale and is
+/// reset lazily on the next write (or skipped on read).
+struct WindowBucket {
+  std::int64_t epoch_s = -1;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint32_t vals[kWindowValueBuckets] = {};
+
+  void reset(std::int64_t s) {
+    epoch_s = s;
+    count = 0;
+    sum = min = max = 0.0;
+    for (auto& v : vals) v = 0;
+  }
+};
+
+/// Ring of one-second buckets guarded by one mutex per histogram.  Windowed
+/// recording happens at request rate (the serve plane), so a mutex — not
+/// the thread-local-slot machinery of the lifetime histograms — is the
+/// right cost/complexity trade.
+struct WindowedHist {
+  std::mutex mu;
+  WindowBucket ring[kWindowSeconds];
+};
+
+WindowedHist& windowed(Hist h) {
+  static WindowedHist cells[kNumHists];
+  return cells[static_cast<int>(h)];
+}
+
+/// Percentile estimate from merged fine buckets: the geometric midpoint of
+/// the bucket holding the q-th sample, clamped to the observed range.
+double window_percentile(const std::uint64_t (&vals)[kWindowValueBuckets],
+                         std::uint64_t count, double q, double mn, double mx) {
+  if (count == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kWindowValueBuckets; ++b) {
+    seen += vals[b];
+    if (seen > rank) {
+      const double lo = window_bucket_lower(b);
+      const double hi = window_bucket_lower(b + 1);
+      return std::clamp(std::sqrt(lo * hi), mn, mx);
+    }
+  }
+  return mx;
+}
+
+}  // namespace
+
+void record_windowed(Hist h, double value, std::int64_t now_ns) noexcept {
+  record(h, value);  // lifetime histogram stays consistent with the window
+  const std::int64_t s = now_ns / 1'000'000'000;
+  WindowedHist& w = windowed(h);
+  std::lock_guard<std::mutex> lock(w.mu);
+  WindowBucket& b = w.ring[static_cast<std::size_t>(s) %
+                          static_cast<std::size_t>(kWindowSeconds)];
+  if (b.epoch_s != s) b.reset(s);
+  if (b.count == 0 || value < b.min) b.min = value;
+  if (b.count == 0 || value > b.max) b.max = value;
+  ++b.count;
+  b.sum += value;
+  ++b.vals[window_value_bucket(value)];
+}
+
+WindowSnapshot window(Hist h, std::int64_t now_ns) noexcept {
+  const std::int64_t now_s = now_ns / 1'000'000'000;
+  WindowSnapshot out;
+  std::uint64_t vals[kWindowValueBuckets] = {};
+  WindowedHist& w = windowed(h);
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    for (const WindowBucket& b : w.ring) {
+      // Keep buckets stamped within (now_s - kWindowSeconds, now_s].
+      if (b.epoch_s < 0 || b.epoch_s + kWindowSeconds <= now_s ||
+          b.epoch_s > now_s || b.count == 0)
+        continue;
+      if (out.count == 0 || b.min < out.min) out.min = b.min;
+      if (out.count == 0 || b.max > out.max) out.max = b.max;
+      out.count += b.count;
+      out.sum += b.sum;
+      for (int v = 0; v < kWindowValueBuckets; ++v) vals[v] += b.vals[v];
+    }
+  }
+  out.p50 = window_percentile(vals, out.count, 0.50, out.min, out.max);
+  out.p95 = window_percentile(vals, out.count, 0.95, out.min, out.max);
+  out.p99 = window_percentile(vals, out.count, 0.99, out.min, out.max);
+  return out;
+}
+
+void record_windowed(Hist h, double value) noexcept {
+  record_windowed(h, value, now_ns());
+}
+
+WindowSnapshot window(Hist h) noexcept { return window(h, now_ns()); }
+
+void reset_window(Hist h) noexcept {
+  WindowedHist& w = windowed(h);
+  std::lock_guard<std::mutex> lock(w.mu);
+  for (WindowBucket& b : w.ring) b.reset(-1);
 }
 
 // ---------------------------------------------------------------------------

@@ -27,8 +27,12 @@ struct Event {
   const char* name;
   std::int64_t t0_ns;
   std::int64_t dur_ns;
-  std::int32_t omp_tid;  ///< omp_get_thread_num() at span close
+  std::uint64_t trace_id;  ///< correlation id (0 = untagged)
+  std::int32_t omp_tid;    ///< omp_get_thread_num() at span close
 };
+
+/// The process-wide correlation id (see set_active_trace in the header).
+std::atomic<std::uint64_t> g_active_trace{0};
 
 /// Bounded per-thread event buffer.  The owning thread appends; exporters
 /// read entries [0, size) after an acquire load of size, so no entry is ever
@@ -113,9 +117,24 @@ std::int64_t now_ns() noexcept {
 
 void record_interval(const char* name, std::int64_t t0_ns,
                      std::int64_t t1_ns) noexcept {
+  record_interval(name, t0_ns, t1_ns,
+                  g_active_trace.load(std::memory_order_relaxed));
+}
+
+void record_interval(const char* name, std::int64_t t0_ns, std::int64_t t1_ns,
+                     std::uint64_t trace_id) noexcept {
   if (!enabled()) return;
-  local_buffer().push({name, t0_ns, t1_ns - t0_ns, omp_get_thread_num()},
-                      dropped_counter());
+  local_buffer().push(
+      {name, t0_ns, t1_ns - t0_ns, trace_id, omp_get_thread_num()},
+      dropped_counter());
+}
+
+void set_active_trace(std::uint64_t trace_id) noexcept {
+  g_active_trace.store(trace_id, std::memory_order_relaxed);
+}
+
+std::uint64_t active_trace() noexcept {
+  return g_active_trace.load(std::memory_order_relaxed);
 }
 
 void set_enabled(bool on) noexcept {
@@ -198,20 +217,28 @@ std::string summary_str() {
 
 std::string chrome_trace_json() {
   std::string out = "{\"traceEvents\":[";
-  char buf[192];
+  char buf[256];
   bool first = true;
   for (const auto& [tid, e] : snapshot_events()) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
     json_escape(out, e.name);
-    // Complete ("X") events; chrome expects microsecond timestamps.
+    // Complete ("X") events; chrome expects microsecond timestamps.  Tagged
+    // events carry their correlation id so a stitched client+server serve
+    // timeline can be filtered by args.trace_id in the viewer.
     std::snprintf(buf, sizeof buf,
                   "\",\"cat\":\"fsi\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-                  "\"pid\":0,\"tid\":%d,\"args\":{\"omp_tid\":%d}}",
+                  "\"pid\":0,\"tid\":%d,\"args\":{\"omp_tid\":%d",
                   static_cast<double>(e.t0_ns) * 1e-3,
                   static_cast<double>(e.dur_ns) * 1e-3, tid, e.omp_tid);
     out += buf;
+    if (e.trace_id != 0) {
+      std::snprintf(buf, sizeof buf, ",\"trace_id\":%llu",
+                    static_cast<unsigned long long>(e.trace_id));
+      out += buf;
+    }
+    out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

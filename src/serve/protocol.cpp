@@ -26,22 +26,45 @@ const char* status_name(Status s) noexcept {
 SchemaMismatch::SchemaMismatch(std::uint32_t got)
     : util::CheckError("serve: schema version " + std::to_string(got) +
                        " (this build speaks " +
+                       std::to_string(kMinSchemaVersion) + ".." +
                        std::to_string(kSchemaVersion) + ")"),
       got_version(got) {}
 
 namespace {
 
-void put_header(io::WireWriter& w, MsgType type, std::uint64_t id) {
-  w.put_u32(kSchemaVersion);
+void put_header(io::WireWriter& w, std::uint32_t version, MsgType type,
+                std::uint64_t id) {
+  FSI_CHECK(version >= kMinSchemaVersion && version <= kSchemaVersion,
+            "serve: cannot encode schema version " + std::to_string(version));
+  w.put_u32(version);
   w.put_u32(static_cast<std::uint32_t>(type));
   w.put_u64(id);
 }
 
+void put_window_stat(io::WireWriter& w, const WindowStat& s) {
+  w.put_u64(s.count);
+  w.put_f64(s.mean);
+  w.put_f64(s.p50);
+  w.put_f64(s.p95);
+  w.put_f64(s.p99);
+}
+
+WindowStat get_window_stat(io::WireReader& r) {
+  WindowStat s;
+  s.count = r.get_u64();
+  s.mean = r.get_f64();
+  s.p50 = r.get_f64();
+  s.p95 = r.get_f64();
+  s.p99 = r.get_f64();
+  return s;
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> encode_request(const InvertRequest& r) {
+std::vector<std::uint8_t> encode_request(const InvertRequest& r,
+                                         std::uint32_t version) {
   io::WireWriter w;
-  put_header(w, MsgType::InvertRequest, r.id);
+  put_header(w, version, MsgType::InvertRequest, r.id);
   w.put_u32(r.lx);
   w.put_u32(r.ly);
   w.put_u32(r.l);
@@ -54,12 +77,17 @@ std::vector<std::uint8_t> encode_request(const InvertRequest& r) {
   w.put_i64(r.deadline_us);
   w.put_u8(r.time_dependent ? 1 : 0);
   w.put_f64_vector(r.field);
+  if (version >= 2) {
+    w.put_u64(r.trace_id);
+    w.put_i64(r.client_send_ns);
+  }
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_response(const InvertResponse& r) {
+std::vector<std::uint8_t> encode_response(const InvertResponse& r,
+                                          std::uint32_t version) {
   io::WireWriter w;
-  put_header(w, MsgType::InvertResponse, r.id);
+  put_header(w, version, MsgType::InvertResponse, r.id);
   w.put_u32(static_cast<std::uint32_t>(r.status));
   w.put_u32(r.retry_after_ms);
   w.put_i32(r.q_used);
@@ -71,17 +99,60 @@ std::vector<std::uint8_t> encode_response(const InvertResponse& r) {
   w.put_u32(r.dmax);
   w.put_f64_vector(r.measurements);
   w.put_string(r.message);
+  if (version >= 2) {
+    w.put_u64(r.trace_id);
+    w.put_u64(r.queue_wait_ns);
+    w.put_u64(r.batch_wait_ns);
+    w.put_u64(r.exec_ns);
+    w.put_f64(r.batch_occupancy);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t id) {
+  io::WireWriter w;
+  put_header(w, kSchemaVersion, MsgType::StatsRequest, id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r) {
+  io::WireWriter w;
+  put_header(w, kSchemaVersion, MsgType::StatsResponse, r.id);
+  w.put_u32(r.stats_version);
+  w.put_u64(r.uptime_ns);
+  w.put_u64(r.connections);
+  w.put_u64(r.admitted);
+  w.put_u64(r.served_ok);
+  w.put_u64(r.rejected_full);
+  w.put_u64(r.deadline_miss);
+  w.put_u64(r.cancelled);
+  w.put_u64(r.malformed);
+  w.put_u64(r.errors);
+  w.put_u64(r.shed_shutdown);
+  w.put_u64(r.batches);
+  w.put_u64(r.batched_requests);
+  w.put_u64(r.models_built);
+  w.put_u64(r.model_cache_hits);
+  w.put_u64(r.model_cache_size);
+  w.put_u64(r.queue_depth);
+  w.put_u64(r.queue_high_water);
+  w.put_u64(r.queue_capacity);
+  put_window_stat(w, r.latency_s);
+  put_window_stat(w, r.queue_wait_s);
+  put_window_stat(w, r.occupancy);
   return w.take();
 }
 
 Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
   io::WireReader r(data, size);
   const std::uint32_t schema = r.get_u32();
-  if (schema != kSchemaVersion) throw SchemaMismatch(schema);
+  if (schema < kMinSchemaVersion || schema > kSchemaVersion)
+    throw SchemaMismatch(schema);
   const std::uint32_t type = r.get_u32();
   const std::uint64_t id = r.get_u64();
 
   Decoded d;
+  d.schema = schema;
   if (type == static_cast<std::uint32_t>(MsgType::InvertRequest)) {
     d.type = MsgType::InvertRequest;
     InvertRequest& q = d.request;
@@ -98,6 +169,10 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
     q.deadline_us = r.get_i64();
     q.time_dependent = r.get_u8() != 0;
     q.field = r.get_f64_vector();
+    if (schema >= 2) {
+      q.trace_id = r.get_u64();
+      q.client_send_ns = r.get_i64();
+    }
   } else if (type == static_cast<std::uint32_t>(MsgType::InvertResponse)) {
     d.type = MsgType::InvertResponse;
     InvertResponse& p = d.response;
@@ -114,8 +189,47 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
     p.dmax = r.get_u32();
     p.measurements = r.get_f64_vector();
     p.message = r.get_string();
+    if (schema >= 2) {
+      p.trace_id = r.get_u64();
+      p.queue_wait_ns = r.get_u64();
+      p.batch_wait_ns = r.get_u64();
+      p.exec_ns = r.get_u64();
+      p.batch_occupancy = r.get_f64();
+    }
+  } else if (type == static_cast<std::uint32_t>(MsgType::StatsRequest) &&
+             schema >= 2) {
+    d.type = MsgType::StatsRequest;
+    d.stats.id = id;
+  } else if (type == static_cast<std::uint32_t>(MsgType::StatsResponse) &&
+             schema >= 2) {
+    d.type = MsgType::StatsResponse;
+    StatsResponse& s = d.stats;
+    s.id = id;
+    s.stats_version = r.get_u32();
+    s.uptime_ns = r.get_u64();
+    s.connections = r.get_u64();
+    s.admitted = r.get_u64();
+    s.served_ok = r.get_u64();
+    s.rejected_full = r.get_u64();
+    s.deadline_miss = r.get_u64();
+    s.cancelled = r.get_u64();
+    s.malformed = r.get_u64();
+    s.errors = r.get_u64();
+    s.shed_shutdown = r.get_u64();
+    s.batches = r.get_u64();
+    s.batched_requests = r.get_u64();
+    s.models_built = r.get_u64();
+    s.model_cache_hits = r.get_u64();
+    s.model_cache_size = r.get_u64();
+    s.queue_depth = r.get_u64();
+    s.queue_high_water = r.get_u64();
+    s.queue_capacity = r.get_u64();
+    s.latency_s = get_window_stat(r);
+    s.queue_wait_s = get_window_stat(r);
+    s.occupancy = get_window_stat(r);
   } else {
-    FSI_CHECK(false, "serve: unknown message type " + std::to_string(type));
+    FSI_CHECK(false, "serve: unknown message type " + std::to_string(type) +
+                         " for schema " + std::to_string(schema));
   }
   FSI_CHECK(r.exhausted(), "serve: trailing bytes after message body");
   return d;

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
 
 namespace fsi::serve {
 
@@ -34,8 +35,10 @@ bool AdmissionQueue::try_push(PendingRequest&& r) {
 
 void AdmissionQueue::take_matching(const BatchKey& key, std::size_t max_batch,
                                    std::vector<PendingRequest>& out) {
+  const std::int64_t now = obs::now_ns();
   for (auto it = queue_.begin(); it != queue_.end() && out.size() < max_batch;) {
     if (it->key() == key) {
+      it->popped_ns = now;  // queue wait ends, batch-formation wait begins
       out.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <list>
 #include <memory>
@@ -40,6 +42,8 @@ ServerOptions ServerOptions::from_env() {
                                  static_cast<long>(o.default_deadline_ms)));
   o.batch.num_workers = static_cast<int>(
       obs::env_long("FSI_SERVE_WORKERS", o.batch.num_workers));
+  const char* log = std::getenv("FSI_SERVE_LOG");
+  if (log != nullptr && log[0] != '\0') o.access_log = log;
   return o;
 }
 
@@ -70,6 +74,11 @@ struct Server::Impl {
   std::thread batcher_thread;
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
+  std::int64_t start_ns = 0;  ///< obs::now_ns() at start(); uptime origin
+
+  /// Optional per-request JSONL access log (ServerOptions::access_log).
+  std::mutex log_mu;
+  std::FILE* access_log = nullptr;
 
   std::mutex conns_mu;
   std::vector<std::shared_ptr<Conn>> conns;
@@ -87,10 +96,14 @@ struct Server::Impl {
   std::list<std::pair<BatchKey, std::unique_ptr<qmc::HubbardModel>>> models;
 
   // ---------------------------------------------------------------------
-  void send_response(const std::shared_ptr<Conn>& conn, InvertResponse&& r);
+  void send_response(const std::shared_ptr<Conn>& conn, InvertResponse&& r,
+                     std::uint32_t schema = kSchemaVersion);
+  void log_response(const InvertResponse& r);
   void handle_payload(const std::shared_ptr<Conn>& conn,
                       const std::vector<std::uint8_t>& payload);
-  void process_request(const std::shared_ptr<Conn>& conn, InvertRequest&& req);
+  void process_request(const std::shared_ptr<Conn>& conn, InvertRequest&& req,
+                       std::uint32_t schema);
+  StatsResponse build_stats(std::uint64_t id);
   void reader_loop(std::shared_ptr<Conn> conn);
   void accept_loop();
   void batcher_loop();
@@ -104,14 +117,37 @@ struct Server::Impl {
 };
 
 void Server::Impl::send_response(const std::shared_ptr<Conn>& conn,
-                                 InvertResponse&& r) {
+                                 InvertResponse&& r, std::uint32_t schema) {
+  log_response(r);
   obs::Span span("serve.serialize");
   std::vector<std::uint8_t> frame;
-  append_frame(frame, encode_response(r));
+  append_frame(frame, encode_response(r, schema));
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (!conn->open.load(std::memory_order_relaxed)) return;
   if (!conn->sock.send_all(frame.data(), frame.size()))
     conn->open.store(false, std::memory_order_relaxed);
+}
+
+void Server::Impl::log_response(const InvertResponse& r) {
+  if (access_log == nullptr) return;
+  // Wall-clock stamp (the rest of the serve path uses the monotonic clock,
+  // which is meaningless across processes in a log file).
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  std::lock_guard<std::mutex> lock(log_mu);
+  std::fprintf(
+      access_log,
+      "{\"ts_us\":%lld,\"id\":%llu,\"trace_id\":%llu,\"status\":\"%s\","
+      "\"queue_wait_ns\":%llu,\"batch_wait_ns\":%llu,\"exec_ns\":%llu,"
+      "\"batch_size\":%u,\"occupancy\":%.4f}\n",
+      static_cast<long long>(wall), static_cast<unsigned long long>(r.id),
+      static_cast<unsigned long long>(r.trace_id), status_name(r.status),
+      static_cast<unsigned long long>(r.queue_wait_ns),
+      static_cast<unsigned long long>(r.batch_wait_ns),
+      static_cast<unsigned long long>(r.exec_ns), r.batch_size,
+      r.batch_occupancy);
+  std::fflush(access_log);  // tail -f sees complete lines
 }
 
 void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
@@ -122,13 +158,25 @@ void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
   } catch (const util::CheckError& e) {
     // SchemaMismatch or a malformed body.  The frame boundary is intact, so
     // the connection survives; the client learns why its request died.
+    // Answered in v1 — the arrival schema is unknown here and every client
+    // decodes the v1 body.
     count(&ServerStats::malformed);
     obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
     InvertResponse r;
     r.id = 0;
     r.status = Status::Malformed;
     r.message = e.what();
-    send_response(conn, std::move(r));
+    send_response(conn, std::move(r), kMinSchemaVersion);
+    return;
+  }
+  if (d.type == MsgType::StatsRequest) {
+    StatsResponse s = build_stats(d.stats.id);
+    std::vector<std::uint8_t> frame;
+    append_frame(frame, encode_stats_response(s));
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!conn->open.load(std::memory_order_relaxed)) return;
+    if (!conn->sock.send_all(frame.data(), frame.size()))
+      conn->open.store(false, std::memory_order_relaxed);
     return;
   }
   if (d.type != MsgType::InvertRequest) {
@@ -137,23 +185,24 @@ void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
     InvertResponse r;
     r.id = 0;
     r.status = Status::Malformed;
-    r.message = "server accepts InvertRequest messages only";
-    send_response(conn, std::move(r));
+    r.message = "server accepts InvertRequest and StatsRequest messages only";
+    send_response(conn, std::move(r), kMinSchemaVersion);
     return;
   }
-  process_request(conn, std::move(d.request));
+  process_request(conn, std::move(d.request), d.schema);
 }
 
 void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
-                                   InvertRequest&& req) {
+                                   InvertRequest&& req, std::uint32_t schema) {
   const std::int64_t arrival_ns = obs::now_ns();
   InvertResponse reject;
   reject.id = req.id;
+  reject.trace_id = req.trace_id;
 
   if (stopping.load()) {
     count(&ServerStats::shed_shutdown);
     reject.status = Status::ShuttingDown;
-    send_response(conn, std::move(reject));
+    send_response(conn, std::move(reject), schema);
     return;
   }
 
@@ -163,7 +212,7 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
     obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
     reject.status = Status::Malformed;
     reject.message = why;
-    send_response(conn, std::move(reject));
+    send_response(conn, std::move(reject), schema);
     return;
   }
 
@@ -183,7 +232,7 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
     obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
     reject.status = Status::DeadlineMiss;
     reject.message = "deadline expired on arrival";
-    send_response(conn, std::move(reject));
+    send_response(conn, std::move(reject), schema);
     return;
   }
 
@@ -192,14 +241,15 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
   p.q = resolve_q(req, p.c);
   p.arrival_ns = arrival_ns;
   p.deadline_ns = deadline_us > 0 ? arrival_ns + deadline_us * 1000 : 0;
+  p.schema = schema;
   p.request = std::move(req);
   std::weak_ptr<Conn> weak = conn;
   p.alive = [weak] {
     const auto c = weak.lock();
     return c != nullptr && c->open.load(std::memory_order_relaxed);
   };
-  p.respond = [this, weak](InvertResponse&& r) {
-    if (const auto c = weak.lock()) send_response(c, std::move(r));
+  p.respond = [this, weak, schema](InvertResponse&& r) {
+    if (const auto c = weak.lock()) send_response(c, std::move(r), schema);
   };
 
   if (!queue.try_push(std::move(p))) {
@@ -209,7 +259,7 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
     reject.status = Status::RetryAfter;
     reject.retry_after_ms = opts.retry_after_ms;
     reject.message = "admission queue full";
-    send_response(conn, std::move(reject));
+    send_response(conn, std::move(reject), schema);
     return;
   }
   count(&ServerStats::admitted);
@@ -237,7 +287,7 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
         InvertResponse r;
         r.status = Status::Malformed;
         r.message = e.what();
-        send_response(conn, std::move(r));
+        send_response(conn, std::move(r), kMinSchemaVersion);
         fatal = true;
         break;
       }
@@ -254,7 +304,7 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
         InvertResponse r;
         r.status = Status::Malformed;
         r.message = e.what();
-        send_response(conn, std::move(r));
+        send_response(conn, std::move(r), kMinSchemaVersion);
         fatal = true;
         break;
       }
@@ -295,6 +345,7 @@ const qmc::HubbardModel& Server::Impl::model_for(const BatchKey& key) {
   for (auto it = models.begin(); it != models.end(); ++it) {
     if (it->first == key) {
       models.splice(models.begin(), models, it);  // mark most-recently-used
+      count(&ServerStats::model_cache_hits);
       return *models.front().second;
     }
   }
@@ -344,9 +395,12 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
       obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
       InvertResponse r;
       r.id = p.request.id;
+      r.trace_id = p.request.trace_id;
       r.status = Status::DeadlineMiss;
       r.queue_wait_us =
           static_cast<std::uint64_t>((dispatch_ns - p.arrival_ns) / 1000);
+      r.queue_wait_ns = static_cast<std::uint64_t>(
+          (p.popped_ns > 0 ? p.popped_ns : dispatch_ns) - p.arrival_ns);
       r.message = "deadline expired while queued";
       p.respond(std::move(r));
       continue;
@@ -355,16 +409,12 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
   }
   if (live.empty()) return;
 
-  // Observability: per-request queue wait + the batch-formation interval
-  // (first arrival -> dispatch).
+  // Observability: the batch-formation interval (first arrival ->
+  // dispatch); per-request spans are recorded after the engine runs, once
+  // the full timing breakdown is known.
   std::int64_t first_arrival = live.front().arrival_ns;
-  for (const PendingRequest& p : live) {
+  for (const PendingRequest& p : live)
     first_arrival = std::min(first_arrival, p.arrival_ns);
-    obs::record_interval("serve.queue_wait", p.arrival_ns, dispatch_ns);
-    obs::metrics::record(
-        obs::metrics::Hist::ServeQueueWait,
-        static_cast<double>(dispatch_ns - p.arrival_ns) * 1e-9);
-  }
   obs::record_interval("serve.batch_form", first_arrival, dispatch_ns);
 
   const BatchKey key = live.front().key();
@@ -384,8 +434,21 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
   qmc::FsiBatchOptions batch_opts = opts.batch;
   batch_opts.cluster_size = key.c;
 
+  // Tag the engine's per-node executor spans (recorded on pool threads)
+  // with this batch's trace: exactly one batch runs at a time (single
+  // batcher thread), so the process-wide active-trace id is exact.  The
+  // first traced request of the batch lends its id to the shared run.
+  std::uint64_t batch_trace = 0;
+  for (const PendingRequest& p : live) {
+    if (p.request.trace_id != 0) {
+      batch_trace = p.request.trace_id;
+      break;
+    }
+  }
+
   std::vector<qmc::Measurements> results;
   std::string engine_error;
+  obs::set_active_trace(batch_trace);
   const std::int64_t exec_t0 = obs::now_ns();
   try {
     obs::Span span("serve.execute");
@@ -397,8 +460,13 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
     engine_error = e.what();
   }
   const std::int64_t exec_t1 = obs::now_ns();
+  obs::set_active_trace(0);
   const auto execute_us =
       static_cast<std::uint64_t>((exec_t1 - exec_t0) / 1000);
+  const auto exec_ns = static_cast<std::uint64_t>(exec_t1 - exec_t0);
+  const double occupancy =
+      static_cast<double>(live.size()) /
+      static_cast<double>(std::max<std::size_t>(1, opts.max_batch));
 
   {
     std::lock_guard<std::mutex> lock(stats_mu);
@@ -408,18 +476,35 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
         std::max(stats.queue_high_water, queue.max_depth_seen());
   }
   obs::metrics::add(obs::metrics::Counter::ServeBatches, 1);
-  obs::metrics::record(obs::metrics::Hist::ServeBatchOccupancy,
-                       static_cast<double>(live.size()));
+  obs::metrics::record_windowed(obs::metrics::Hist::ServeBatchOccupancy,
+                                occupancy);
 
   for (std::size_t i = 0; i < live.size(); ++i) {
     PendingRequest& p = live[i];
+    // The v2 breakdown: queue wait ends when the queue gathered the request
+    // (popped_ns), batch wait covers the straggler window + model/task
+    // setup, exec is the shared engine run.
+    const std::int64_t popped_ns =
+        p.popped_ns > 0 ? p.popped_ns : dispatch_ns;
     InvertResponse r;
     r.id = p.request.id;
+    r.trace_id = p.request.trace_id;
     r.q_used = static_cast<std::int32_t>(p.q);
     r.queue_wait_us =
         static_cast<std::uint64_t>((dispatch_ns - p.arrival_ns) / 1000);
     r.execute_us = execute_us;
     r.batch_size = static_cast<std::uint32_t>(live.size());
+    r.queue_wait_ns = static_cast<std::uint64_t>(popped_ns - p.arrival_ns);
+    r.batch_wait_ns = static_cast<std::uint64_t>(exec_t0 - popped_ns);
+    r.exec_ns = exec_ns;
+    r.batch_occupancy = occupancy;
+    obs::metrics::record_windowed(
+        obs::metrics::Hist::ServeQueueWait,
+        static_cast<double>(popped_ns - p.arrival_ns) * 1e-9);
+    obs::record_interval("serve.queue_wait", p.arrival_ns, popped_ns,
+                         p.request.trace_id);
+    obs::record_interval("serve.batch_wait", popped_ns, exec_t0,
+                         p.request.trace_id);
     if (!engine_error.empty()) {
       count(&ServerStats::errors);
       obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
@@ -434,8 +519,10 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
       r.deadline_exceeded = p.deadline_ns != 0 && exec_t1 >= p.deadline_ns;
       const double latency_s =
           static_cast<double>(exec_t1 - p.arrival_ns) * 1e-9;
-      obs::metrics::record(obs::metrics::Hist::ServeLatency, latency_s);
-      obs::record_interval("serve.request", p.arrival_ns, exec_t1);
+      obs::metrics::record_windowed(obs::metrics::Hist::ServeLatency,
+                                    latency_s);
+      obs::record_interval("serve.request", p.arrival_ns, exec_t1,
+                           p.request.trace_id);
       {
         std::lock_guard<std::mutex> lock(stats_mu);
         ++stats.served_ok;
@@ -444,6 +531,51 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
     }
     p.respond(std::move(r));
   }
+}
+
+StatsResponse Server::Impl::build_stats(std::uint64_t id) {
+  StatsResponse s;
+  s.id = id;
+  s.stats_version = kStatsVersion;
+  if (start_ns > 0)
+    s.uptime_ns = static_cast<std::uint64_t>(obs::now_ns() - start_ns);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    s.connections = stats.connections;
+    s.admitted = stats.admitted;
+    s.served_ok = stats.served_ok;
+    s.rejected_full = stats.rejected_full;
+    s.deadline_miss = stats.deadline_miss;
+    s.cancelled = stats.cancelled;
+    s.malformed = stats.malformed;
+    s.errors = stats.errors;
+    s.shed_shutdown = stats.shed_shutdown;
+    s.batches = stats.batches;
+    s.batched_requests = stats.batched_requests;
+    s.models_built = stats.models_built;
+    s.model_cache_hits = stats.model_cache_hits;
+    s.model_cache_size = stats.model_cache_size;
+    s.queue_high_water = stats.queue_high_water;
+  }
+  s.queue_depth = queue.depth();
+  s.queue_high_water = std::max<std::uint64_t>(
+      s.queue_high_water, queue.max_depth_seen());
+  s.queue_capacity = queue.max_depth();
+
+  const auto window_of = [](obs::metrics::Hist h) {
+    const obs::metrics::WindowSnapshot ws = obs::metrics::window(h);
+    WindowStat out;
+    out.count = ws.count;
+    out.mean = ws.mean();
+    out.p50 = ws.p50;
+    out.p95 = ws.p95;
+    out.p99 = ws.p99;
+    return out;
+  };
+  s.latency_s = window_of(obs::metrics::Hist::ServeLatency);
+  s.queue_wait_s = window_of(obs::metrics::Hist::ServeQueueWait);
+  s.occupancy = window_of(obs::metrics::Hist::ServeBatchOccupancy);
+  return s;
 }
 
 void Server::Impl::batcher_loop() {
@@ -462,8 +594,14 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   FSI_CHECK(!impl_->started.load(), "serve: start() called twice");
+  if (!impl_->opts.access_log.empty()) {
+    impl_->access_log = std::fopen(impl_->opts.access_log.c_str(), "a");
+    FSI_CHECK(impl_->access_log != nullptr,
+              "serve: cannot open access log: " + impl_->opts.access_log);
+  }
   impl_->listener.emplace(Listener::listen_on(impl_->opts.endpoint));
   impl_->bound = impl_->listener->endpoint();
+  impl_->start_ns = obs::now_ns();
   impl_->started.store(true);
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   impl_->batcher_thread = std::thread([this] { impl_->batcher_loop(); });
@@ -495,11 +633,20 @@ void Server::stop() {
     if (conn->reader.joinable()) conn->reader.join();
   }
   impl_->listener.reset();
+  if (impl_->access_log != nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->log_mu);
+    std::fclose(impl_->access_log);
+    impl_->access_log = nullptr;
+  }
 }
 
 const Endpoint& Server::endpoint() const {
   FSI_CHECK(impl_->started.load(), "serve: server not started");
   return impl_->bound;
+}
+
+StatsResponse Server::stats_snapshot() const {
+  return impl_->build_stats(0);
 }
 
 ServerStats Server::stats() const {

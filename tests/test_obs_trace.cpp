@@ -121,6 +121,28 @@ TEST(ObsTrace, CounterMergeAcrossThreads) {
   EXPECT_STREQ(snap[0].first, "flops");
 }
 
+TEST(ObsTrace, TraceIdTagsExportedEvents) {
+  TraceSession session;
+  obs::record_interval("tagged.op", 1000, 2000, /*trace_id=*/48879);
+  obs::record_interval("plain.op", 3000, 4000);
+  const std::string json = obs::chrome_trace_json();
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.parse()) << json;
+  // The tagged event exports its correlation id in args; the untagged one
+  // stays clean (exactly one trace_id key in the document).
+  EXPECT_NE(json.find("\"trace_id\":48879"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"trace_id\":0"), std::string::npos) << json;
+
+  // The process-wide active trace tags 3-arg intervals (the executor-span
+  // correlation path the serve batcher uses).
+  obs::set_active_trace(1234);
+  obs::record_interval("active.op", 5000, 6000);
+  obs::set_active_trace(0);
+  EXPECT_EQ(obs::active_trace(), 0u);
+  EXPECT_NE(obs::chrome_trace_json().find("\"trace_id\":1234"),
+            std::string::npos);
+}
+
 TEST(ObsTrace, ExportedFsiTraceIsValidAndContainsStageSpans) {
   TraceSession session;
 

@@ -1,0 +1,155 @@
+/// Tests for the windowed-histogram layer of obs::metrics: empty-window
+/// zeros, percentile estimates against known samples, deterministic
+/// rollover driven by explicit timestamps, and consistency with the
+/// lifetime histogram that record_windowed also feeds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fsi/obs/metrics.hpp"
+
+namespace {
+
+namespace m = fsi::obs::metrics;
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+/// Fresh window + lifetime state per test (same histogram throughout).
+struct WindowFixture : ::testing::Test {
+  static constexpr m::Hist kHist = m::Hist::ServeLatency;
+  void SetUp() override {
+    m::reset(kHist);
+    m::reset_window(kHist);
+  }
+  void TearDown() override {
+    m::reset(kHist);
+    m::reset_window(kHist);
+  }
+};
+
+TEST_F(WindowFixture, EmptyWindowIsAllZeros) {
+  const m::WindowSnapshot w = m::window(kHist, 123 * kSecond);
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_EQ(w.sum, 0.0);
+  EXPECT_EQ(w.min, 0.0);
+  EXPECT_EQ(w.max, 0.0);
+  EXPECT_EQ(w.p50, 0.0);
+  EXPECT_EQ(w.p95, 0.0);
+  EXPECT_EQ(w.p99, 0.0);
+  EXPECT_EQ(w.mean(), 0.0);
+}
+
+TEST_F(WindowFixture, SingleSampleClampsEveryPercentile) {
+  const std::int64_t now = 50 * kSecond;
+  m::record_windowed(kHist, 0.0042, now);
+  const m::WindowSnapshot w = m::window(kHist, now);
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_DOUBLE_EQ(w.min, 0.0042);
+  EXPECT_DOUBLE_EQ(w.max, 0.0042);
+  // The estimate is the bucket's geometric midpoint clamped to [min, max]
+  // — with one sample that collapses to the sample itself.
+  EXPECT_DOUBLE_EQ(w.p50, 0.0042);
+  EXPECT_DOUBLE_EQ(w.p95, 0.0042);
+  EXPECT_DOUBLE_EQ(w.p99, 0.0042);
+}
+
+TEST_F(WindowFixture, PercentilesTrackKnownDistribution) {
+  // 100 samples spread over one decade: 1..100 ms.
+  const std::int64_t now = 7 * kSecond;
+  for (int i = 1; i <= 100; ++i)
+    m::record_windowed(kHist, 1e-3 * i, now);
+  const m::WindowSnapshot w = m::window(kHist, now);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_DOUBLE_EQ(w.min, 1e-3);
+  EXPECT_DOUBLE_EQ(w.max, 0.1);
+  EXPECT_NEAR(w.mean(), 0.0505, 1e-12);
+  // Log-spaced buckets (kWindowSubBuckets per decade) bound the relative
+  // estimation error; a generous 40% envelope keeps this host-independent.
+  EXPECT_NEAR(w.p50, 0.050, 0.020);
+  EXPECT_NEAR(w.p95, 0.095, 0.038);
+  EXPECT_NEAR(w.p99, 0.099, 0.040);
+  EXPECT_LE(w.p50, w.p95);
+  EXPECT_LE(w.p95, w.p99);
+  EXPECT_GE(w.p50, w.min);
+  EXPECT_LE(w.p99, w.max);
+}
+
+TEST_F(WindowFixture, SamplesExpireAfterWindowSeconds) {
+  const std::int64_t t0 = 100 * kSecond;
+  m::record_windowed(kHist, 0.5, t0);
+  // Visible right away and up to kWindowSeconds - 1 seconds later...
+  EXPECT_EQ(m::window(kHist, t0).count, 1u);
+  EXPECT_EQ(
+      m::window(kHist, t0 + (m::kWindowSeconds - 1) * kSecond).count, 1u);
+  // ...gone once its wall second falls out of the window.
+  EXPECT_EQ(m::window(kHist, t0 + m::kWindowSeconds * kSecond).count, 0u);
+}
+
+TEST_F(WindowFixture, RolloverEvictsOldSecondsButKeepsRecentOnes) {
+  const std::int64_t t0 = 200 * kSecond;
+  m::record_windowed(kHist, 0.001, t0);                // second 200
+  m::record_windowed(kHist, 0.010, t0 + 5 * kSecond);  // second 205
+  m::record_windowed(kHist, 0.100, t0 + 9 * kSecond);  // second 209
+
+  // At second 209 everything is inside the 10 s window.
+  EXPECT_EQ(m::window(kHist, t0 + 9 * kSecond).count, 3u);
+
+  // At second 210 the first sample expired; at 215 only the last remains.
+  m::WindowSnapshot w = m::window(kHist, t0 + 10 * kSecond);
+  EXPECT_EQ(w.count, 2u);
+  EXPECT_DOUBLE_EQ(w.min, 0.010);
+  w = m::window(kHist, t0 + 15 * kSecond);
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_DOUBLE_EQ(w.max, 0.100);
+  EXPECT_EQ(m::window(kHist, t0 + 19 * kSecond).count, 0u);
+}
+
+TEST_F(WindowFixture, RingReusesBucketsAcrossWraps) {
+  // Write the same ring bucket twice, 10 s apart: the second write must
+  // reset the stale second, not accumulate into it.
+  const std::int64_t t0 = 300 * kSecond;
+  m::record_windowed(kHist, 1.0, t0);
+  m::record_windowed(kHist, 2.0, t0 + m::kWindowSeconds * kSecond);
+  const m::WindowSnapshot w =
+      m::window(kHist, t0 + m::kWindowSeconds * kSecond);
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_DOUBLE_EQ(w.min, 2.0);
+  EXPECT_DOUBLE_EQ(w.max, 2.0);
+}
+
+TEST_F(WindowFixture, FutureTimestampedBucketsAreExcluded) {
+  // A snapshot strictly before a sample's second must not see it (the
+  // window is (now - kWindowSeconds, now], not "any live bucket").
+  const std::int64_t t0 = 400 * kSecond;
+  m::record_windowed(kHist, 0.25, t0 + 3 * kSecond);
+  EXPECT_EQ(m::window(kHist, t0).count, 0u);
+  EXPECT_EQ(m::window(kHist, t0 + 3 * kSecond).count, 1u);
+}
+
+TEST_F(WindowFixture, FeedsLifetimeHistogramExactlyOnce) {
+  const std::int64_t now = 500 * kSecond;
+  m::record_windowed(kHist, 0.5, now);
+  m::record_windowed(kHist, 0.7, now);
+  const m::HistSnapshot lifetime = m::hist(kHist);
+  EXPECT_EQ(lifetime.count, 2u);
+  EXPECT_DOUBLE_EQ(lifetime.sum, 1.2);
+  // reset_window drops the rolling view but not the lifetime histogram.
+  m::reset_window(kHist);
+  EXPECT_EQ(m::window(kHist, now).count, 0u);
+  EXPECT_EQ(m::hist(kHist).count, 2u);
+}
+
+TEST_F(WindowFixture, NonPositiveAndHugeSamplesAreNotDropped) {
+  const std::int64_t now = 600 * kSecond;
+  m::record_windowed(kHist, 0.0, now);
+  m::record_windowed(kHist, -3.0, now);
+  m::record_windowed(kHist, 1e12, now);
+  const m::WindowSnapshot w = m::window(kHist, now);
+  EXPECT_EQ(w.count, 3u);
+  EXPECT_DOUBLE_EQ(w.min, -3.0);
+  EXPECT_DOUBLE_EQ(w.max, 1e12);
+  EXPECT_LE(w.p50, w.p99);
+}
+
+}  // namespace

@@ -14,15 +14,19 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <limits>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "fsi/io/wire.hpp"
 #include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/serve/protocol.hpp"
 #include "fsi/serve/queue.hpp"
@@ -105,6 +109,136 @@ TEST(ServeProtocol, ResponseRoundTrip) {
   EXPECT_EQ(d.response.dmax, 2u);
   EXPECT_EQ(d.response.measurements, r.measurements);
   EXPECT_EQ(d.response.message, "all good");
+}
+
+TEST(ServeProtocol, V2RequestRoundTripCarriesTraceContext) {
+  InvertRequest r = tiny_request(42);
+  r.trace_id = 0xDEADBEEFCAFEULL;
+  r.client_send_ns = 1234567890123;
+  const auto payload = encode_request(r);  // defaults to kSchemaVersion (2)
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertRequest);
+  EXPECT_EQ(d.schema, kSchemaVersion);
+  EXPECT_EQ(d.request.trace_id, r.trace_id);
+  EXPECT_EQ(d.request.client_send_ns, r.client_send_ns);
+}
+
+TEST(ServeProtocol, V2ResponseRoundTripCarriesBreakdown) {
+  InvertResponse r;
+  r.id = 9;
+  r.status = Status::Ok;
+  r.trace_id = 0x1234;
+  r.queue_wait_ns = 1111;
+  r.batch_wait_ns = 2222;
+  r.exec_ns = 3333;
+  r.batch_occupancy = 0.625;
+  const auto payload = encode_response(r);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertResponse);
+  EXPECT_EQ(d.schema, kSchemaVersion);
+  EXPECT_EQ(d.response.trace_id, 0x1234u);
+  EXPECT_EQ(d.response.queue_wait_ns, 1111u);
+  EXPECT_EQ(d.response.batch_wait_ns, 2222u);
+  EXPECT_EQ(d.response.exec_ns, 3333u);
+  EXPECT_DOUBLE_EQ(d.response.batch_occupancy, 0.625);
+}
+
+TEST(ServeProtocol, V1EncodingDecodesWithDefaultExtensions) {
+  // A v1 frame is a strict prefix of the v2 body: decoding it must succeed
+  // and leave every extension field at its default.
+  InvertRequest req = tiny_request(5);
+  req.trace_id = 777;          // set but not encodable in v1
+  req.client_send_ns = 12345;
+  const auto req_payload = encode_request(req, /*version=*/1);
+  const Decoded dr = decode_payload(req_payload.data(), req_payload.size());
+  EXPECT_EQ(dr.schema, 1u);
+  EXPECT_EQ(dr.request.id, 5u);
+  EXPECT_EQ(dr.request.trace_id, 0u);
+  EXPECT_EQ(dr.request.client_send_ns, 0);
+
+  InvertResponse resp;
+  resp.id = 6;
+  resp.status = Status::Ok;
+  resp.trace_id = 777;
+  resp.queue_wait_ns = 999;
+  resp.batch_occupancy = 1.0;
+  const auto resp_payload = encode_response(resp, /*version=*/1);
+  const Decoded dp = decode_payload(resp_payload.data(), resp_payload.size());
+  EXPECT_EQ(dp.schema, 1u);
+  EXPECT_EQ(dp.response.id, 6u);
+  EXPECT_EQ(dp.response.trace_id, 0u);
+  EXPECT_EQ(dp.response.queue_wait_ns, 0u);
+  EXPECT_EQ(dp.response.batch_occupancy, 0.0);
+}
+
+TEST(ServeProtocol, StatsRoundTrip) {
+  StatsResponse s;
+  s.id = 31;
+  s.uptime_ns = 123456789;
+  s.connections = 1;
+  s.admitted = 2;
+  s.served_ok = 3;
+  s.rejected_full = 4;
+  s.deadline_miss = 5;
+  s.cancelled = 6;
+  s.malformed = 7;
+  s.errors = 8;
+  s.shed_shutdown = 9;
+  s.batches = 10;
+  s.batched_requests = 11;
+  s.models_built = 3;
+  s.model_cache_hits = 9;
+  s.model_cache_size = 2;
+  s.queue_depth = 12;
+  s.queue_high_water = 13;
+  s.queue_capacity = 64;
+  s.latency_s = WindowStat{100, 0.5, 0.4, 0.9, 0.99};
+  s.queue_wait_s = WindowStat{100, 0.1, 0.05, 0.2, 0.3};
+  s.occupancy = WindowStat{10, 0.75, 0.8, 1.0, 1.0};
+
+  const auto payload = encode_stats_response(s);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::StatsResponse);
+  EXPECT_EQ(d.stats.id, 31u);
+  EXPECT_EQ(d.stats.stats_version, kStatsVersion);
+  EXPECT_EQ(d.stats.uptime_ns, 123456789u);
+  EXPECT_EQ(d.stats.connections, 1u);
+  EXPECT_EQ(d.stats.admitted, 2u);
+  EXPECT_EQ(d.stats.served_ok, 3u);
+  EXPECT_EQ(d.stats.rejected_full, 4u);
+  EXPECT_EQ(d.stats.deadline_miss, 5u);
+  EXPECT_EQ(d.stats.cancelled, 6u);
+  EXPECT_EQ(d.stats.malformed, 7u);
+  EXPECT_EQ(d.stats.errors, 8u);
+  EXPECT_EQ(d.stats.shed_shutdown, 9u);
+  EXPECT_EQ(d.stats.batches, 10u);
+  EXPECT_EQ(d.stats.batched_requests, 11u);
+  EXPECT_EQ(d.stats.models_built, 3u);
+  EXPECT_EQ(d.stats.model_cache_hits, 9u);
+  EXPECT_EQ(d.stats.model_cache_size, 2u);
+  EXPECT_EQ(d.stats.queue_depth, 12u);
+  EXPECT_EQ(d.stats.queue_high_water, 13u);
+  EXPECT_EQ(d.stats.queue_capacity, 64u);
+  EXPECT_DOUBLE_EQ(d.stats.model_cache_hit_rate(), 0.75);
+  EXPECT_EQ(d.stats.latency_s.count, 100u);
+  EXPECT_DOUBLE_EQ(d.stats.latency_s.p95, 0.9);
+  EXPECT_DOUBLE_EQ(d.stats.queue_wait_s.mean, 0.1);
+  EXPECT_DOUBLE_EQ(d.stats.occupancy.p99, 1.0);
+
+  const auto req_payload = encode_stats_request(17);
+  const Decoded dq = decode_payload(req_payload.data(), req_payload.size());
+  ASSERT_EQ(dq.type, MsgType::StatsRequest);
+  EXPECT_EQ(dq.stats.id, 17u);
+}
+
+TEST(ServeProtocol, StatsMessagesUnknownUnderSchemaV1) {
+  // v1 never had the Stats pair: a v1-stamped StatsRequest must be rejected
+  // as an unknown message type, not silently half-decoded.
+  auto payload = encode_stats_request(3);
+  const std::uint32_t v1 = 1;
+  std::memcpy(payload.data(), &v1, sizeof v1);
+  EXPECT_THROW(decode_payload(payload.data(), payload.size()),
+               util::CheckError);
 }
 
 TEST(ServeProtocol, TruncatedPayloadThrows) {
@@ -801,6 +935,153 @@ TEST(ServeServer, MetricsCountOutcomes) {
   EXPECT_EQ(m::total(m::Counter::ServeDeadlineMiss), base_dl + 1);
   EXPECT_GT(m::hist(m::Hist::ServeLatency).count, 0u);
   EXPECT_GT(m::hist(m::Hist::ServeBatchOccupancy).count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Schema v2: trace propagation, timing breakdown, stats endpoint
+
+TEST(ServeServer, ResponseEchoesTraceIdAndBreakdown) {
+  GateEngine gate;
+  ServerOptions o = stub_options(test_socket_path("trace_echo"), gate);
+  o.max_batch = 4;
+  Server server(std::move(o));
+  server.start();
+  Client client(server.endpoint());
+
+  InvertRequest req = tiny_request();
+  req.trace_id = 0xABCDEF;
+  const InvertResponse r = client.request(std::move(req));
+  ASSERT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(r.trace_id, 0xABCDEFu);
+  // The ns breakdown is filled server-side and consistent with the legacy
+  // microsecond fields: queue+batch covers arrival -> engine start.
+  EXPECT_GT(r.exec_ns, 0u);
+  EXPECT_GE((r.queue_wait_ns + r.batch_wait_ns) / 1000, r.queue_wait_us);
+  EXPECT_DOUBLE_EQ(r.batch_occupancy, 0.25);  // 1 request / max_batch 4
+  server.stop();
+}
+
+TEST(ServeServer, V1ClientGetsV1AnswerFromV2Server) {
+  // Impersonate a v1 client on a raw socket: the request is encoded with
+  // version 1 and the server must answer in the same dialect so the old
+  // decoder keeps working bit-for-bit.
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("v1_compat"), gate));
+  server.start();
+
+  Socket raw = connect_to(server.endpoint());
+  InvertRequest req = tiny_request(21);
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(req, /*version=*/1));
+  ASSERT_TRUE(raw.send_all(frame.data(), frame.size()));
+
+  FrameParser parser;
+  std::vector<std::uint8_t> resp_payload;
+  std::uint8_t buf[4096];
+  while (!parser.next(resp_payload)) {
+    const long got = raw.recv_some(buf, sizeof buf);
+    ASSERT_GT(got, 0);
+    parser.feed(buf, static_cast<std::size_t>(got));
+  }
+  const Decoded d = decode_payload(resp_payload.data(), resp_payload.size());
+  ASSERT_EQ(d.type, MsgType::InvertResponse);
+  EXPECT_EQ(d.schema, 1u);  // answered in the client's dialect
+  EXPECT_EQ(d.response.id, 21u);
+  EXPECT_EQ(d.response.status, Status::Ok);
+  EXPECT_GT(d.response.execute_us + d.response.batch_size, 0u);  // v1 fields
+  EXPECT_EQ(d.response.exec_ns, 0u);  // no v2 extension on the wire
+  raw.close();
+  server.stop();
+}
+
+TEST(ServeServer, StatsEndpointReturnsLiveSnapshot) {
+  GateEngine gate;
+  Server server(stub_options(test_socket_path("stats"), gate));
+  server.start();
+  Client client(server.endpoint());
+
+  ASSERT_EQ(client.request(tiny_request()).status, Status::Ok);
+  const StatsResponse s = client.stats();
+  EXPECT_EQ(s.stats_version, kStatsVersion);
+  EXPECT_GT(s.uptime_ns, 0u);
+  EXPECT_EQ(s.connections, 1u);
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.served_ok, 1u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batched_requests, 1u);
+  EXPECT_EQ(s.models_built, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.queue_capacity, 2u);  // stub_options queue_depth
+  // The request just served is inside the 10 s rolling window.
+  EXPECT_GE(s.latency_s.count, 1u);
+  EXPECT_GE(s.occupancy.count, 1u);
+  EXPECT_GT(s.latency_s.p50, 0.0);
+  EXPECT_LE(s.latency_s.p50, s.latency_s.p99);
+
+  // The in-process snapshot is served by the same path.
+  const StatsResponse local = server.stats_snapshot();
+  EXPECT_EQ(local.served_ok, 1u);
+  server.stop();
+}
+
+TEST(ServeServer, AccessLogWritesOneJsonLinePerResponse) {
+  const std::string log_path = "/tmp/fsi_serve_test_log_" +
+                               std::to_string(::getpid()) + ".jsonl";
+  std::remove(log_path.c_str());
+  GateEngine gate;
+  ServerOptions o = stub_options(test_socket_path("access_log"), gate);
+  o.access_log = log_path;
+  Server server(std::move(o));
+  server.start();
+  Client client(server.endpoint());
+
+  InvertRequest ok_req = tiny_request(1);
+  ok_req.trace_id = 0x77;
+  EXPECT_EQ(client.request(std::move(ok_req)).status, Status::Ok);
+  InvertRequest late = tiny_request(2);
+  late.deadline_us = -1;
+  EXPECT_EQ(client.request(std::move(late)).status, Status::DeadlineMiss);
+  server.stop();
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trace_id\":119"), std::string::npos);  // 0x77
+  EXPECT_NE(lines[0].find("\"exec_ns\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"status\":\"deadline-miss\""), std::string::npos);
+  std::remove(log_path.c_str());
+}
+
+TEST(ServeClient, StitchedTraceSpansOnClientTimeline) {
+  // With tracing enabled the client auto-assigns trace ids, records the
+  // request RTT, and synthesizes the server-side breakdown onto its own
+  // timeline — one artifact shows the whole journey.
+  obs::clear();
+  obs::set_enabled(true);
+  {
+    GateEngine gate;
+    Server server(stub_options(test_socket_path("stitch"), gate));
+    server.start();
+    Client client(server.endpoint());
+    const InvertResponse r = client.request(tiny_request());
+    ASSERT_EQ(r.status, Status::Ok);
+    EXPECT_NE(r.trace_id, 0u);  // auto-assigned because tracing is on
+    server.stop();
+  }
+  bool saw_rtt = false, saw_exec = false;
+  for (const auto& s : obs::summary()) {
+    if (s.name == "serve.client.rtt") saw_rtt = true;
+    if (s.name == "serve.server.exec") saw_exec = true;
+  }
+  EXPECT_TRUE(saw_rtt);
+  EXPECT_TRUE(saw_exec);
+  const std::string json = obs::chrome_trace_json();
+  EXPECT_NE(json.find("trace_id"), std::string::npos);
+  obs::set_enabled(false);
+  obs::clear();
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 ///   fsi_request --socket unix:/tmp/fsi.sock [--lx 4 --ly 1 --L 8 --c 0]
 ///               [--t 1 --u 2 --beta 1] [--count 4] [--seed 7]
 ///               [--deadline-us 0] [--equal-time-only]
-///               [--verify] [--expect-status ok]
+///               [--verify] [--expect-status ok] [--trace]
 ///
 /// --count N pipelines N requests over one connection (fields seeded
 /// seed, seed+1, ...), so concurrent fsi_request processes exercise the
@@ -15,13 +15,17 @@
 /// in-process through qmc::run_fsi_batch and fails unless the serve-path
 /// measurements match bit-for-bit.  --expect-status makes a rejection the
 /// *expected* outcome (e.g. --deadline-us -1 --expect-status deadline-miss
-/// in the CI smoke test).
+/// in the CI smoke test).  --trace enables obs tracing: every request gets
+/// a trace_id, the server's v2 timing breakdown is printed per response,
+/// and a chrome://tracing artifact with the stitched client+server spans
+/// is written at exit.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "fsi/obs/trace.hpp"
 #include "fsi/qmc/multi_gf.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/util/cli.hpp"
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
   const std::string expect =
       cli.get_string("expect-status", "ok");
   const bool verify = cli.has("verify");
+  const bool trace = cli.has("trace");
+  if (trace) obs::set_enabled(true);
 
   serve::InvertRequest base;
   base.lx = static_cast<std::uint32_t>(cli.get_int("lx", 4));
@@ -118,6 +124,18 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(resp.queue_wait_us),
                     static_cast<unsigned long long>(resp.execute_us),
                     resp.measurements.size());
+        // v2 servers break the server-side journey down to nanoseconds; a
+        // v1 server leaves these at zero and the line is skipped.
+        if (resp.queue_wait_ns + resp.batch_wait_ns + resp.exec_ns > 0) {
+          std::printf(
+              "fsi_request: request %d breakdown: trace %llx, queue "
+              "%.3f ms, batch wait %.3f ms, exec %.3f ms, occupancy %.2f\n",
+              i, static_cast<unsigned long long>(resp.trace_id),
+              static_cast<double>(resp.queue_wait_ns) * 1e-6,
+              static_cast<double>(resp.batch_wait_ns) * 1e-6,
+              static_cast<double>(resp.exec_ns) * 1e-6,
+              resp.batch_occupancy);
+        }
         if (verify) {
           const std::vector<double> expected =
               reference_measurements(requests[static_cast<std::size_t>(i)]);
@@ -145,5 +163,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fsi_request: %s\n", e.what());
     return 1;
   }
+  const std::string trace_path = obs::write_trace_if_enabled("fsi_request");
+  if (!trace_path.empty())
+    std::printf("fsi_request: trace written to %s\n", trace_path.c_str());
   return failures == 0 ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 /// Usage:
 ///   fsi_serve --socket unix:/tmp/fsi.sock [--queue 64] [--window-us 2000]
 ///             [--max-batch 8] [--retry-after-ms 50] [--deadline-ms 0]
-///             [--workers 0] [--trace]
+///             [--workers 0] [--trace] [--log access.jsonl]
 ///
 /// Every flag has an FSI_SERVE_* environment equivalent (the flag wins);
 /// see docs/serving.md and the env-var table in docs/parallelism.md.
@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
       "deadline-ms", static_cast<int>(options.default_deadline_ms));
   options.batch.num_workers =
       cli.get_int("workers", options.batch.num_workers);
+  options.access_log = cli.get_string("log", options.access_log);
   if (cli.has("trace")) obs::set_enabled(true);
 
   const std::size_t queue_depth = options.queue_depth;

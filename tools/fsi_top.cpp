@@ -1,0 +1,173 @@
+/// \file fsi_top.cpp
+/// \brief Live terminal dashboard for a running fsi_serve daemon.
+///
+/// Usage:
+///   fsi_top --socket unix:/tmp/fsi.sock [--interval-ms 1000] [--count 0]
+///           [--json]
+///
+/// Polls the daemon's StatsRequest endpoint (wire schema v2) and redraws a
+/// one-screen summary: uptime, request rate, queue depth against capacity,
+/// lifetime counters, the rolling-window latency / queue-wait percentiles,
+/// batch occupancy and model-cache hit rate.  --json suppresses the
+/// dashboard and prints one snapshot as a single JSON object (machine
+/// consumption: the CI smoke test and scripts), then exits.  --count N
+/// stops after N polls (0 = until interrupted or the daemon goes away).
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <thread>
+
+#include "fsi/serve/client.hpp"
+#include "fsi/util/cli.hpp"
+
+namespace {
+
+using namespace fsi;
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_signal(int) { g_stop_requested = 1; }
+
+void print_window(const char* label, const serve::WindowStat& w,
+                  double scale, const char* unit) {
+  std::printf("  %-12s n=%-6llu mean %8.3f  p50 %8.3f  p95 %8.3f  "
+              "p99 %8.3f %s\n",
+              label, static_cast<unsigned long long>(w.count),
+              w.mean * scale, w.p50 * scale, w.p95 * scale, w.p99 * scale,
+              unit);
+}
+
+void print_json(const serve::StatsResponse& s) {
+  const auto win = [](const serve::WindowStat& w) {
+    static char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"mean\":%.9g,\"p50\":%.9g,"
+                  "\"p95\":%.9g,\"p99\":%.9g}",
+                  static_cast<unsigned long long>(w.count), w.mean, w.p50,
+                  w.p95, w.p99);
+    return std::string(buf);
+  };
+  std::printf(
+      "{\"stats_version\":%u,\"uptime_s\":%.3f,"
+      "\"connections\":%llu,\"admitted\":%llu,\"served_ok\":%llu,"
+      "\"rejected_full\":%llu,\"deadline_miss\":%llu,\"cancelled\":%llu,"
+      "\"malformed\":%llu,\"errors\":%llu,\"shed_shutdown\":%llu,"
+      "\"batches\":%llu,\"batched_requests\":%llu,"
+      "\"models_built\":%llu,\"model_cache_hits\":%llu,"
+      "\"model_cache_size\":%llu,\"model_cache_hit_rate\":%.4f,"
+      "\"queue_depth\":%llu,\"queue_high_water\":%llu,"
+      "\"queue_capacity\":%llu,"
+      "\"latency_s\":%s,\"queue_wait_s\":%s,\"occupancy\":%s}\n",
+      s.stats_version, static_cast<double>(s.uptime_ns) * 1e-9,
+      static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.admitted),
+      static_cast<unsigned long long>(s.served_ok),
+      static_cast<unsigned long long>(s.rejected_full),
+      static_cast<unsigned long long>(s.deadline_miss),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.malformed),
+      static_cast<unsigned long long>(s.errors),
+      static_cast<unsigned long long>(s.shed_shutdown),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.batched_requests),
+      static_cast<unsigned long long>(s.models_built),
+      static_cast<unsigned long long>(s.model_cache_hits),
+      static_cast<unsigned long long>(s.model_cache_size),
+      s.model_cache_hit_rate(),
+      static_cast<unsigned long long>(s.queue_depth),
+      static_cast<unsigned long long>(s.queue_high_water),
+      static_cast<unsigned long long>(s.queue_capacity),
+      win(s.latency_s).c_str(), win(s.queue_wait_s).c_str(),
+      win(s.occupancy).c_str());
+}
+
+void print_dashboard(const std::string& endpoint,
+                     const serve::StatsResponse& s, double req_per_s) {
+  // Home + clear-to-end keeps the redraw flicker-free on a normal terminal.
+  std::printf("\x1b[H\x1b[J");
+  std::printf("fsi_top — %s   uptime %.1f s\n\n", endpoint.c_str(),
+              static_cast<double>(s.uptime_ns) * 1e-9);
+  std::printf("  rate         %.1f ok/s   queue %llu / %llu (high water "
+              "%llu)\n",
+              req_per_s, static_cast<unsigned long long>(s.queue_depth),
+              static_cast<unsigned long long>(s.queue_capacity),
+              static_cast<unsigned long long>(s.queue_high_water));
+  std::printf("  lifetime     conn %llu  admitted %llu  ok %llu  "
+              "retry-after %llu  deadline-miss %llu\n",
+              static_cast<unsigned long long>(s.connections),
+              static_cast<unsigned long long>(s.admitted),
+              static_cast<unsigned long long>(s.served_ok),
+              static_cast<unsigned long long>(s.rejected_full),
+              static_cast<unsigned long long>(s.deadline_miss));
+  std::printf("               cancelled %llu  malformed %llu  errors %llu  "
+              "shed %llu\n",
+              static_cast<unsigned long long>(s.cancelled),
+              static_cast<unsigned long long>(s.malformed),
+              static_cast<unsigned long long>(s.errors),
+              static_cast<unsigned long long>(s.shed_shutdown));
+  std::printf("  batching     %llu batches carrying %llu requests "
+              "(lifetime mean %.2f/batch)\n",
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.batched_requests),
+              s.batches > 0 ? static_cast<double>(s.batched_requests) /
+                                  static_cast<double>(s.batches)
+                            : 0.0);
+  std::printf("  model cache  %llu built, %llu hits (%.0f%%), %llu "
+              "resident\n\n",
+              static_cast<unsigned long long>(s.models_built),
+              static_cast<unsigned long long>(s.model_cache_hits),
+              s.model_cache_hit_rate() * 100.0,
+              static_cast<unsigned long long>(s.model_cache_size));
+  std::printf("  rolling window (last ~10 s):\n");
+  print_window("latency", s.latency_s, 1e3, "ms");
+  print_window("queue wait", s.queue_wait_s, 1e3, "ms");
+  print_window("occupancy", s.occupancy, 1.0, "");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string socket_spec =
+      cli.get_string("socket", "unix:fsi_serve.sock");
+  const bool json = cli.has("json");
+  const int interval_ms = cli.get_int("interval-ms", 1000);
+  const int count = cli.get_int("count", json ? 1 : 0);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    serve::Client client(serve::Endpoint::parse(socket_spec));
+    std::uint64_t last_ok = 0;
+    std::uint64_t last_uptime_ns = 0;
+    int polls = 0;
+    while (g_stop_requested == 0) {
+      const serve::StatsResponse s = client.stats();
+      if (json) {
+        print_json(s);
+      } else {
+        // Rate from the served_ok delta over the daemon's own clock, so a
+        // slow poll doesn't inflate it.
+        double req_per_s = 0.0;
+        if (polls > 0 && s.uptime_ns > last_uptime_ns)
+          req_per_s = static_cast<double>(s.served_ok - last_ok) /
+                      (static_cast<double>(s.uptime_ns - last_uptime_ns) *
+                       1e-9);
+        print_dashboard(socket_spec, s, req_per_s);
+        last_ok = s.served_ok;
+        last_uptime_ns = s.uptime_ns;
+      }
+      ++polls;
+      if (count > 0 && polls >= count) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsi_top: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -42,6 +42,17 @@ for pid in "${pids[@]}"; do
 done
 [ "$fail" -eq 0 ] || { echo "serve_smoke: a client failed"; exit 1; }
 
+# One stats poll against the live daemon: the JSON must parse and show
+# every verified request above as completed.
+"$build"/tools/fsi_top --socket "$sock" --json | python3 -c '
+import json, sys
+stats = json.load(sys.stdin)
+assert stats["served_ok"] >= 1, stats
+assert stats["uptime_s"] > 0, stats
+served, depth = stats["served_ok"], stats["queue_depth"]
+print(f"serve_smoke: fsi_top sees {served} served, queue depth {depth}")
+' || { echo "serve_smoke: fsi_top stats poll failed"; exit 1; }
+
 # Graceful shutdown on SIGTERM; the daemon prints stats and writes
 # BENCH_fsi_serve.json telemetry into $FSI_BENCH_DIR.
 kill -TERM "$server_pid"
