@@ -1,0 +1,146 @@
+#pragma once
+/// \file log.hpp
+/// \brief Leveled, thread-safe, structured operational logging.
+///
+/// Every operational event in the tree — the serve daemon's lifecycle
+/// (accept/drop, shed, malformed frame, shutdown), obs::health WARN/FAIL
+/// transitions, tool failures — goes through this one sink instead of
+/// scattered fprintf calls, so a fleet scheduler's log pipeline sees a
+/// single machine-parseable stream.  One line per event:
+///
+///   logfmt:  ts=2026-08-09T12:34:56.789Z level=warn event=serve.shed
+///            reason="admission queue full" depth=64
+///   jsonl:   {"ts":"...","level":"warn","event":"serve.shed",...}
+///
+/// Configuration (read once at process start, adjustable at runtime):
+///   FSI_LOG_LEVEL   debug | info | warn | error | off     (default info)
+///   FSI_LOG_FORMAT  logfmt | json                         (default logfmt)
+///   FSI_LOG_FILE    append to this path instead of stderr
+///
+/// Rate limiting is *per call site*: each FSI_LOG_* macro expansion owns a
+/// static token window, so one chatty site (a hostile client spamming
+/// malformed frames) cannot flood the sink or starve other sites.  When a
+/// site re-emits after suppression, the line carries a `suppressed=N`
+/// field accounting for the dropped events.
+///
+/// Correlation: while the process-wide active trace id (obs::set_active_trace)
+/// is nonzero — e.g. during a serve batch run — every line is tagged
+/// `trace=<id>`, so log lines join the chrome://tracing spans of the same
+/// request.
+///
+/// The emit path takes one mutex around format+write; call sites gate on
+/// should(level) first (one relaxed atomic load), so disabled levels cost
+/// nothing.  Like the rest of fsi::obs this depends only on the standard
+/// library.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+namespace fsi::obs::log {
+
+/// Severity, ordered: a configured level admits itself and everything worse.
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+const char* level_name(Level lv) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Returns false (and leaves \p out untouched) on any other spelling.
+bool parse_level(const char* s, Level& out) noexcept;
+
+Level level() noexcept;
+void set_level(Level lv) noexcept;
+
+/// True when a record at \p lv would be emitted — the cheap front gate.
+inline bool should(Level lv) noexcept {
+  extern std::atomic<int> g_level;
+  return static_cast<int>(lv) >= g_level.load(std::memory_order_relaxed);
+}
+
+enum class Format : int { Logfmt = 0, Jsonl = 1 };
+
+Format format() noexcept;
+void set_format(Format f) noexcept;
+
+/// Redirect the sink to \p path (append mode).  An empty path returns to
+/// stderr.  Returns false (sink unchanged) when the file cannot be opened.
+bool set_file(const std::string& path);
+
+/// Redirect the sink to an already-open stream (tests use tmpfile()); the
+/// caller keeps ownership.  nullptr returns to stderr.
+void set_stream(std::FILE* stream) noexcept;
+
+/// One key/value pair of a structured record.  Values are rendered at
+/// construction (this is the cold path); keys must be string literals.
+struct Field {
+  Field(const char* k, const char* v);
+  Field(const char* k, const std::string& v);
+  Field(const char* k, long long v);
+  Field(const char* k, unsigned long long v);
+  Field(const char* k, int v) : Field(k, static_cast<long long>(v)) {}
+  Field(const char* k, long v) : Field(k, static_cast<long long>(v)) {}
+  Field(const char* k, unsigned v)
+      : Field(k, static_cast<unsigned long long>(v)) {}
+  Field(const char* k, unsigned long v)
+      : Field(k, static_cast<unsigned long long>(v)) {}
+  Field(const char* k, double v);
+  Field(const char* k, bool v);
+
+  const char* key;
+  std::string value;  ///< rendered; quoted/escaped per format at emit
+  bool is_string;     ///< string values are quoted, scalars are not
+};
+
+/// Per-call-site rate-limiter state; the FSI_LOG_* macros declare one
+/// static instance per expansion.  Fixed one-second windows of at most
+/// site_limit() events; excess events are counted, not emitted.
+struct Site {
+  std::atomic<std::int64_t> window_start_ns{0};
+  std::atomic<std::uint32_t> emitted_in_window{0};
+  std::atomic<std::uint64_t> suppressed{0};
+};
+
+/// Events one site may emit per second before suppression (default 50).
+/// Runtime-settable so tests can exercise the limiter deterministically.
+std::uint32_t site_limit() noexcept;
+void set_site_limit(std::uint32_t per_second) noexcept;
+
+/// Rate-limit check for one site.  True = emit now.  False = the event is
+/// suppressed (counted into the site's `suppressed` tally, drained into a
+/// `suppressed=N` field on the site's next emitted line).
+bool admit(Site& site) noexcept;
+
+/// Emit one record.  \p event must be a stable dotted name ("serve.accept");
+/// \p site may be nullptr (no suppression accounting).  Fields render in
+/// argument order after ts/level/event (and trace when active).
+void write(Level lv, const char* event, Site* site,
+           std::initializer_list<Field> fields);
+
+/// Total records written / suppressed since process start (tests, stats).
+std::uint64_t lines_written() noexcept;
+
+}  // namespace fsi::obs::log
+
+/// Structured logging macros: cheap level gate, then per-site rate limit,
+/// then the cold emit path.  Usage:
+///   FSI_LOG_WARN("serve.shed", {"reason", "queue full"}, {"depth", depth});
+#define FSI_LOG_AT(lvl, event, ...)                                       \
+  do {                                                                    \
+    if (::fsi::obs::log::should(lvl)) {                                   \
+      static ::fsi::obs::log::Site fsi_log_site__;                        \
+      if (::fsi::obs::log::admit(fsi_log_site__))                         \
+        ::fsi::obs::log::write(lvl, event, &fsi_log_site__,               \
+                               {__VA_ARGS__});                            \
+    }                                                                     \
+  } while (0)
+
+#define FSI_LOG_DEBUG(event, ...) \
+  FSI_LOG_AT(::fsi::obs::log::Level::Debug, event, __VA_ARGS__)
+#define FSI_LOG_INFO(event, ...) \
+  FSI_LOG_AT(::fsi::obs::log::Level::Info, event, __VA_ARGS__)
+#define FSI_LOG_WARN(event, ...) \
+  FSI_LOG_AT(::fsi::obs::log::Level::Warn, event, __VA_ARGS__)
+#define FSI_LOG_ERROR(event, ...) \
+  FSI_LOG_AT(::fsi::obs::log::Level::Error, event, __VA_ARGS__)

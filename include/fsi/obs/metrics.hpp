@@ -68,6 +68,13 @@ void reset_all() noexcept;
 /// Snapshot of every counter's total, in enum order.
 std::vector<std::pair<const char*, std::uint64_t>> snapshot();
 
+/// Async-signal-safe counter totals: writes total(Counter(i)) into out[i]
+/// for i < min(n, kCount) and returns how many were written.  Sums a
+/// lock-free mirror of the slot registry (no mutex, no allocation), so the
+/// crash handler can embed a counter snapshot in its dump.  Slots still
+/// registering concurrently may be missed; all completed ones are seen.
+int totals_signal_safe(std::uint64_t* out, int n) noexcept;
+
 /// RAII helper measuring the global growth of one counter during its
 /// lifetime.  Not reentrant with reset().
 class Scope {

@@ -30,6 +30,10 @@
 
 namespace fsi::obs {
 
+namespace flight {
+bool enabled() noexcept;  // flight.hpp; forward-declared for Span's gate
+}  // namespace flight
+
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
 }  // namespace detail
@@ -79,11 +83,13 @@ std::uint64_t active_trace() noexcept;
 
 /// RAII span: measures the enclosing scope and records it on destruction.
 /// \p name must be a string literal (or otherwise outlive the trace);
-/// events store the pointer, not a copy.
+/// events store the pointer, not a copy.  A span is live when either the
+/// trace buffer (FSI_TRACE) or the always-on flight recorder wants it;
+/// record_interval routes to whichever are enabled at close.
 class Span {
  public:
   explicit Span(const char* name) noexcept
-      : name_(name), active_(enabled()) {
+      : name_(name), active_(enabled() || flight::enabled()) {
     if (active_) start_ns_ = now_ns();
   }
   Span(const Span&) = delete;

@@ -46,7 +46,10 @@ inline constexpr std::uint32_t kSchemaVersion = 2;
 inline constexpr std::uint32_t kMinSchemaVersion = 1;
 /// Version tag of the StatsResponse *snapshot layout* (independent of the
 /// wire schema so the stats body can evolve without a protocol bump).
-inline constexpr std::uint32_t kStatsVersion = 1;
+/// v2 appended the build-provenance strings so a stats poll identifies the
+/// exact binary answering it; v1 decoders were written before those fields
+/// existed and simply never read them.
+inline constexpr std::uint32_t kStatsVersion = 2;
 /// Upper bound on one frame's payload; a declared length beyond this is
 /// treated as a malformed stream (protects the server from a hostile or
 /// corrupt length prefix).  64 MiB fits fields for N*L ~ 8M sites-slices.
@@ -161,6 +164,13 @@ struct StatsResponse {
   WindowStat latency_s;               ///< rolling ServeLatency (seconds)
   WindowStat queue_wait_s;            ///< rolling ServeQueueWait (seconds)
   WindowStat occupancy;               ///< rolling ServeBatchOccupancy
+
+  // --- stats v2 extension: build provenance of the answering daemon
+  // (obs::build_info()); empty when decoded from a v1 snapshot.
+  std::string build_version;
+  std::string build_git_sha;
+  std::string build_compiler;
+  std::string build_type;
 
   double model_cache_hit_rate() const {
     const std::uint64_t lookups = models_built + model_cache_hits;

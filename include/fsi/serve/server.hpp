@@ -60,13 +60,17 @@ struct ServerOptions {
   /// with id, trace_id, status, timing breakdown and batch occupancy —
   /// appended, flushed per line, so `tail -f` works on a live daemon.
   std::string access_log;
+  /// OpenMetrics scrape endpoint spec ("" = off), e.g. "tcp:127.0.0.1:9464".
+  /// The fsi_serve tool starts a serve::MetricsExporter here so standard
+  /// Prometheus infrastructure can watch the daemon (see metrics_http.hpp).
+  std::string metrics_endpoint;
   qmc::FsiBatchOptions batch;         ///< executor knobs of the engine runs
   Engine engine;                      ///< null = qmc::run_fsi_batch
 
   /// Defaults overridden by FSI_SERVE_SOCKET, FSI_SERVE_QUEUE,
   /// FSI_SERVE_BATCH_WINDOW_US, FSI_SERVE_MAX_BATCH,
   /// FSI_SERVE_RETRY_AFTER_MS, FSI_SERVE_DEADLINE_MS, FSI_SERVE_WORKERS,
-  /// FSI_SERVE_LOG.
+  /// FSI_SERVE_LOG, FSI_SERVE_METRICS.
   static ServerOptions from_env();
 };
 

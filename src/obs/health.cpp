@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "fsi/obs/env.hpp"
+#include "fsi/obs/log.hpp"
 
 namespace fsi::obs::health {
 namespace {
@@ -61,6 +62,28 @@ Status classify(double worst, std::uint64_t count, double warn,
   if (!std::isfinite(worst) || worst >= fail) return Status::Fail;
   if (worst >= warn) return Status::Warn;
   return Status::Ok;
+}
+
+/// Per-check streaming status, so WARN/FAIL *transitions* (and recoveries)
+/// reach the operational log the moment they happen instead of waiting for
+/// someone to ask for a report().  Indexed: 0 drift, 1 cond1, 2 residual.
+std::atomic<int> g_stream_status[3] = {};
+
+void note_transition(int idx, const char* check, double value, double warn,
+                     double fail) noexcept {
+  const Status now = classify(value, 1, warn, fail);
+  const int prev = g_stream_status[idx].exchange(static_cast<int>(now),
+                                                 std::memory_order_relaxed);
+  if (prev == static_cast<int>(now)) return;
+  if (now == Status::Fail) {
+    FSI_LOG_ERROR("health.fail", {"check", check}, {"value", value},
+                  {"threshold", fail});
+  } else if (now == Status::Warn) {
+    FSI_LOG_WARN("health.warn", {"check", check}, {"value", value},
+                 {"threshold", warn});
+  } else {
+    FSI_LOG_INFO("health.recovered", {"check", check}, {"value", value});
+  }
 }
 
 CheckRow hist_row(metrics::Hist h, double warn, double fail) {
@@ -129,6 +152,8 @@ void set_thresholds(const Thresholds& t) noexcept {
 void record_drift(double drift) noexcept {
   if (!enabled()) return;
   metrics::record(metrics::Hist::WrapDrift, drift);
+  const Thresholds t = thresholds();  // before state_mutex: shares the lock
+  note_transition(0, "wrap_drift", drift, t.drift_warn, t.drift_fail);
   std::lock_guard<std::mutex> lock(state_mutex());
   ColdState& s = cold_locked();
   s.drift_ring[s.drift_total % kDriftHistoryCapacity] = drift;
@@ -138,16 +163,21 @@ void record_drift(double drift) noexcept {
 void record_cond1(double cond) noexcept {
   if (!enabled()) return;
   metrics::record(metrics::Hist::Cond1Reduced, cond);
+  const Thresholds t = thresholds();
+  note_transition(1, "cond1_reduced", cond, t.cond_warn, t.cond_fail);
 }
 
 void record_residual(double resid) noexcept {
   if (!enabled()) return;
   metrics::record(metrics::Hist::SelResidual, resid);
+  const Thresholds t = thresholds();
+  note_transition(2, "sel_residual", resid, t.resid_warn, t.resid_fail);
 }
 
 void record_nonfinite(const char* where) noexcept {
   if (!enabled()) return;
   g_nonfinite_count.fetch_add(1, std::memory_order_relaxed);
+  FSI_LOG_ERROR("health.nonfinite", {"where", where != nullptr ? where : "?"});
   std::lock_guard<std::mutex> lock(state_mutex());
   cold_locked().nonfinite_where = where != nullptr ? where : "?";
 }
@@ -290,6 +320,8 @@ void reset() noexcept {
   metrics::reset(metrics::Hist::SelResidual);
   g_nonfinite_count.store(0, std::memory_order_relaxed);
   g_sample_tick.store(0, std::memory_order_relaxed);
+  for (auto& s : g_stream_status)
+    s.store(static_cast<int>(Status::Ok), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(state_mutex());
     ColdState& s = cold_locked();

@@ -45,11 +45,24 @@ std::vector<Slot*>& registry() {
   return r;
 }
 
+// Lock-free mirror of the registry for totals_signal_safe(): a fixed array
+// of atomic slot pointers the crash handler can walk without taking the
+// mutex.  Threads beyond kMaxSignalSlots still count normally through the
+// mutexed registry; they are merely invisible to the signal-safe view.
+constexpr int kMaxSignalSlots = 256;
+std::atomic<Slot*> g_slot_mirror[kMaxSignalSlots] = {};
+std::atomic<int> g_slot_mirror_count{0};
+
 Slot& local_slot() {
   thread_local Slot* slot = [] {
     auto* s = new Slot();
-    std::lock_guard<std::mutex> lock(registry_mutex());
-    registry().push_back(s);
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex());
+      registry().push_back(s);
+    }
+    const int i = g_slot_mirror_count.fetch_add(1, std::memory_order_acq_rel);
+    if (i < kMaxSignalSlots)
+      g_slot_mirror[i].store(s, std::memory_order_release);
     return s;
   }();
   return *slot;
@@ -136,6 +149,20 @@ void reset_all() noexcept {
     gauge_cell(static_cast<Gauge>(g)).store(0.0, std::memory_order_relaxed);
   for (int h = 0; h < kNumHists; ++h)
     hist_last_cell(static_cast<Hist>(h)).store(0.0, std::memory_order_relaxed);
+}
+
+int totals_signal_safe(std::uint64_t* out, int n) noexcept {
+  const int nc = n < kNumCounters ? n : kNumCounters;
+  for (int c = 0; c < nc; ++c) out[c] = 0;
+  int slots = g_slot_mirror_count.load(std::memory_order_acquire);
+  if (slots > kMaxSignalSlots) slots = kMaxSignalSlots;
+  for (int i = 0; i < slots; ++i) {
+    const Slot* s = g_slot_mirror[i].load(std::memory_order_acquire);
+    if (s == nullptr) continue;  // registration raced; skip, never block
+    for (int c = 0; c < nc; ++c)
+      out[c] += s->cells[c].load(std::memory_order_relaxed);
+  }
+  return nc;
 }
 
 std::vector<std::pair<const char*, std::uint64_t>> snapshot() {

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "fsi/obs/build.hpp"
 #include "fsi/obs/health.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
@@ -77,13 +78,14 @@ std::string BenchTelemetry::json() const {
   out += num(steady_seconds() - start_s_);
 
   // Build/config fingerprint: enough to tell a true perf regression from a
-  // compiler, thread-count or FP-environment change.
-  out += ",\"build\":{\"compiler\":";
-#if defined(__VERSION__)
-  out += quoted(__VERSION__);
-#else
-  out += "\"unknown\"";
-#endif
+  // compiler, flag, thread-count or FP-environment change — and to match an
+  // artifact back to the exact commit that produced it.
+  const BuildInfo& bi = build_info();
+  out += ",\"build\":{\"version\":" + quoted(bi.version);
+  out += ",\"git_sha\":" + quoted(bi.git_sha);
+  out += ",\"build_type\":" + quoted(bi.build_type);
+  out += ",\"cxx_flags\":" + quoted(bi.cxx_flags);
+  out += ",\"compiler\":" + quoted(bi.compiler);
 #if defined(NDEBUG)
   out += ",\"ndebug\":true";
 #else

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "fsi/obs/env.hpp"
+#include "fsi/obs/flight.hpp"
 #include "fsi/obs/telemetry.hpp"
 
 namespace fsi::obs {
@@ -123,6 +124,9 @@ void record_interval(const char* name, std::int64_t t0_ns,
 
 void record_interval(const char* name, std::int64_t t0_ns, std::int64_t t1_ns,
                      std::uint64_t trace_id) noexcept {
+  // The flight recorder sees every span close, trace enabled or not — its
+  // ring is what the crash handler dumps (flight.hpp).
+  flight::record(name, t0_ns, t1_ns - t0_ns, trace_id, omp_get_thread_num());
   if (!enabled()) return;
   local_buffer().push(
       {name, t0_ns, t1_ns - t0_ns, trace_id, omp_get_thread_num()},

@@ -1,0 +1,147 @@
+#include "fsi/serve/metrics_http.hpp"
+
+#include <poll.h>
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "fsi/obs/exporter.hpp"
+#include "fsi/obs/log.hpp"
+#include "fsi/util/check.hpp"
+
+namespace fsi::serve {
+namespace {
+
+/// Everything before the header terminator is capped: a scraper's request
+/// line + headers fit in well under 8 KiB, and anything larger is hostile.
+constexpr std::size_t kMaxRequestBytes = 8192;
+/// Per-connection read budget; a scraper sends its request immediately.
+constexpr int kReadTimeoutMs = 2000;
+
+/// Read until "\r\n\r\n", the cap, the timeout, or EOF.  Returns the raw
+/// request text (possibly incomplete on timeout — the parser rejects it).
+std::string read_request(Socket& sock) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{sock.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kReadTimeoutMs);
+    if (ready <= 0) break;  // timeout or error: give up on this client
+    const long got = sock.recv_some(buf, sizeof buf);
+    if (got <= 0) break;
+    req.append(buf, static_cast<std::size_t>(got));
+  }
+  return req;
+}
+
+/// The request line's method and target ("GET", "/metrics").  Empty method
+/// on anything that does not parse as an HTTP/1.x request line.
+std::pair<std::string, std::string> parse_request_line(const std::string& req) {
+  const std::size_t eol = req.find("\r\n");
+  if (eol == std::string::npos) return {};
+  const std::string line = req.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return {};
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || line.compare(sp2 + 1, 5, "HTTP/") != 0)
+    return {};
+  return {line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1)};
+}
+
+void send_http(Socket& sock, const char* status, const std::string& content_type,
+               const std::string& body) {
+  std::string resp = "HTTP/1.1 ";
+  resp += status;
+  resp += "\r\nContent-Type: ";
+  resp += content_type;
+  resp += "\r\nContent-Length: ";
+  resp += std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  sock.send_all(resp.data(), resp.size());
+}
+
+}  // namespace
+
+struct MetricsExporter::Impl {
+  explicit Impl(Endpoint ep) : configured(std::move(ep)) {}
+
+  Endpoint configured;
+  Endpoint bound;
+  std::optional<Listener> listener;
+  std::thread thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> served{0};
+
+  void serve_loop() {
+    for (;;) {
+      Socket sock = listener->accept_once();
+      if (stopping.load(std::memory_order_relaxed)) return;
+      if (!sock.valid()) continue;
+      handle(sock);
+      served.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void handle(Socket& sock) {
+    const auto [method, target] = parse_request_line(read_request(sock));
+    if (method.empty()) {
+      send_http(sock, "400 Bad Request", "text/plain; charset=utf-8",
+                "bad request\n");
+      return;
+    }
+    if (method != "GET") {
+      send_http(sock, "405 Method Not Allowed", "text/plain; charset=utf-8",
+                "GET only\n");
+      return;
+    }
+    if (target == "/metrics") {
+      send_http(sock, "200 OK", obs::kOpenMetricsContentType,
+                obs::openmetrics());
+    } else if (target == "/healthz") {
+      send_http(sock, "200 OK", "text/plain; charset=utf-8", "ok\n");
+    } else {
+      send_http(sock, "404 Not Found", "text/plain; charset=utf-8",
+                "try /metrics or /healthz\n");
+    }
+  }
+};
+
+MetricsExporter::MetricsExporter(Endpoint endpoint)
+    : impl_(std::make_unique<Impl>(std::move(endpoint))) {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+void MetricsExporter::start() {
+  FSI_CHECK(!impl_->started.load(), "serve: metrics exporter started twice");
+  impl_->listener.emplace(Listener::listen_on(impl_->configured));
+  impl_->bound = impl_->listener->endpoint();
+  impl_->started.store(true);
+  impl_->thread = std::thread([this] { impl_->serve_loop(); });
+  FSI_LOG_INFO("serve.metrics_listen", {"endpoint", impl_->bound.describe()});
+}
+
+void MetricsExporter::stop() {
+  if (!impl_->started.load()) return;
+  if (impl_->stopping.exchange(true)) return;
+  impl_->listener->wake();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->listener.reset();
+}
+
+const Endpoint& MetricsExporter::endpoint() const {
+  FSI_CHECK(impl_->started.load(), "serve: metrics exporter not started");
+  return impl_->bound;
+}
+
+std::uint64_t MetricsExporter::requests_served() const {
+  return impl_->served.load(std::memory_order_relaxed);
+}
+
+}  // namespace fsi::serve

@@ -140,6 +140,14 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r) {
   put_window_stat(w, r.latency_s);
   put_window_stat(w, r.queue_wait_s);
   put_window_stat(w, r.occupancy);
+  // Stats v2: build provenance.  Gated on the snapshot's own version tag so
+  // re-encoding a decoded v1 snapshot round-trips byte-compatibly.
+  if (r.stats_version >= 2) {
+    w.put_string(r.build_version);
+    w.put_string(r.build_git_sha);
+    w.put_string(r.build_compiler);
+    w.put_string(r.build_type);
+  }
   return w.take();
 }
 
@@ -227,6 +235,12 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
     s.latency_s = get_window_stat(r);
     s.queue_wait_s = get_window_stat(r);
     s.occupancy = get_window_stat(r);
+    if (s.stats_version >= 2) {
+      s.build_version = r.get_string();
+      s.build_git_sha = r.get_string();
+      s.build_compiler = r.get_string();
+      s.build_type = r.get_string();
+    }
   } else {
     FSI_CHECK(false, "serve: unknown message type " + std::to_string(type) +
                          " for schema " + std::to_string(schema));

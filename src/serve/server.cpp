@@ -13,7 +13,9 @@
 #include <thread>
 #include <utility>
 
+#include "fsi/obs/build.hpp"
 #include "fsi/obs/env.hpp"
+#include "fsi/obs/log.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/serve/queue.hpp"
@@ -44,6 +46,8 @@ ServerOptions ServerOptions::from_env() {
       obs::env_long("FSI_SERVE_WORKERS", o.batch.num_workers));
   const char* log = std::getenv("FSI_SERVE_LOG");
   if (log != nullptr && log[0] != '\0') o.access_log = log;
+  const char* metrics = std::getenv("FSI_SERVE_METRICS");
+  if (metrics != nullptr && metrics[0] != '\0') o.metrics_endpoint = metrics;
   return o;
 }
 
@@ -162,6 +166,7 @@ void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
     // decodes the v1 body.
     count(&ServerStats::malformed);
     obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    FSI_LOG_WARN("serve.malformed", {"reason", e.what()});
     InvertResponse r;
     r.id = 0;
     r.status = Status::Malformed;
@@ -182,6 +187,9 @@ void Server::Impl::handle_payload(const std::shared_ptr<Conn>& conn,
   if (d.type != MsgType::InvertRequest) {
     count(&ServerStats::malformed);
     obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    FSI_LOG_WARN("serve.malformed",
+                 {"reason", "unsupported message type"},
+                 {"type", static_cast<unsigned>(d.type)});
     InvertResponse r;
     r.id = 0;
     r.status = Status::Malformed;
@@ -210,6 +218,7 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
   if (!why.empty()) {
     count(&ServerStats::malformed);
     obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+    FSI_LOG_WARN("serve.malformed", {"id", req.id}, {"reason", why});
     reject.status = Status::Malformed;
     reject.message = why;
     send_response(conn, std::move(reject), schema);
@@ -230,6 +239,8 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
   if (req.deadline_us < 0) {
     count(&ServerStats::deadline_miss);
     obs::metrics::add(obs::metrics::Counter::ServeDeadlineMiss, 1);
+    FSI_LOG_WARN("serve.deadline_miss", {"id", req.id},
+                 {"reason", "expired on arrival"});
     reject.status = Status::DeadlineMiss;
     reject.message = "deadline expired on arrival";
     send_response(conn, std::move(reject), schema);
@@ -256,6 +267,9 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
     // Explicit backpressure: the queue is the only buffer and it is full.
     count(&ServerStats::rejected_full);
     obs::metrics::add(obs::metrics::Counter::ServeRejected, 1);
+    FSI_LOG_WARN("serve.shed", {"reason", "admission queue full"},
+                 {"depth", static_cast<unsigned long long>(queue.depth())},
+                 {"retry_after_ms", opts.retry_after_ms});
     reject.status = Status::RetryAfter;
     reject.retry_after_ms = opts.retry_after_ms;
     reject.message = "admission queue full";
@@ -284,6 +298,7 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
         // Tell the client why (best effort), then drop the connection.
         count(&ServerStats::malformed);
         obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+        FSI_LOG_WARN("serve.frame_error", {"reason", e.what()});
         InvertResponse r;
         r.status = Status::Malformed;
         r.message = e.what();
@@ -301,6 +316,7 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
         // std::terminate the daemon.  Answer and drop the connection.
         count(&ServerStats::malformed);
         obs::metrics::add(obs::metrics::Counter::ServeErrors, 1);
+        FSI_LOG_ERROR("serve.handler_error", {"reason", e.what()});
         InvertResponse r;
         r.status = Status::Malformed;
         r.message = e.what();
@@ -312,6 +328,7 @@ void Server::Impl::reader_loop(std::shared_ptr<Conn> conn) {
   }
   conn->open.store(false, std::memory_order_relaxed);
   conn->sock.shutdown_both();
+  FSI_LOG_DEBUG("serve.disconnect");
 }
 
 void Server::Impl::accept_loop() {
@@ -323,6 +340,7 @@ void Server::Impl::accept_loop() {
     auto conn = std::make_shared<Conn>();
     conn->sock = std::move(s);
     count(&ServerStats::connections);
+    FSI_LOG_DEBUG("serve.accept");
     {
       std::lock_guard<std::mutex> lock(conns_mu);
       // Reap connections whose reader already finished, so a long-lived
@@ -458,6 +476,8 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
               "serve: engine returned wrong result count");
   } catch (const std::exception& e) {
     engine_error = e.what();
+    FSI_LOG_ERROR("serve.engine_error", {"reason", engine_error},
+                  {"batch_size", static_cast<unsigned long long>(live.size())});
   }
   const std::int64_t exec_t1 = obs::now_ns();
   obs::set_active_trace(0);
@@ -575,6 +595,11 @@ StatsResponse Server::Impl::build_stats(std::uint64_t id) {
   s.latency_s = window_of(obs::metrics::Hist::ServeLatency);
   s.queue_wait_s = window_of(obs::metrics::Hist::ServeQueueWait);
   s.occupancy = window_of(obs::metrics::Hist::ServeBatchOccupancy);
+  const obs::BuildInfo& b = obs::build_info();
+  s.build_version = b.version;
+  s.build_git_sha = b.git_sha;
+  s.build_compiler = b.compiler;
+  s.build_type = b.build_type;
   return s;
 }
 
@@ -605,6 +630,11 @@ void Server::start() {
   impl_->started.store(true);
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   impl_->batcher_thread = std::thread([this] { impl_->batcher_loop(); });
+  FSI_LOG_INFO(
+      "serve.start", {"endpoint", impl_->bound.describe()},
+      {"queue_depth", static_cast<unsigned long long>(impl_->opts.queue_depth)},
+      {"max_batch", static_cast<unsigned long long>(impl_->opts.max_batch)},
+      {"git_sha", obs::build_info().git_sha});
 }
 
 void Server::stop() {
@@ -633,6 +663,14 @@ void Server::stop() {
     if (conn->reader.joinable()) conn->reader.join();
   }
   impl_->listener.reset();
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mu);
+    FSI_LOG_INFO(
+        "serve.stop",
+        {"served_ok", static_cast<unsigned long long>(impl_->stats.served_ok)},
+        {"shed", static_cast<unsigned long long>(impl_->stats.rejected_full)},
+        {"errors", static_cast<unsigned long long>(impl_->stats.errors)});
+  }
   if (impl_->access_log != nullptr) {
     std::lock_guard<std::mutex> lock(impl_->log_mu);
     std::fclose(impl_->access_log);

@@ -1,0 +1,185 @@
+/// Tests for the crash flight recorder: ring recording and wrap semantics,
+/// span integration with FSI_TRACE off, dump writing (parsed back with the
+/// shared JSON checker), and the full end-to-end crash flow — the
+/// deliberately-crashing helper dies of SIGSEGV, its handler writes
+/// crash-<pid>.fsi.json, and fsi_postmortem renders the dump into a summary
+/// plus a chrome://tracing timeline.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fsi/obs/flight.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
+#include "json_checker.hpp"
+
+namespace {
+
+namespace fl = fsi::obs::flight;
+namespace fs = std::filesystem;
+
+struct FlightFixture : ::testing::Test {
+  void SetUp() override {
+    fl::set_enabled(true);
+    fl::clear();
+  }
+  void TearDown() override {
+    fl::set_enabled(true);
+    fl::clear();
+  }
+};
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool any_record_named(const std::vector<std::pair<int, fl::Record>>& snap,
+                      const char* name) {
+  for (const auto& [tid, rec] : snap)
+    if (std::string(rec.name) == name) return true;
+  return false;
+}
+
+TEST_F(FlightFixture, RecordedSpansAppearInSnapshot) {
+  fl::record("flight.test_a", 100, 50, 42, 0);
+  fl::record("flight.test_b", 200, 25, 0, 1);
+  const auto snap = fl::snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_STREQ(snap[0].second.name, "flight.test_a");
+  EXPECT_EQ(snap[0].second.t0_ns, 100);
+  EXPECT_EQ(snap[0].second.dur_ns, 50);
+  EXPECT_EQ(snap[0].second.trace_id, 42u);
+  EXPECT_STREQ(snap[1].second.name, "flight.test_b");
+  EXPECT_EQ(snap[1].second.omp_tid, 1);
+}
+
+TEST_F(FlightFixture, RingWrapsKeepingTheMostRecentRecords) {
+  const int pushes = fl::kRingCapacity + 10;
+  for (int i = 0; i < pushes; ++i)
+    fl::record(i == pushes - 1 ? "flight.newest" : "flight.bulk", i, 1, 0, 0);
+  const auto snap = fl::snapshot();
+  EXPECT_EQ(snap.size(), static_cast<std::size_t>(fl::kRingCapacity));
+  EXPECT_TRUE(any_record_named(snap, "flight.newest"));
+  // Oldest surviving record is push #10 — wraps dropped exactly the front.
+  EXPECT_EQ(snap.front().second.t0_ns, 10);
+  EXPECT_GE(fl::recorded(), static_cast<std::uint64_t>(pushes));
+}
+
+TEST_F(FlightFixture, SpansFeedTheRecorderWithTracingOff) {
+  fsi::obs::set_enabled(false);  // the whole point: flight works without it
+  { FSI_OBS_SPAN("flight.span_integration"); }
+  EXPECT_TRUE(any_record_named(fl::snapshot(), "flight.span_integration"));
+}
+
+TEST_F(FlightFixture, DisabledRecorderDropsRecords) {
+  fl::set_enabled(false);
+  fl::record("flight.ignored", 1, 1, 0, 0);
+  { FSI_OBS_SPAN("flight.span_ignored"); }
+  EXPECT_TRUE(fl::snapshot().empty());
+}
+
+TEST_F(FlightFixture, WriteDumpProducesAParseableDocument) {
+  fl::record("flight.dumped", 1000, 2000, 99, 3);
+  fsi::obs::metrics::add(fsi::obs::metrics::Counter::KernelCalls, 5);
+  const std::string path = ::testing::TempDir() + "fsi_flight_dump.json";
+  ASSERT_TRUE(fl::write_dump("TEST", path.c_str()));
+
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(doc.empty());
+  // Trailing newline, then a parseable object with the expected sections.
+  ASSERT_EQ(doc.back(), '\n');
+  fsi::testing::JsonChecker checker(doc.substr(0, doc.size() - 1));
+  ASSERT_TRUE(checker.parse()) << doc;
+  EXPECT_EQ(checker.strings_for("signal").count("TEST"), 1u);
+  EXPECT_EQ(checker.strings_for("name").count("flight.dumped"), 1u);
+  EXPECT_NE(doc.find("\"fsi_crash_dump\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"build\""), std::string::npos);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"git_sha\""), std::string::npos);
+}
+
+TEST_F(FlightFixture, WriteDumpToUnwritablePathFails) {
+  EXPECT_FALSE(fl::write_dump("TEST", "/nonexistent-dir/x/dump.json"));
+}
+
+#if defined(FSI_CRASH_HELPER) && defined(FSI_POSTMORTEM)
+
+/// End-to-end: helper SIGSEGVs -> handler writes the dump -> fsi_postmortem
+/// summarises it and emits a chrome://tracing timeline.
+TEST(CrashFlow, SegvProducesDumpAndPostmortemRendersIt) {
+  const std::string dir = ::testing::TempDir() + "fsi_crash_flow/";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  ASSERT_TRUE(fs::create_directories(dir));
+
+  const std::string cmd = "FSI_CRASH_DIR=" + dir + " " + FSI_CRASH_HELPER +
+                          " --signal segv --spans 32 > " + dir +
+                          "helper.out 2>&1";
+  const int rc = std::system(cmd.c_str());
+  // The helper must die of the signal, not exit normally.
+  ASSERT_TRUE(WIFSIGNALED(rc) || (WIFEXITED(rc) && WEXITSTATUS(rc) != 0));
+
+  std::string dump;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("crash-", 0) == 0 &&
+        name.find(".fsi.json") != std::string::npos)
+      dump = entry.path().string();
+  }
+  ASSERT_FALSE(dump.empty()) << "no crash dump written in " << dir;
+
+  const std::string doc = slurp(dump);
+  ASSERT_FALSE(doc.empty());
+  fsi::testing::JsonChecker checker(doc.substr(0, doc.size() - 1));
+  ASSERT_TRUE(checker.parse()) << doc;
+  EXPECT_EQ(checker.strings_for("signal").count("SIGSEGV"), 1u);
+  EXPECT_EQ(checker.strings_for("name").count("helper.compute"), 1u);
+  EXPECT_EQ(checker.strings_for("name").count("helper.final_span"), 1u);
+
+  // fsi_postmortem renders the dump and writes a valid trace timeline.
+  const std::string trace = dir + "final.trace.json";
+  const std::string pm_cmd = std::string(FSI_POSTMORTEM) + " " + dump +
+                             " --trace " + trace + " --records 5 > " + dir +
+                             "pm.out 2>&1";
+  const int pm_rc = std::system(pm_cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(pm_rc) && WEXITSTATUS(pm_rc) == 0)
+      << slurp(dir + "pm.out");
+
+  const std::string summary = slurp(dir + "pm.out");
+  EXPECT_NE(summary.find("SIGSEGV"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("helper.final_span"), std::string::npos) << summary;
+
+  const std::string timeline = slurp(trace);
+  ASSERT_FALSE(timeline.empty());
+  fsi::testing::JsonChecker trace_checker(timeline);
+  ASSERT_TRUE(trace_checker.parse()) << timeline;
+  EXPECT_NE(timeline.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(trace_checker.strings_for("ph").count("X"), 1u);
+  EXPECT_EQ(trace_checker.strings_for("name").count("helper.final_span"), 1u);
+
+  // A non-dump input is rejected with a nonzero exit.
+  const int bad_rc = std::system(
+      (std::string(FSI_POSTMORTEM) + " " + trace + " > /dev/null 2>&1")
+          .c_str());
+  EXPECT_TRUE(WIFEXITED(bad_rc) && WEXITSTATUS(bad_rc) != 0);
+
+  fs::remove_all(dir, ec);
+}
+
+#endif  // FSI_CRASH_HELPER && FSI_POSTMORTEM
+
+}  // namespace

@@ -25,14 +25,17 @@
 #include <vector>
 
 #include "fsi/io/wire.hpp"
+#include "fsi/obs/build.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/serve/client.hpp"
+#include "fsi/serve/metrics_http.hpp"
 #include "fsi/serve/protocol.hpp"
 #include "fsi/serve/queue.hpp"
 #include "fsi/serve/server.hpp"
 #include "fsi/serve/socket.hpp"
 #include "fsi/util/check.hpp"
+#include "openmetrics_checker.hpp"
 
 namespace {
 
@@ -195,6 +198,10 @@ TEST(ServeProtocol, StatsRoundTrip) {
   s.latency_s = WindowStat{100, 0.5, 0.4, 0.9, 0.99};
   s.queue_wait_s = WindowStat{100, 0.1, 0.05, 0.2, 0.3};
   s.occupancy = WindowStat{10, 0.75, 0.8, 1.0, 1.0};
+  s.build_version = "1.2.3";
+  s.build_git_sha = "abc1234+dirty";
+  s.build_compiler = "testcc 0.0";
+  s.build_type = "Release";
 
   const auto payload = encode_stats_response(s);
   const Decoded d = decode_payload(payload.data(), payload.size());
@@ -224,11 +231,41 @@ TEST(ServeProtocol, StatsRoundTrip) {
   EXPECT_DOUBLE_EQ(d.stats.latency_s.p95, 0.9);
   EXPECT_DOUBLE_EQ(d.stats.queue_wait_s.mean, 0.1);
   EXPECT_DOUBLE_EQ(d.stats.occupancy.p99, 1.0);
+  EXPECT_EQ(d.stats.build_version, "1.2.3");
+  EXPECT_EQ(d.stats.build_git_sha, "abc1234+dirty");
+  EXPECT_EQ(d.stats.build_compiler, "testcc 0.0");
+  EXPECT_EQ(d.stats.build_type, "Release");
 
   const auto req_payload = encode_stats_request(17);
   const Decoded dq = decode_payload(req_payload.data(), req_payload.size());
   ASSERT_EQ(dq.type, MsgType::StatsRequest);
   EXPECT_EQ(dq.stats.id, 17u);
+}
+
+TEST(ServeProtocol, StatsV1SnapshotRoundTripsWithoutBuildStrings) {
+  // A v1-tagged snapshot (old daemon) carries no build provenance on the
+  // wire.  Both encode and decode gate on the snapshot's own version, so a
+  // decoded v1 snapshot re-encodes byte-identically and its build strings
+  // stay empty instead of desynchronising the reader.
+  StatsResponse s;
+  s.id = 5;
+  s.stats_version = 1;
+  s.served_ok = 42;
+  s.build_version = "should-not-travel";
+  s.build_git_sha = "deadbee";
+
+  const auto payload = encode_stats_response(s);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::StatsResponse);
+  EXPECT_EQ(d.stats.stats_version, 1u);
+  EXPECT_EQ(d.stats.served_ok, 42u);
+  EXPECT_TRUE(d.stats.build_version.empty());
+  EXPECT_TRUE(d.stats.build_git_sha.empty());
+  EXPECT_TRUE(d.stats.build_compiler.empty());
+  EXPECT_TRUE(d.stats.build_type.empty());
+
+  const auto again = encode_stats_response(d.stats);
+  EXPECT_EQ(again, payload);
 }
 
 TEST(ServeProtocol, StatsMessagesUnknownUnderSchemaV1) {
@@ -1017,6 +1054,11 @@ TEST(ServeServer, StatsEndpointReturnsLiveSnapshot) {
   EXPECT_GE(s.occupancy.count, 1u);
   EXPECT_GT(s.latency_s.p50, 0.0);
   EXPECT_LE(s.latency_s.p50, s.latency_s.p99);
+  // Stats v2: the daemon identifies its own build over the wire.
+  EXPECT_EQ(s.build_version, obs::build_info().version);
+  EXPECT_EQ(s.build_git_sha, obs::build_info().git_sha);
+  EXPECT_EQ(s.build_type, obs::build_info().build_type);
+  EXPECT_FALSE(s.build_compiler.empty());
 
   // The in-process snapshot is served by the same path.
   const StatsResponse local = server.stats_snapshot();
@@ -1082,6 +1124,95 @@ TEST(ServeClient, StitchedTraceSpansOnClientTimeline) {
   EXPECT_NE(json.find("trace_id"), std::string::npos);
   obs::set_enabled(false);
   obs::clear();
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics HTTP scrape endpoint
+
+/// One raw HTTP/1.1 request against the exporter; returns everything the
+/// server sent before Connection: close.
+std::string http_get(const Endpoint& ep, const std::string& request) {
+  Socket sock = connect_to(ep);
+  EXPECT_TRUE(sock.send_all(request.data(), request.size()));
+  std::string out;
+  char buf[4096];
+  long got;
+  while ((got = sock.recv_some(buf, sizeof buf)) > 0)
+    out.append(buf, static_cast<std::size_t>(got));
+  return out;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+TEST(ServeMetricsHttp, LiveScrapePassesTheGrammarChecker) {
+  obs::metrics::add(obs::metrics::Counter::ServeRequests, 3);
+  MetricsExporter exporter(Endpoint::parse("tcp:127.0.0.1:0"));
+  exporter.start();
+
+  const std::string resp =
+      http_get(exporter.endpoint(),
+               "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+  exporter.stop();
+
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+
+  fsi::testing::OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(http_body(resp))) << checker.error();
+  EXPECT_GE(checker.value_of("fsi_serve_requests_total"), 3.0);
+  EXPECT_EQ(exporter.requests_served(), 1u);
+}
+
+TEST(ServeMetricsHttp, HealthzAndErrorPaths) {
+  MetricsExporter exporter(Endpoint::parse("tcp:127.0.0.1:0"));
+  exporter.start();
+  const Endpoint ep = exporter.endpoint();
+
+  EXPECT_NE(http_get(ep, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  EXPECT_NE(http_get(ep, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_get(ep, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(http_get(ep, "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  exporter.stop();
+}
+
+TEST(ServeMetricsHttp, SurvivesAbruptDisconnectAndServesNextClient) {
+  MetricsExporter exporter(Endpoint::parse("tcp:127.0.0.1:0"));
+  exporter.start();
+  {
+    // Client connects and leaves without sending a full request: the
+    // exporter's read timeout must reclaim the serving thread.
+    Socket rude = connect_to(exporter.endpoint());
+    rude.send_all("GET /metr", 9);
+    rude.close();
+  }
+  const std::string resp = http_get(
+      exporter.endpoint(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  exporter.stop();
+}
+
+TEST(ServeMetricsHttp, StopUnblocksAndStartupFailureThrows) {
+  MetricsExporter exporter(Endpoint::parse("tcp:127.0.0.1:0"));
+  exporter.start();
+  const int port = exporter.endpoint().port;
+  ASSERT_GT(port, 0);
+  // A second exporter on the same resolved port cannot bind.
+  MetricsExporter clash(
+      Endpoint::parse("tcp:127.0.0.1:" + std::to_string(port)));
+  EXPECT_THROW(clash.start(), util::CheckError);
+  exporter.stop();   // returns promptly with no client connected
+  exporter.stop();   // idempotent
 }
 
 }  // namespace

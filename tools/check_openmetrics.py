@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition read from a file or stdin.
+
+Shell-pipeline twin of tests/openmetrics_checker.hpp — the serve smoke
+script scrapes a live `GET /metrics` endpoint and pipes the body through
+this script, so the same grammar the unit tests enforce is enforced
+against a real daemon from outside the process. Checks:
+
+  - every family is announced by `# HELP` then `# TYPE` before any of its
+    samples, and families are contiguous (no interleaving);
+  - the TYPE is one of counter | gauge | histogram | info;
+  - counter samples end in `_total`, info samples in `_info`, gauge
+    samples are bare;
+  - histogram families expose `_bucket{le="..."}` series with strictly
+    increasing `le` bounds ending at `+Inf`, cumulative (non-decreasing)
+    bucket counts, and a `_sum`/`_count` pair where `_count` equals the
+    `+Inf` bucket;
+  - the document ends with exactly `# EOF\n`.
+
+Usage:
+  check_openmetrics.py [file]          # default: stdin
+  check_openmetrics.py --require NAME  # additionally require family NAME
+                                       # (repeatable)
+
+Exit 0 and a one-line summary on success; exit 1 with the offending line
+on the first violation. Standard library only.
+"""
+
+import argparse
+import math
+import sys
+
+KNOWN_TYPES = ("counter", "gauge", "histogram", "info")
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise CheckFailure("unparsable value: %r" % text)
+
+
+def label_value(labels, key):
+    needle = key + '="'
+    at = labels.find(needle)
+    if at < 0:
+        return ""
+    start = at + len(needle)
+    end = labels.find('"', start)
+    return labels[start:end] if end >= 0 else ""
+
+
+def check(text):
+    """Validate the document; returns {family: type}. Raises CheckFailure."""
+    if not text or not text.endswith("\n"):
+        raise CheckFailure("document must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise CheckFailure("document must end with '# EOF'")
+    lines = lines[:-1]
+
+    families = {}
+    values = {}
+    buckets = {}
+    closed = set()
+    family = ""
+    family_type = ""
+    have_type = False
+    have_sample = False
+
+    def close_family():
+        if not family:
+            return
+        if not have_type:
+            raise CheckFailure("family without TYPE: " + family)
+        if not have_sample:
+            raise CheckFailure("family without samples: " + family)
+        if family_type == "histogram":
+            bs = buckets.get(family, [])
+            if not bs:
+                raise CheckFailure("histogram without buckets: " + family)
+            if not math.isinf(bs[-1][0]):
+                raise CheckFailure("histogram missing +Inf bucket: " + family)
+            for i in range(1, len(bs)):
+                if not bs[i][0] > bs[i - 1][0]:
+                    raise CheckFailure("le bounds not increasing: " + family)
+                if bs[i][1] < bs[i - 1][1]:
+                    raise CheckFailure(
+                        "bucket counts not cumulative: " + family)
+            if family + "_sum" not in values or family + "_count" not in values:
+                raise CheckFailure("histogram missing _sum/_count: " + family)
+            if values[family + "_count"] != bs[-1][1]:
+                raise CheckFailure("_count != +Inf bucket: " + family)
+        closed.add(family)
+
+    for line in lines:
+        if not line:
+            raise CheckFailure("empty line inside document")
+        if line == "# EOF":
+            raise CheckFailure("'# EOF' before end of document")
+        if line.startswith("# HELP "):
+            rest = line[7:]
+            sp = rest.find(" ")
+            if sp <= 0:
+                raise CheckFailure("malformed HELP: " + line)
+            name = rest[:sp]
+            close_family()
+            if name in closed:
+                raise CheckFailure("family reopened (interleaved): " + name)
+            family, have_type, have_sample = name, False, False
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[7:]
+            sp = rest.find(" ")
+            if sp < 0:
+                raise CheckFailure("malformed TYPE: " + line)
+            name, mtype = rest[:sp], rest[sp + 1:]
+            if name != family:
+                raise CheckFailure(
+                    "TYPE for '%s' but open family is '%s'" % (name, family))
+            if have_type:
+                raise CheckFailure("duplicate TYPE: " + name)
+            if have_sample:
+                raise CheckFailure("TYPE after samples: " + name)
+            if mtype not in KNOWN_TYPES:
+                raise CheckFailure(
+                    "unknown TYPE '%s' for %s" % (mtype, name))
+            family_type, have_type = mtype, True
+            families[family] = mtype
+            continue
+        if line[0] == "#":
+            raise CheckFailure("unknown comment: " + line)
+
+        # Sample line: <name>[{labels}] <value>
+        if not family or not have_type:
+            raise CheckFailure("sample outside a family: " + line)
+        brace = line.find("{")
+        space = line.find(" ")
+        if space < 0 and brace < 0:
+            raise CheckFailure("malformed sample: " + line)
+        name_end = brace if 0 <= brace < (space if space >= 0 else len(line)) \
+            else space
+        sample = line[:name_end]
+        labels = ""
+        value_at = name_end
+        if line[name_end] == "{":
+            close = line.find("}", name_end)
+            if close < 0:
+                raise CheckFailure("unterminated labels: " + line)
+            labels = line[name_end + 1:close]
+            value_at = close + 1
+        if value_at >= len(line) or line[value_at] != " ":
+            raise CheckFailure("missing value: " + line)
+        try:
+            value = parse_value(line[value_at + 1:])
+        except CheckFailure:
+            raise CheckFailure("unparsable value: " + line)
+
+        suffix = sample[len(family):] if sample.startswith(family) else "?"
+        ok = ((family_type == "counter" and suffix == "_total") or
+              (family_type == "gauge" and suffix == "") or
+              (family_type == "info" and suffix == "_info") or
+              (family_type == "histogram" and
+               suffix in ("_bucket", "_sum", "_count")))
+        if not ok:
+            raise CheckFailure("sample '%s' invalid for %s family %s"
+                               % (sample, family_type, family))
+        if family_type == "histogram" and suffix == "_bucket":
+            le = label_value(labels, "le")
+            if not le:
+                raise CheckFailure("bucket without le label: " + line)
+            bound = math.inf if le == "+Inf" else float(le)
+            buckets.setdefault(family, []).append((bound, value))
+        have_sample = True
+        if not labels:
+            values[sample] = value
+
+    close_family()
+    return families
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate an OpenMetrics text exposition.")
+    ap.add_argument("file", nargs="?", default="-",
+                    help="exposition file (default: stdin)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FAMILY",
+                    help="require this metric family to be present "
+                         "(repeatable)")
+    args = ap.parse_args()
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    try:
+        families = check(text)
+    except CheckFailure as e:
+        print("check_openmetrics: FAIL: %s" % e, file=sys.stderr)
+        return 1
+
+    missing = [name for name in args.require if name not in families]
+    if missing:
+        print("check_openmetrics: FAIL: required families missing: %s"
+              % ", ".join(missing), file=sys.stderr)
+        return 1
+
+    print("check_openmetrics: OK (%d families, %d lines)"
+          % (len(families), text.count("\n")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

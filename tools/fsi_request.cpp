@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fsi/obs/build.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/qmc/multi_gf.hpp"
 #include "fsi/serve/client.hpp"
@@ -66,6 +67,10 @@ std::vector<double> reference_measurements(const serve::InvertRequest& req) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  if (cli.has("version")) {
+    std::fputs(obs::version_line("fsi_request").c_str(), stdout);
+    return 0;
+  }
 
   const std::string socket_spec =
       cli.get_string("socket", "unix:fsi_serve.sock");

@@ -7,18 +7,26 @@
 ///   fsi_serve --socket unix:/tmp/fsi.sock [--queue 64] [--window-us 2000]
 ///             [--max-batch 8] [--retry-after-ms 50] [--deadline-ms 0]
 ///             [--workers 0] [--trace] [--log access.jsonl]
+///             [--metrics tcp:127.0.0.1:9464] [--version]
 ///
 /// Every flag has an FSI_SERVE_* environment equivalent (the flag wins);
 /// see docs/serving.md and the env-var table in docs/parallelism.md.
+/// --metrics (FSI_SERVE_METRICS) opens an HTTP scrape endpoint answering
+/// GET /metrics in OpenMetrics format and GET /healthz.
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "fsi/obs/build.hpp"
+#include "fsi/obs/flight.hpp"
+#include "fsi/obs/log.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/telemetry.hpp"
 #include "fsi/obs/trace.hpp"
+#include "fsi/serve/metrics_http.hpp"
 #include "fsi/serve/server.hpp"
 #include "fsi/util/cli.hpp"
 
@@ -33,6 +41,11 @@ void handle_signal(int) { g_stop_requested = 1; }
 int main(int argc, char** argv) {
   using namespace fsi;
   const util::Cli cli(argc, argv);
+  if (cli.has("version")) {
+    std::fputs(obs::version_line("fsi_serve").c_str(), stdout);
+    return 0;
+  }
+  obs::flight::install_crash_handlers();
 
   serve::ServerOptions options = serve::ServerOptions::from_env();
   const std::string socket_spec =
@@ -51,18 +64,36 @@ int main(int argc, char** argv) {
   options.batch.num_workers =
       cli.get_int("workers", options.batch.num_workers);
   options.access_log = cli.get_string("log", options.access_log);
+  options.metrics_endpoint =
+      cli.get_string("metrics", options.metrics_endpoint);
   if (cli.has("trace")) obs::set_enabled(true);
 
   const std::size_t queue_depth = options.queue_depth;
   const std::int64_t window_us = options.batch_window_us;
   const std::size_t max_batch = options.max_batch;
+  const std::string metrics_spec = options.metrics_endpoint;
 
   serve::Server server(std::move(options));
   try {
     server.start();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fsi_serve: %s\n", e.what());
+    FSI_LOG_ERROR("serve.fatal", {"reason", e.what()});
     return 1;
+  }
+
+  std::unique_ptr<serve::MetricsExporter> metrics_http;
+  if (!metrics_spec.empty()) {
+    try {
+      metrics_http = std::make_unique<serve::MetricsExporter>(
+          serve::Endpoint::parse(metrics_spec));
+      metrics_http->start();
+      std::printf("fsi_serve: metrics on http://%s/metrics\n",
+                  metrics_http->endpoint().describe().c_str());
+    } catch (const std::exception& e) {
+      FSI_LOG_ERROR("serve.fatal",
+                    {"reason", std::string("metrics endpoint: ") + e.what()});
+      return 1;
+    }
   }
   std::printf("fsi_serve: listening on %s (queue %zu, window %lld us, "
               "max batch %zu)\n",
@@ -75,6 +106,7 @@ int main(int argc, char** argv) {
   while (g_stop_requested == 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
+  if (metrics_http != nullptr) metrics_http->stop();
   server.stop();
 
   const serve::ServerStats stats = server.stats();

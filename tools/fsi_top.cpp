@@ -11,14 +11,23 @@
 /// batch occupancy and model-cache hit rate.  --json suppresses the
 /// dashboard and prints one snapshot as a single JSON object (machine
 /// consumption: the CI smoke test and scripts), then exits.  --count N
-/// stops after N polls (0 = until interrupted or the daemon goes away).
+/// stops after N polls (0 = until interrupted).
+///
+/// A daemon restart does not kill the dashboard: on a failed poll (or a
+/// failed connect) fsi_top shows a "disconnected" banner and retries with
+/// bounded exponential backoff (250 ms doubling to 5 s) until the daemon
+/// returns or the user interrupts.  --json keeps the old fail-fast exit so
+/// scripts see a dead daemon as a nonzero status.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include <thread>
 
+#include "fsi/obs/build.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/util/cli.hpp"
 
@@ -131,6 +140,10 @@ void print_dashboard(const std::string& endpoint,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  if (cli.has("version")) {
+    std::fputs(obs::version_line("fsi_top").c_str(), stdout);
+    return 0;
+  }
   const std::string socket_spec =
       cli.get_string("socket", "unix:fsi_serve.sock");
   const bool json = cli.has("json");
@@ -140,20 +153,31 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  try {
-    serve::Client client(serve::Endpoint::parse(socket_spec));
-    std::uint64_t last_ok = 0;
-    std::uint64_t last_uptime_ns = 0;
-    int polls = 0;
-    while (g_stop_requested == 0) {
-      const serve::StatsResponse s = client.stats();
+  constexpr int kBackoffMinMs = 250;
+  constexpr int kBackoffMaxMs = 5000;
+
+  std::optional<serve::Client> client;
+  std::uint64_t last_ok = 0;
+  std::uint64_t last_uptime_ns = 0;
+  int polls = 0;
+  int backoff_ms = kBackoffMinMs;
+  bool was_disconnected = false;
+
+  while (g_stop_requested == 0) {
+    try {
+      if (!client.has_value())
+        client.emplace(serve::Endpoint::parse(socket_spec));
+      const serve::StatsResponse s = client->stats();
+      backoff_ms = kBackoffMinMs;
       if (json) {
         print_json(s);
       } else {
         // Rate from the served_ok delta over the daemon's own clock, so a
-        // slow poll doesn't inflate it.
+        // slow poll doesn't inflate it.  A restarted daemon's uptime runs
+        // backwards past ours — treat that as a fresh baseline.
         double req_per_s = 0.0;
-        if (polls > 0 && s.uptime_ns > last_uptime_ns)
+        if (polls > 0 && !was_disconnected && s.uptime_ns > last_uptime_ns &&
+            s.served_ok >= last_ok)
           req_per_s = static_cast<double>(s.served_ok - last_ok) /
                       (static_cast<double>(s.uptime_ns - last_uptime_ns) *
                        1e-9);
@@ -161,13 +185,28 @@ int main(int argc, char** argv) {
         last_ok = s.served_ok;
         last_uptime_ns = s.uptime_ns;
       }
+      was_disconnected = false;
       ++polls;
       if (count > 0 && polls >= count) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    } catch (const std::exception& e) {
+      // The daemon is gone (restart, crash, not yet up).  A dashboard
+      // outlives it: drop the connection, show the outage, retry with
+      // bounded backoff.  --json keeps the legacy fail-fast contract.
+      if (json) {
+        std::fprintf(stderr, "fsi_top: %s\n", e.what());
+        return 1;
+      }
+      client.reset();
+      if (!was_disconnected) std::printf("\x1b[H\x1b[J");
+      was_disconnected = true;
+      std::printf("\x1b[Hfsi_top — %s   [disconnected: %s; retrying in "
+                  "%d ms]\x1b[K\n",
+                  socket_spec.c_str(), e.what(), backoff_ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, kBackoffMaxMs);
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "fsi_top: %s\n", e.what());
-    return 1;
   }
   return 0;
 }

@@ -3,20 +3,25 @@
 # fsi_serve on a Unix socket, drive it with concurrent fsi_request clients
 # of mixed sizes — every response verified bit-identical against the
 # in-process qmc::run_fsi_batch reference — plus one past-deadline request
-# that must be shed with an explicit DeadlineMiss, then stop the daemon
-# with SIGTERM and check it exits cleanly and writes its telemetry.
+# that must be shed with an explicit DeadlineMiss, scrape the OpenMetrics
+# endpoint and validate the exposition grammar, then stop the daemon with
+# SIGTERM and check it exits cleanly and writes its telemetry.
 #
 # Usage: tools/serve_smoke.sh [build-dir]   (default: build)
 
 set -euo pipefail
 
 build=${1:-build}
+tools_dir=$(dirname "$0")
 sock="unix:/tmp/fsi_serve_smoke_$$.sock"
 artifacts=$(mktemp -d)
 trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$artifacts"' EXIT
 
+# --metrics with TCP port 0: the kernel picks a free port and the daemon
+# prints the resolved endpoint on its "metrics on" line.
 FSI_BENCH_DIR="$artifacts" "$build"/tools/fsi_serve \
-    --socket "$sock" --queue 32 --window-us 20000 --max-batch 4 &
+    --socket "$sock" --queue 32 --window-us 20000 --max-batch 4 \
+    --metrics tcp:127.0.0.1:0 > "$artifacts/serve.log" 2>&1 &
 server_pid=$!
 
 # Wait for the socket to appear (the daemon binds before serving).
@@ -24,7 +29,7 @@ for _ in $(seq 1 50); do
   [ -S "${sock#unix:}" ] && break
   sleep 0.1
 done
-[ -S "${sock#unix:}" ] || { echo "serve_smoke: daemon never bound $sock"; exit 1; }
+[ -S "${sock#unix:}" ] || { echo "serve_smoke: daemon never bound $sock"; cat "$artifacts/serve.log"; exit 1; }
 
 # Concurrent clients, mixed sizes; --verify diffs every response against
 # the in-process selected inversion (bit-identical or non-zero exit).
@@ -52,6 +57,35 @@ assert stats["uptime_s"] > 0, stats
 served, depth = stats["served_ok"], stats["queue_depth"]
 print(f"serve_smoke: fsi_top sees {served} served, queue depth {depth}")
 ' || { echo "serve_smoke: fsi_top stats poll failed"; exit 1; }
+
+# Scrape the OpenMetrics endpoint and validate the exposition: the port is
+# on the daemon's "metrics on http://tcp:127.0.0.1:<port>/metrics" line.
+metrics_port=$(sed -n 's|.*metrics on http://tcp:127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' \
+    "$artifacts/serve.log" | head -n1)
+[ -n "$metrics_port" ] || { echo "serve_smoke: no metrics endpoint in daemon log"; cat "$artifacts/serve.log"; exit 1; }
+
+python3 - "$metrics_port" > "$artifacts/metrics.txt" <<'EOF'
+import sys, urllib.request
+with urllib.request.urlopen(
+        "http://127.0.0.1:%s/metrics" % sys.argv[1], timeout=10) as resp:
+    assert resp.status == 200, resp.status
+    ctype = resp.headers.get("Content-Type", "")
+    assert ctype.startswith("application/openmetrics-text"), ctype
+    sys.stdout.write(resp.read().decode("utf-8"))
+EOF
+python3 "$tools_dir"/check_openmetrics.py "$artifacts/metrics.txt" \
+    --require fsi_build --require fsi_serve_requests \
+    --require fsi_serve_latency_s \
+    || { echo "serve_smoke: /metrics failed the grammar check"; exit 1; }
+
+# Liveness probe answers while the daemon is up.
+python3 - "$metrics_port" <<'EOF'
+import sys, urllib.request
+with urllib.request.urlopen(
+        "http://127.0.0.1:%s/healthz" % sys.argv[1], timeout=10) as resp:
+    assert resp.status == 200 and b"ok" in resp.read(), "healthz failed"
+print("serve_smoke: /healthz ok")
+EOF
 
 # Graceful shutdown on SIGTERM; the daemon prints stats and writes
 # BENCH_fsi_serve.json telemetry into $FSI_BENCH_DIR.
