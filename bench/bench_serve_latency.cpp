@@ -9,13 +9,30 @@
 /// ratio, and verifies every response bit-identical against the in-process
 /// reference.
 ///
-/// CI gates on the machine-stable ratios only: served_ok_ratio and
-/// verified_ratio (both exactly 1.0 when the service is healthy) and the
-/// mean batch occupancy relative to max_batch.  Raw latencies and the
-/// batching speedup are exported ungated — they move with the host.
+/// Two further sections exercise the PR-8 serving features:
+///
+///  - adaptive recovery: a closed-loop client (one request in flight) against
+///    a long fixed window vs the same trace with serve::AdaptivePolicy
+///    enabled.  The fixed window is pure loss for closed-loop traffic; the
+///    policy halves its way down and engages bypass, so the gated
+///    adaptive_recovery_speedup lands well above 1.
+///  - replica scaling: two closed-loop streams with *different* BatchKeys
+///    against one replica, then against two key-sharded replicas
+///    (serve::ShardedClient).  Window waits on distinct replicas overlap
+///    even on one core, so gated replica_scaling > 1.
+///
+/// CI gates on the machine-stable ratios: served_ok_ratio / verified_ratio
+/// (exactly 1.0 when healthy), batch occupancy relative to max_batch, and
+/// the three throughput ratios above (batching_speedup,
+/// adaptive_recovery_speedup, replica_scaling) — ratios of same-host runs
+/// cancel machine speed.  Raw latencies stay ungated.
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <future>
+#include <memory>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -23,19 +40,28 @@
 #include "fsi/qmc/multi_gf.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/serve/server.hpp"
+#include "fsi/serve/shard.hpp"
 
 namespace {
 
 using namespace fsi;
 
-serve::InvertRequest make_request(std::uint64_t seed, int lx, int l) {
+serve::InvertRequest make_request(std::uint64_t seed, int lx, int l,
+                                  double u = 0.0) {
   serve::InvertRequest r;
   r.lx = static_cast<std::uint32_t>(lx);
   r.ly = 1;
   r.l = static_cast<std::uint32_t>(l);
   r.seed = seed;
+  if (u > 0.0) r.u = u;
   r.field = serve::random_field(r.lx, r.ly, r.l, seed);
   return r;
+}
+
+/// Client-side routing key of a request (mirrors ShardedClient::route).
+serve::BatchKey key_of(const serve::InvertRequest& r) {
+  return serve::BatchKey{r.lx, r.ly, r.l, static_cast<qmc::index_t>(r.c),
+                         r.t,  r.u,  r.beta};
 }
 
 std::vector<double> reference(const serve::InvertRequest& req) {
@@ -79,6 +105,10 @@ RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
   options.queue_depth = static_cast<std::size_t>(requests) + 8;
   options.batch_window_us = batching ? window_us : 0;
   options.max_batch = batching ? static_cast<std::size_t>(max_batch) : 1;
+  // The "on" arm is the shipped default — adaptive policy included — so the
+  // gated speedup measures batching as an operator would actually run it.
+  // The "off" arm pins the no-coalescing plan.
+  options.adaptive.enabled = batching;
   serve::Server server(std::move(options));
   server.start();
 
@@ -87,13 +117,19 @@ RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
     serve::Client client(server.endpoint());
     std::vector<serve::InvertRequest> sent;
     std::vector<std::future<serve::InvertResponse>> futures;
+    std::vector<serve::InvertResponse> responses;
     const std::int64_t t0 = obs::now_ns();
     for (int i = 0; i < requests; ++i) {
       sent.push_back(make_request(1000 + static_cast<std::uint64_t>(i), lx, l));
       futures.push_back(client.submit(sent.back()));
     }
+    for (int i = 0; i < requests; ++i)
+      responses.push_back(futures[static_cast<std::size_t>(i)].get());
+    out.wall_s = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    // Verify outside the timed region: the in-process reference recompute
+    // costs an engine run per request and would swamp the serving wall.
     for (int i = 0; i < requests; ++i) {
-      const serve::InvertResponse resp = futures[static_cast<std::size_t>(i)].get();
+      const serve::InvertResponse& resp = responses[static_cast<std::size_t>(i)];
       if (resp.status != serve::Status::Ok) continue;
       ++out.ok;
       if (!verify) continue;
@@ -103,7 +139,6 @@ RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
                       expected.size() * sizeof(double)) == 0)
         ++out.verified;
     }
-    out.wall_s = static_cast<double>(obs::now_ns() - t0) * 1e-9;
   }
   out.p50_s = server.latency_quantile(0.50);
   out.p95_s = server.latency_quantile(0.95);
@@ -113,6 +148,90 @@ RunResult run_burst(bool batching, int requests, int lx, int l, int max_batch,
   out.occupancy_mean = stats.batch_occupancy_mean();
   out.queue_high_water = stats.queue_high_water;
   return out;
+}
+
+struct LoopResult {
+  std::uint64_t ok = 0;
+  double wall_s = 0.0;
+  serve::StatsResponse stats;
+};
+
+/// One closed-loop client (a single request in flight at a time), so a
+/// coalescing window is pure loss: no straggler can arrive while the
+/// batcher waits.  With \p adaptive the policy measures exactly that and
+/// bypasses; without it every request pays the full window.
+LoopResult run_closed_loop(bool adaptive, int requests, int lx, int l,
+                           long window_us) {
+  serve::ServerOptions options;
+  options.endpoint = serve::Endpoint::parse(
+      "unix:/tmp/fsi_bench_serve_" + std::to_string(::getpid()) +
+      (adaptive ? "_adapt" : "_fixed") + ".sock");
+  options.queue_depth = 16;
+  options.batch_window_us = window_us;
+  options.max_batch = 8;
+  options.adaptive.enabled = adaptive;
+  serve::Server server(std::move(options));
+  server.start();
+
+  LoopResult out;
+  {
+    serve::Client client(server.endpoint());
+    const std::int64_t t0 = obs::now_ns();
+    for (int i = 0; i < requests; ++i) {
+      const serve::InvertResponse resp =
+          client.request(make_request(2000 + static_cast<std::uint64_t>(i),
+                                      lx, l));
+      if (resp.status == serve::Status::Ok) ++out.ok;
+    }
+    out.wall_s = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+    out.stats = client.stats();
+  }
+  server.stop();
+  return out;
+}
+
+/// Two closed-loop streams with different BatchKeys against a fleet of
+/// \p replicas key-sharded daemons (fixed window, adaptive off).  Window
+/// waits are sleeps, so with the streams on distinct replicas they overlap
+/// even on a single core — that is the scale-out win this measures.
+double run_replicated(std::size_t replicas, int per_stream, int lx, int l,
+                      long window_us, double u_a, double u_b,
+                      std::uint64_t* ok_out) {
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  std::vector<serve::Endpoint> endpoints;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    serve::ServerOptions options;
+    options.endpoint = serve::Endpoint::parse(
+        "unix:/tmp/fsi_bench_serve_" + std::to_string(::getpid()) + "_rep" +
+        std::to_string(replicas) + "_" + std::to_string(i) + ".sock");
+    options.queue_depth = 16;
+    options.batch_window_us = window_us;
+    options.max_batch = 8;
+    options.adaptive.enabled = false;
+    servers.push_back(std::make_unique<serve::Server>(std::move(options)));
+    servers.back()->start();
+    endpoints.push_back(servers.back()->endpoint());
+  }
+
+  std::atomic<std::uint64_t> ok{0};
+  const std::int64_t t0 = obs::now_ns();
+  auto stream = [&](double u, std::uint64_t seed0) {
+    serve::ShardedClient client(endpoints);
+    for (int i = 0; i < per_stream; ++i) {
+      const serve::InvertResponse resp = client.request(
+          make_request(seed0 + static_cast<std::uint64_t>(i), lx, l, u));
+      if (resp.status == serve::Status::Ok) ++ok;
+    }
+  };
+  std::thread ta(stream, u_a, 3000);
+  std::thread tb(stream, u_b, 4000);
+  ta.join();
+  tb.join();
+  const double wall_s = static_cast<double>(obs::now_ns() - t0) * 1e-9;
+
+  for (auto& s : servers) s->stop();
+  *ok_out = ok.load();
+  return wall_s;
 }
 
 }  // namespace
@@ -139,17 +258,38 @@ int main(int argc, char** argv) {
   telemetry.add_info("max_batch", max_batch);
   telemetry.add_info("window_us", static_cast<double>(window_us));
 
-  const RunResult on =
-      run_burst(true, requests, lx, l, max_batch, window_us, verify);
-  const RunResult off =
-      run_burst(false, requests, lx, l, max_batch, window_us, false);
+  // Warm-up burst (untimed): first contact pays pool misses and page
+  // faults that would otherwise land on whichever mode runs first.
+  run_burst(true, requests, lx, l, max_batch, window_us, false);
 
-  const double thr_on = on.wall_s > 0 ? requests / on.wall_s : 0.0;
-  const double thr_off = off.wall_s > 0 ? requests / off.wall_s : 0.0;
+  // Interleave repeated on/off pairs and sum the walls: the gated speedup
+  // ratio is ~1.1x on one core, so single-burst noise must be averaged out.
+  const int repeats = cli.get_int("repeats", 5);
+  RunResult on, off;  // last-pair snapshot (latency quantiles, occupancy)
+  double on_wall = 0.0, off_wall = 0.0;
+  std::uint64_t ok_total = 0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    on = run_burst(true, requests, lx, l, max_batch, window_us, false);
+    off = run_burst(false, requests, lx, l, max_batch, window_us, false);
+    on_wall += on.wall_s;
+    off_wall += off.wall_s;
+    ok_total += on.ok + off.ok;
+  }
+  // Bit-identity is checked in a dedicated untimed burst *after* the timed
+  // pairs: the in-process reference recomputation is an engine run per
+  // request, and interleaving it with the timed bursts warms caches for
+  // whichever arm runs next, biasing the gated ratio.
+  const RunResult checked =
+      verify ? run_burst(true, requests, lx, l, max_batch, window_us, true)
+             : RunResult{};
+  const double total = static_cast<double>(repeats) * requests;
+  const double thr_on = on_wall > 0 ? total / on_wall : 0.0;
+  const double thr_off = off_wall > 0 ? total / off_wall : 0.0;
   const double speedup = thr_off > 0 ? thr_on / thr_off : 0.0;
-  const double ok_ratio = static_cast<double>(on.ok + off.ok) / (2.0 * requests);
+  const double ok_ratio =
+      static_cast<double>(ok_total) / (2.0 * repeats * requests);
   const double verified_ratio =
-      verify ? static_cast<double>(on.verified) / requests : 1.0;
+      verify ? static_cast<double>(checked.verified) / requests : 1.0;
   const double occupancy_ratio = on.occupancy_mean / max_batch;
 
   util::Table table({"mode", "req/s", "p50 ms", "p95 ms", "p99 ms",
@@ -168,12 +308,82 @@ int main(int argc, char** argv) {
   std::printf("\nbatching speedup %.2fx, served_ok %.3f, bit-identical %.3f\n",
               speedup, ok_ratio, verified_ratio);
 
+  // --- Adaptive recovery: closed-loop traffic vs a long fixed window ------
+  const int recovery_requests = cli.get_int("recovery-requests", 24);
+  const long recovery_window_us = cli.get_int("recovery-window-us", 5000);
+  telemetry.add_info("recovery_requests", recovery_requests);
+  telemetry.add_info("recovery_window_us",
+                     static_cast<double>(recovery_window_us));
+  const LoopResult fixed = run_closed_loop(false, recovery_requests, lx, l,
+                                           recovery_window_us);
+  const LoopResult adaptive = run_closed_loop(true, recovery_requests, lx, l,
+                                              recovery_window_us);
+  const double thr_fixed =
+      fixed.wall_s > 0 ? recovery_requests / fixed.wall_s : 0.0;
+  const double thr_adaptive =
+      adaptive.wall_s > 0 ? recovery_requests / adaptive.wall_s : 0.0;
+  const double recovery_speedup =
+      thr_fixed > 0 ? thr_adaptive / thr_fixed : 0.0;
+  const bool bypass_engaged = adaptive.stats.policy_bypass != 0;
+
+  util::Table recovery({"policy", "req/s", "window us", "bypass"});
+  recovery.add_row({"fixed window", util::Table::num(thr_fixed, 1),
+                    util::Table::num(static_cast<double>(recovery_window_us), 0),
+                    "-"});
+  recovery.add_row({"adaptive", util::Table::num(thr_adaptive, 1),
+                    util::Table::num(
+                        static_cast<double>(adaptive.stats.policy_window_us), 0),
+                    bypass_engaged ? "yes" : "no"});
+  recovery.print();
+  std::printf("\nadaptive recovery %.2fx (closed loop, %ld us fixed window)\n",
+              recovery_speedup, recovery_window_us);
+
+  // --- Replica scaling: 1 vs 2 key-sharded replicas -----------------------
+  const int per_stream = cli.get_int("replica-stream", 12);
+  const long replica_window_us = cli.get_int("replica-window-us", 4000);
+  telemetry.add_info("replica_stream", per_stream);
+  telemetry.add_info("replica_window_us",
+                     static_cast<double>(replica_window_us));
+  // Two closed-loop streams must carry different BatchKeys that shard to
+  // different replicas; scan u offsets until the rendezvous hash splits.
+  const double u_a = 2.0;
+  double u_b = 2.5;
+  for (int i = 0; i < 32; ++i) {
+    const auto ka = key_of(make_request(1, lx, l, u_a));
+    const auto kb = key_of(make_request(1, lx, l, u_b));
+    if (serve::shard_for(ka, 2) != serve::shard_for(kb, 2)) break;
+    u_b += 0.5;
+  }
+  std::uint64_t ok1 = 0, ok2 = 0;
+  const double wall1 = run_replicated(1, per_stream, lx, l, replica_window_us,
+                                      u_a, u_b, &ok1);
+  const double wall2 = run_replicated(2, per_stream, lx, l, replica_window_us,
+                                      u_a, u_b, &ok2);
+  const double thr_rep1 = wall1 > 0 ? 2.0 * per_stream / wall1 : 0.0;
+  const double thr_rep2 = wall2 > 0 ? 2.0 * per_stream / wall2 : 0.0;
+  const double replica_scaling = thr_rep1 > 0 ? thr_rep2 / thr_rep1 : 0.0;
+
+  util::Table scaling({"replicas", "req/s", "served ok"});
+  scaling.add_row({"1", util::Table::num(thr_rep1, 1),
+                   util::Table::num(static_cast<double>(ok1), 0)});
+  scaling.add_row({"2 (key-sharded)", util::Table::num(thr_rep2, 1),
+                   util::Table::num(static_cast<double>(ok2), 0)});
+  scaling.print();
+  std::printf("\nreplica scaling %.2fx (two streams, %ld us window)\n",
+              replica_scaling, replica_window_us);
+
+  const bool sections_ok =
+      fixed.ok == static_cast<std::uint64_t>(recovery_requests) &&
+      adaptive.ok == static_cast<std::uint64_t>(recovery_requests) &&
+      ok1 == 2u * static_cast<std::uint64_t>(per_stream) &&
+      ok2 == 2u * static_cast<std::uint64_t>(per_stream);
+
   telemetry.add_metric("latency_p50_ms", on.p50_s * 1e3, "ms", false, false);
   telemetry.add_metric("latency_p95_ms", on.p95_s * 1e3, "ms", false, false);
   telemetry.add_metric("latency_p99_ms", on.p99_s * 1e3, "ms", false, false);
   telemetry.add_metric("throughput_batched", thr_on, "req/s", false, true);
   telemetry.add_metric("throughput_unbatched", thr_off, "req/s", false, true);
-  telemetry.add_metric("batching_speedup", speedup, "ratio", false, true);
+  telemetry.add_metric("batching_speedup", speedup, "ratio", true, true);
   telemetry.add_metric("served_ok_ratio", ok_ratio, "ratio", true, true);
   telemetry.add_metric("verified_ratio", verified_ratio, "ratio", true, true);
   telemetry.add_metric("batch_occupancy_ratio", occupancy_ratio, "ratio", true,
@@ -188,6 +398,23 @@ int main(int argc, char** argv) {
   telemetry.add_metric("queue_high_water_unbatched",
                        static_cast<double>(off.queue_high_water), "requests",
                        false, false);
+  // Adaptive-recovery plane: the window the policy settled on (should sit
+  // at 0 = bypass for closed-loop traffic) and the gated recovery ratio.
+  telemetry.add_metric("adaptive_recovery_speedup", recovery_speedup, "ratio",
+                       true, true);
+  telemetry.add_metric("adaptive_bypass_engaged", bypass_engaged ? 1.0 : 0.0,
+                       "bool", true, true);
+  telemetry.add_metric("adaptive_final_window_us",
+                       static_cast<double>(adaptive.stats.policy_window_us),
+                       "us", false, false);
+  telemetry.add_metric("throughput_fixed_window", thr_fixed, "req/s", false,
+                       true);
+  telemetry.add_metric("throughput_adaptive", thr_adaptive, "req/s", false,
+                       true);
+  // Replica plane: gated monotone throughput gain from 1 -> 2 replicas.
+  telemetry.add_metric("replica_scaling", replica_scaling, "ratio", true, true);
+  telemetry.add_metric("throughput_replicas_1", thr_rep1, "req/s", false, true);
+  telemetry.add_metric("throughput_replicas_2", thr_rep2, "req/s", false, true);
   bench::finish_bench(telemetry);
-  return ok_ratio == 1.0 && verified_ratio == 1.0 ? 0 : 1;
+  return ok_ratio == 1.0 && verified_ratio == 1.0 && sections_ok ? 0 : 1;
 }

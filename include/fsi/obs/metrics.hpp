@@ -46,6 +46,9 @@ enum class Counter : int {
   ServeDeadlineMiss,  ///< requests rejected because their deadline expired
   ServeCancelled,  ///< requests dropped because the client disconnected
   ServeErrors,     ///< requests answered Malformed or Error
+  ServeQuotaRejected,  ///< requests shed because the client was over quota
+  ServeBypassEnter,    ///< adaptive policy transitions into bypass
+  ServeBypassExit,     ///< adaptive policy transitions out of bypass
   kCount
 };
 
@@ -200,6 +203,10 @@ enum class Gauge : int {
   SchedWorkers,       ///< workers of the most recent batch scheduler
   ExecPoolWorkers,    ///< threads currently in the persistent executor pool
   ServeQueueDepth,    ///< serve admission-queue depth (sampled on change)
+  ServePolicyWindowUs,  ///< adaptive policy: effective window of the active key
+  ServePolicyMaxBatch,  ///< adaptive policy: effective max batch of the active key
+  ServePolicyBypass,    ///< adaptive policy: 1 when the active key is in bypass
+  ServeReplicas,        ///< daemon replicas sharing this process's endpoint
   kCount
 };
 

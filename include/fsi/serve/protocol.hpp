@@ -48,8 +48,10 @@ inline constexpr std::uint32_t kMinSchemaVersion = 1;
 /// wire schema so the stats body can evolve without a protocol bump).
 /// v2 appended the build-provenance strings so a stats poll identifies the
 /// exact binary answering it; v1 decoders were written before those fields
-/// existed and simply never read them.
-inline constexpr std::uint32_t kStatsVersion = 2;
+/// existed and simply never read them.  v3 appends the adaptive-batching
+/// policy block (live per-key tuning state, quota shedding, replica count)
+/// the same append-only way.
+inline constexpr std::uint32_t kStatsVersion = 3;
 /// Upper bound on one frame's payload; a declared length beyond this is
 /// treated as a malformed stream (protects the server from a hostile or
 /// corrupt length prefix).  64 MiB fits fields for N*L ~ 8M sites-slices.
@@ -171,6 +173,21 @@ struct StatsResponse {
   std::string build_git_sha;
   std::string build_compiler;
   std::string build_type;
+
+  // --- stats v3 extension: adaptive batching + scale-out.  The policy_*
+  // fields snapshot the most recently observed BatchKey's tuning state
+  // (what fsi_top shows); all zero when decoded from an older snapshot or
+  // when the adaptive policy is disabled.
+  std::uint64_t rejected_quota = 0;   ///< requests shed: client over quota
+  std::uint64_t replicas = 0;         ///< replicas this daemon runs (0 = pre-v3)
+  bool adaptive_enabled = false;
+  std::uint64_t policy_keys = 0;      ///< BatchKeys the policy is tracking
+  std::int64_t policy_window_us = 0;  ///< active key: effective window
+  std::uint64_t policy_max_batch = 0; ///< active key: effective max batch
+  bool policy_bypass = false;         ///< active key: coalescing bypassed
+  double policy_speedup = 0.0;        ///< active key: measured batching speedup
+  std::uint64_t bypass_enters = 0;    ///< total bypass entries, all keys
+  std::uint64_t bypass_exits = 0;     ///< total bypass exits, all keys
 
   double model_cache_hit_rate() const {
     const std::uint64_t lookups = models_built + model_cache_hits;

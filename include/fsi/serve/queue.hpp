@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <condition_variable>
 #include <vector>
@@ -54,6 +55,9 @@ struct PendingRequest {
   InvertRequest request;
   index_t c = 0;  ///< resolved cluster size
   index_t q = 0;  ///< resolved wrapping offset
+  /// Connection the request arrived on; the queue's per-client quota
+  /// accounting is keyed by it (0 = unattributed, never quota-limited).
+  std::uint64_t client_id = 0;
   std::int64_t arrival_ns = 0;   ///< obs::now_ns() at admission
   std::int64_t deadline_ns = 0;  ///< absolute expiry (0 = none)
   /// obs::now_ns() when next_batch gathered this request out of the queue —
@@ -79,22 +83,51 @@ struct PendingRequest {
   }
 };
 
+/// How a batch of one key should be formed: how long to hold it open for
+/// stragglers and how many requests it may coalesce.  Produced per key by
+/// the adaptive policy (or from the static knobs when the policy is off).
+struct BatchPlan {
+  std::chrono::microseconds window{0};
+  std::size_t max_batch = 1;
+};
+
+/// Why admit() refused a request (Ok = admitted).
+enum class Admit {
+  Ok = 0,
+  Full,       ///< queue at max_depth — shed with RetryAfter
+  OverQuota,  ///< this client already holds its per-client slot quota
+};
+
 /// Bounded MPMC queue with key-coalescing batch pop.  All operations are
 /// thread-safe; next_batch blocks.
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(std::size_t max_depth);
+  /// \p max_per_client caps how many queued slots one client (connection)
+  /// may hold at once, so a single aggressive pipeliner cannot occupy the
+  /// whole queue and starve everyone else into RetryAfter; 0 = no quota.
+  explicit AdmissionQueue(std::size_t max_depth,
+                          std::size_t max_per_client = 0);
 
-  /// Admit a request.  Returns false — without blocking — when the queue is
-  /// at max_depth or shut down; the caller sheds the request explicitly.
+  /// Admit a request.  Returns a rejection reason — without blocking —
+  /// when the queue is at max_depth, the client is over its quota, or the
+  /// queue is shut down; the caller sheds the request explicitly.
+  Admit admit(PendingRequest&& r);
+
+  /// Legacy convenience: admit() == Admit::Ok.
   bool try_push(PendingRequest&& r);
 
   /// Block until a request is available (or shutdown), then gather the
   /// oldest request plus every queued request with the same BatchKey, in
-  /// arrival order, up to \p max_batch.  If the batch is not full, waits up
-  /// to \p window for compatible stragglers to arrive.  Requests with other
-  /// keys stay queued.  Returns an empty vector only at shutdown with an
-  /// empty queue.
+  /// arrival order, up to the plan's max_batch.  If the batch is not full,
+  /// waits up to the plan's window for compatible stragglers to arrive.
+  /// Requests with other keys stay queued.  The planner is called once,
+  /// with the key of the oldest request, after that request is available —
+  /// which is what lets an adaptive policy choose a per-key window.
+  /// Returns an empty vector only at shutdown with an empty queue.
+  std::vector<PendingRequest> next_batch(
+      const std::function<BatchPlan(const BatchKey&)>& plan);
+
+  /// Fixed-plan overload (the pre-adaptive behaviour).
   std::vector<PendingRequest> next_batch(std::chrono::microseconds window,
                                          std::size_t max_batch);
 
@@ -108,8 +141,11 @@ class AdmissionQueue {
 
   std::size_t depth() const;
   std::size_t max_depth() const { return max_depth_; }
+  std::size_t max_per_client() const { return max_per_client_; }
   /// High-water mark of depth() since construction.
   std::size_t max_depth_seen() const;
+  /// Queued requests currently held by \p client_id.
+  std::size_t client_depth(std::uint64_t client_id) const;
 
  private:
   /// Move every entry matching \p key (arrival order) into \p out, up to
@@ -117,11 +153,16 @@ class AdmissionQueue {
   void take_matching(const BatchKey& key, std::size_t max_batch,
                      std::vector<PendingRequest>& out);
   void note_depth_locked();
+  void release_client_locked(std::uint64_t client_id);
 
   const std::size_t max_depth_;
+  const std::size_t max_per_client_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
+  /// Queued-slot count per client id; entries are erased at zero so the
+  /// map stays bounded by the queue depth, not by client churn.
+  std::map<std::uint64_t, std::size_t> clients_;
   std::size_t high_water_ = 0;
   bool shutdown_ = false;
 };

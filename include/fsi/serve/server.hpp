@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "fsi/qmc/multi_gf.hpp"
+#include "fsi/serve/policy.hpp"
 #include "fsi/serve/protocol.hpp"
 #include "fsi/serve/socket.hpp"
 
@@ -64,13 +65,28 @@ struct ServerOptions {
   /// The fsi_serve tool starts a serve::MetricsExporter here so standard
   /// Prometheus infrastructure can watch the daemon (see metrics_http.hpp).
   std::string metrics_endpoint;
+  /// Adaptive batching (see policy.hpp): zero ceilings resolve to
+  /// batch_window_us / max_batch, so the static knobs stay the upper bound
+  /// and `adaptive.enabled = false` restores the fixed-window behaviour.
+  AdaptiveConfig adaptive;
+  /// Per-client queued-slot quota (AdmissionQueue fairness): one connection
+  /// may hold at most this many queue slots; over-quota requests are shed
+  /// with RetryAfter instead of starving other clients.  0 = no quota.
+  std::size_t client_quota = 0;
+  /// Replica count this daemon *reports* (stats/gauge; the fsi_serve tool
+  /// runs that many Server instances sharing one TCP port via reuse_port).
+  std::size_t replicas = 1;
+  /// Set SO_REUSEPORT on a tcp: endpoint so sibling replicas can bind the
+  /// same port (rejected for unix: endpoints at start()).
+  bool reuse_port = false;
   qmc::FsiBatchOptions batch;         ///< executor knobs of the engine runs
   Engine engine;                      ///< null = qmc::run_fsi_batch
 
   /// Defaults overridden by FSI_SERVE_SOCKET, FSI_SERVE_QUEUE,
   /// FSI_SERVE_BATCH_WINDOW_US, FSI_SERVE_MAX_BATCH,
   /// FSI_SERVE_RETRY_AFTER_MS, FSI_SERVE_DEADLINE_MS, FSI_SERVE_WORKERS,
-  /// FSI_SERVE_LOG, FSI_SERVE_METRICS.
+  /// FSI_SERVE_LOG, FSI_SERVE_METRICS, FSI_SERVE_ADAPTIVE,
+  /// FSI_SERVE_CLIENT_QUOTA, FSI_SERVE_REPLICAS.
   static ServerOptions from_env();
 };
 
@@ -80,7 +96,8 @@ struct ServerStats {
   std::uint64_t connections = 0;    ///< connections accepted
   std::uint64_t admitted = 0;       ///< requests admitted to the queue
   std::uint64_t served_ok = 0;      ///< Ok responses
-  std::uint64_t rejected_full = 0;  ///< RetryAfter responses
+  std::uint64_t rejected_full = 0;  ///< RetryAfter responses (queue full)
+  std::uint64_t rejected_quota = 0; ///< RetryAfter responses (client quota)
   std::uint64_t deadline_miss = 0;  ///< DeadlineMiss responses
   std::uint64_t cancelled = 0;      ///< dropped: client gone before dispatch
   std::uint64_t malformed = 0;      ///< Malformed responses
@@ -133,6 +150,10 @@ class Server {
   /// Latency percentile (seconds) over all Ok responses so far;
   /// \p p in [0, 1].  Returns 0 when nothing was served.
   double latency_quantile(double p) const;
+
+  /// The adaptive batching controller (live; see policy.hpp).  Tests and
+  /// tools read per-key tuning state through it.
+  const AdaptivePolicy& policy() const;
 
  private:
   struct Impl;

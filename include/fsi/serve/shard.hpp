@@ -1,0 +1,69 @@
+#pragma once
+/// \file shard.hpp
+/// \brief Client-side BatchKey sharding across serve replicas.
+///
+/// Coalescing only happens inside one daemon's AdmissionQueue, so when the
+/// front end scales out to N replicas, requests that *could* share a batch
+/// must land on the same replica or the scale-out defeats the batching the
+/// engine is built around.  The client therefore shards by BatchKey, not
+/// round-robin: every request whose key hashes alike goes to the same
+/// replica, keeping coalescing intact while different models spread across
+/// the fleet.
+///
+/// shard_for() uses rendezvous (highest-random-weight) hashing: each
+/// (key, replica) pair gets a deterministic score and the replica with the
+/// highest score wins.  Unlike `hash % n`, growing or shrinking the fleet
+/// by one replica only remaps the keys whose winner changed (~1/n of
+/// them), so a rolling restart does not reshuffle every client.
+///
+/// ShardedClient is the thin convenience wrapper: one Client per replica
+/// endpoint, routing submit()/request() by the request's key.  It is NOT a
+/// load balancer — a single hot key saturates one replica by design; the
+/// tuning guide (docs/tuning.md) covers when to prefer SO_REUSEPORT kernel
+/// spreading instead.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fsi/serve/client.hpp"
+#include "fsi/serve/queue.hpp"
+#include "fsi/serve/socket.hpp"
+
+namespace fsi::serve {
+
+/// Deterministic 64-bit FNV-1a hash of a BatchKey's value bits.  Stable
+/// across processes and runs (no per-process seed) so client and operator
+/// tooling agree on placement.
+std::uint64_t batch_key_hash(const BatchKey& key);
+
+/// Rendezvous shard of \p key among \p replicas endpoints (0-based).
+/// Returns 0 when replicas <= 1.
+std::size_t shard_for(const BatchKey& key, std::size_t replicas);
+
+/// One Client per replica, routed by BatchKey rendezvous hash.
+class ShardedClient {
+ public:
+  /// Connect to every endpoint; throws util::CheckError if any fails.
+  explicit ShardedClient(const std::vector<Endpoint>& endpoints);
+
+  /// Replica index this request routes to (exposed for tests/tools).
+  std::size_t route(const InvertRequest& request) const;
+
+  /// Submit to the routed replica (see Client::submit).
+  std::future<InvertResponse> submit(InvertRequest request);
+
+  /// Blocking round trip against the routed replica.
+  InvertResponse request(InvertRequest req);
+
+  /// Stats snapshot of replica \p i.
+  StatsResponse stats(std::size_t i);
+
+  std::size_t replicas() const { return clients_.size(); }
+  Client& client(std::size_t i) { return *clients_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace fsi::serve

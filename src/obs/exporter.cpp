@@ -36,6 +36,9 @@ const char* counter_help(Counter c) {
     case Counter::ServeDeadlineMiss: return "Requests past deadline on dispatch";
     case Counter::ServeCancelled: return "Requests dropped on disconnect";
     case Counter::ServeErrors: return "Requests answered Malformed or Error";
+    case Counter::ServeQuotaRejected: return "Requests shed: client over quota";
+    case Counter::ServeBypassEnter: return "Adaptive-policy bypass entries";
+    case Counter::ServeBypassExit: return "Adaptive-policy bypass exits";
     case Counter::kCount: break;
   }
   return "";
@@ -66,6 +69,10 @@ const char* gauge_help(Gauge g) {
     case Gauge::SchedWorkers: return "Workers of most recent batch scheduler";
     case Gauge::ExecPoolWorkers: return "Threads in persistent executor pool";
     case Gauge::ServeQueueDepth: return "Serve admission-queue depth";
+    case Gauge::ServePolicyWindowUs: return "Adaptive window of active key, us";
+    case Gauge::ServePolicyMaxBatch: return "Adaptive max batch of active key";
+    case Gauge::ServePolicyBypass: return "1 when active key is in bypass";
+    case Gauge::ServeReplicas: return "Daemon replicas on this endpoint";
     case Gauge::kCount: break;
   }
   return "";

@@ -89,6 +89,9 @@ const char* name(Counter c) noexcept {
     case Counter::ServeDeadlineMiss: return "serve_deadline_miss";
     case Counter::ServeCancelled: return "serve_cancelled";
     case Counter::ServeErrors: return "serve_errors";
+    case Counter::ServeQuotaRejected: return "serve_quota_rejected";
+    case Counter::ServeBypassEnter: return "serve_bypass_enter";
+    case Counter::ServeBypassExit: return "serve_bypass_exit";
     case Counter::kCount: break;
   }
   return "?";
@@ -386,6 +389,10 @@ const char* name(Gauge g) noexcept {
     case Gauge::SchedWorkers: return "sched_workers";
     case Gauge::ExecPoolWorkers: return "exec_pool_workers";
     case Gauge::ServeQueueDepth: return "serve_queue_depth";
+    case Gauge::ServePolicyWindowUs: return "serve_policy_window_us";
+    case Gauge::ServePolicyMaxBatch: return "serve_policy_max_batch";
+    case Gauge::ServePolicyBypass: return "serve_policy_bypass";
+    case Gauge::ServeReplicas: return "serve_replicas";
     case Gauge::kCount: break;
   }
   return "?";

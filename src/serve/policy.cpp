@@ -1,0 +1,173 @@
+#include "fsi/serve/policy.hpp"
+
+#include <algorithm>
+
+#include "fsi/obs/metrics.hpp"
+
+namespace fsi::serve {
+namespace {
+
+/// Fold \p sample into an EMA, seeding it on the first sample so the
+/// estimate has no zero-bias warm-up.
+void ema_fold(double& ema, double sample, double alpha) {
+  ema = (ema == 0.0) ? sample : alpha * sample + (1.0 - alpha) * ema;
+}
+
+}  // namespace
+
+AdaptivePolicy::AdaptivePolicy(AdaptiveConfig config) : config_(config) {
+  if (config_.window_ceiling_us < config_.window_floor_us)
+    config_.window_ceiling_us = config_.window_floor_us;
+  if (config_.max_batch_ceiling == 0) config_.max_batch_ceiling = 1;
+  if (config_.max_keys == 0) config_.max_keys = 1;
+}
+
+AdaptivePolicy::Entry& AdaptivePolicy::touch(const BatchKey& key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == key) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return entries_.front();
+    }
+  }
+  // New key starts at the ceilings: full coalescing until measurements say
+  // otherwise (the static-knob behaviour is the prior).
+  Entry e;
+  e.key = key;
+  e.state.window_us = config_.window_ceiling_us;
+  e.state.max_batch = config_.max_batch_ceiling;
+  entries_.push_front(std::move(e));
+  while (entries_.size() > config_.max_keys) entries_.pop_back();
+  return entries_.front();
+}
+
+BatchPlan AdaptivePolicy::plan(const BatchKey& key) {
+  if (!config_.enabled) {
+    return BatchPlan{std::chrono::microseconds(config_.window_ceiling_us),
+                     config_.max_batch_ceiling};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const KeyPolicy& s = touch(key).state;
+  if (s.bypass) return BatchPlan{std::chrono::microseconds(0), 1};
+  return BatchPlan{std::chrono::microseconds(s.window_us), s.max_batch};
+}
+
+void AdaptivePolicy::observe(const BatchKey& key, const BatchObservation& obs) {
+  if (!config_.enabled || obs.batch_size == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyPolicy& s = touch(key).state;
+  ++s.batches;
+  ema_fold(s.ema_occupancy, static_cast<double>(obs.batch_size),
+           config_.ema_alpha);
+
+  // Solo service time: what one request costs when it does not share an
+  // engine run.  Only size-1 batches measure it.
+  if (obs.batch_size == 1 && obs.exec_ns > 0)
+    ema_fold(s.ema_solo_ns, static_cast<double>(obs.exec_ns),
+             config_.ema_alpha);
+
+  // Measured batching speedup of this dispatch: solo cost over the
+  // per-request share of (straggler wait + engine run).  Defined once a
+  // solo baseline exists; < 1 means coalescing made this request slower.
+  const double per_req =
+      static_cast<double>(obs.window_wait_ns + obs.exec_ns) /
+      static_cast<double>(obs.batch_size);
+  if (s.ema_solo_ns > 0.0 && per_req > 0.0)
+    ema_fold(s.speedup, s.ema_solo_ns / per_req, config_.ema_alpha);
+
+  if (!s.bypass) {
+    const bool lose = obs.batch_size == 1 && obs.window_wait_ns > 0;
+    const bool win = obs.batch_size >= 2 &&
+                     (s.ema_solo_ns == 0.0 || per_req < s.ema_solo_ns);
+    if (lose) {
+      s.win_streak = 0;
+      ++s.lose_streak;
+      // Multiplicative decrease: each losing window halves the bet.
+      s.window_us = std::max(config_.window_floor_us, s.window_us / 2);
+      s.max_batch = std::max<std::size_t>(1, s.max_batch / 2);
+      if (s.lose_streak >= config_.bypass_after) {
+        s.bypass = true;
+        s.window_us = 0;
+        s.max_batch = 1;
+        s.lose_streak = 0;
+        ++s.bypass_enters;
+        ++bypass_enters_;
+        obs::metrics::add(obs::metrics::Counter::ServeBypassEnter, 1);
+      }
+    } else if (win) {
+      s.lose_streak = 0;
+      ++s.win_streak;
+      // Multiplicative increase back toward the configured ceilings.
+      s.window_us = std::min(config_.window_ceiling_us,
+                             std::max(config_.window_floor_us,
+                                      s.window_us * 2));
+      s.max_batch =
+          std::min(config_.max_batch_ceiling,
+                   std::max<std::size_t>(2, s.max_batch * 2));
+    } else {
+      // Neutral dispatch (e.g. size 1 with no wait, or a batch that did
+      // not beat solo): breaks both streaks, so only *consecutive*
+      // evidence moves the mode — the hysteresis.
+      s.lose_streak = 0;
+      s.win_streak = 0;
+    }
+  } else {
+    // In bypass the only signal is backlog: a dispatch that leaves
+    // same-key work queued means arrivals outpace solo service, so
+    // coalescing would amortise again.
+    if (obs.queue_depth_after > 0) {
+      ++s.win_streak;
+      if (s.win_streak >= config_.resume_after) {
+        s.bypass = false;
+        s.window_us = config_.window_floor_us;  // slow start
+        s.max_batch = config_.max_batch_ceiling;
+        s.win_streak = 0;
+        ++s.bypass_exits;
+        ++bypass_exits_;
+        obs::metrics::add(obs::metrics::Counter::ServeBypassExit, 1);
+      }
+    } else {
+      s.win_streak = 0;
+    }
+  }
+
+  active_ = s;
+  publish_gauges(s);
+}
+
+void AdaptivePolicy::publish_gauges(const KeyPolicy& s) const {
+  using obs::metrics::Gauge;
+  obs::metrics::set(Gauge::ServePolicyWindowUs,
+                    static_cast<double>(s.window_us));
+  obs::metrics::set(Gauge::ServePolicyMaxBatch,
+                    static_cast<double>(s.max_batch));
+  obs::metrics::set(Gauge::ServePolicyBypass, s.bypass ? 1.0 : 0.0);
+}
+
+KeyPolicy AdaptivePolicy::state(const BatchKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_)
+    if (e.key == key) return e.state;
+  return KeyPolicy{};
+}
+
+KeyPolicy AdaptivePolicy::active_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+std::size_t AdaptivePolicy::keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t AdaptivePolicy::bypass_enters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bypass_enters_;
+}
+
+std::uint64_t AdaptivePolicy::bypass_exits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bypass_exits_;
+}
+
+}  // namespace fsi::serve

@@ -148,6 +148,19 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r) {
     w.put_string(r.build_compiler);
     w.put_string(r.build_type);
   }
+  // Stats v3: adaptive policy + scale-out block, same append-only rule.
+  if (r.stats_version >= 3) {
+    w.put_u64(r.rejected_quota);
+    w.put_u64(r.replicas);
+    w.put_u8(r.adaptive_enabled ? 1 : 0);
+    w.put_u64(r.policy_keys);
+    w.put_i64(r.policy_window_us);
+    w.put_u64(r.policy_max_batch);
+    w.put_u8(r.policy_bypass ? 1 : 0);
+    w.put_f64(r.policy_speedup);
+    w.put_u64(r.bypass_enters);
+    w.put_u64(r.bypass_exits);
+  }
   return w.take();
 }
 
@@ -240,6 +253,18 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
       s.build_git_sha = r.get_string();
       s.build_compiler = r.get_string();
       s.build_type = r.get_string();
+    }
+    if (s.stats_version >= 3) {
+      s.rejected_quota = r.get_u64();
+      s.replicas = r.get_u64();
+      s.adaptive_enabled = r.get_u8() != 0;
+      s.policy_keys = r.get_u64();
+      s.policy_window_us = r.get_i64();
+      s.policy_max_batch = r.get_u64();
+      s.policy_bypass = r.get_u8() != 0;
+      s.policy_speedup = r.get_f64();
+      s.bypass_enters = r.get_u64();
+      s.bypass_exits = r.get_u64();
     }
   } else {
     FSI_CHECK(false, "serve: unknown message type " + std::to_string(type) +

@@ -13,8 +13,9 @@ bool operator<(const BatchKey& a, const BatchKey& b) {
          std::tie(b.lx, b.ly, b.l, b.c, b.t, b.u, b.beta);
 }
 
-AdmissionQueue::AdmissionQueue(std::size_t max_depth)
-    : max_depth_(max_depth) {}
+AdmissionQueue::AdmissionQueue(std::size_t max_depth,
+                               std::size_t max_per_client)
+    : max_depth_(max_depth), max_per_client_(max_per_client) {}
 
 void AdmissionQueue::note_depth_locked() {
   high_water_ = std::max(high_water_, queue_.size());
@@ -22,15 +23,32 @@ void AdmissionQueue::note_depth_locked() {
                     static_cast<double>(queue_.size()));
 }
 
-bool AdmissionQueue::try_push(PendingRequest&& r) {
+void AdmissionQueue::release_client_locked(std::uint64_t client_id) {
+  if (client_id == 0) return;
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;
+  if (--it->second == 0) clients_.erase(it);
+}
+
+Admit AdmissionQueue::admit(PendingRequest&& r) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || queue_.size() >= max_depth_) return false;
+    if (shutdown_ || queue_.size() >= max_depth_) return Admit::Full;
+    if (max_per_client_ != 0 && r.client_id != 0) {
+      const auto it = clients_.find(r.client_id);
+      if (it != clients_.end() && it->second >= max_per_client_)
+        return Admit::OverQuota;
+    }
+    if (r.client_id != 0) ++clients_[r.client_id];
     queue_.push_back(std::move(r));
     note_depth_locked();
   }
   cv_.notify_one();
-  return true;
+  return Admit::Ok;
+}
+
+bool AdmissionQueue::try_push(PendingRequest&& r) {
+  return admit(std::move(r)) == Admit::Ok;
 }
 
 void AdmissionQueue::take_matching(const BatchKey& key, std::size_t max_batch,
@@ -39,6 +57,7 @@ void AdmissionQueue::take_matching(const BatchKey& key, std::size_t max_batch,
   for (auto it = queue_.begin(); it != queue_.end() && out.size() < max_batch;) {
     if (it->key() == key) {
       it->popped_ns = now;  // queue wait ends, batch-formation wait begins
+      release_client_locked(it->client_id);
       out.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -49,23 +68,36 @@ void AdmissionQueue::take_matching(const BatchKey& key, std::size_t max_batch,
 }
 
 std::vector<PendingRequest> AdmissionQueue::next_batch(
-    std::chrono::microseconds window, std::size_t max_batch) {
+    const std::function<BatchPlan(const BatchKey&)>& plan) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
   if (queue_.empty()) return {};  // shutdown with nothing queued
 
-  std::vector<PendingRequest> batch;
+  // Plan once the oldest request is known: an adaptive policy picks a
+  // per-key window/max-batch from what it has measured about this key.
   const BatchKey key = queue_.front().key();
+  const BatchPlan p = plan(key);
+  const std::size_t max_batch = std::max<std::size_t>(1, p.max_batch);
+
+  std::vector<PendingRequest> batch;
   take_matching(key, max_batch, batch);
 
   // Straggler window: late-arriving compatible requests join this batch
   // instead of paying a whole engine run of their own.
-  const auto close_at = std::chrono::steady_clock::now() + window;
-  while (batch.size() < max_batch && !shutdown_) {
-    if (cv_.wait_until(lock, close_at) == std::cv_status::timeout) break;
-    take_matching(key, max_batch, batch);
+  if (p.window.count() > 0) {
+    const auto close_at = std::chrono::steady_clock::now() + p.window;
+    while (batch.size() < max_batch && !shutdown_) {
+      if (cv_.wait_until(lock, close_at) == std::cv_status::timeout) break;
+      take_matching(key, max_batch, batch);
+    }
   }
   return batch;
+}
+
+std::vector<PendingRequest> AdmissionQueue::next_batch(
+    std::chrono::microseconds window, std::size_t max_batch) {
+  return next_batch(
+      [&](const BatchKey&) { return BatchPlan{window, max_batch}; });
 }
 
 void AdmissionQueue::shutdown() {
@@ -82,6 +114,7 @@ std::vector<PendingRequest> AdmissionQueue::drain() {
   out.reserve(queue_.size());
   for (auto& r : queue_) out.push_back(std::move(r));
   queue_.clear();
+  clients_.clear();
   note_depth_locked();
   return out;
 }
@@ -94,6 +127,12 @@ std::size_t AdmissionQueue::depth() const {
 std::size_t AdmissionQueue::max_depth_seen() const {
   std::lock_guard<std::mutex> lock(mu_);
   return high_water_;
+}
+
+std::size_t AdmissionQueue::client_depth(std::uint64_t client_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = clients_.find(client_id);
+  return it == clients_.end() ? 0 : it->second;
 }
 
 }  // namespace fsi::serve

@@ -48,6 +48,13 @@ ServerOptions ServerOptions::from_env() {
   if (log != nullptr && log[0] != '\0') o.access_log = log;
   const char* metrics = std::getenv("FSI_SERVE_METRICS");
   if (metrics != nullptr && metrics[0] != '\0') o.metrics_endpoint = metrics;
+  o.adaptive.enabled = obs::env_flag("FSI_SERVE_ADAPTIVE", o.adaptive.enabled);
+  o.client_quota = static_cast<std::size_t>(std::max(
+      0L, obs::env_long("FSI_SERVE_CLIENT_QUOTA",
+                        static_cast<long>(o.client_quota))));
+  o.replicas = static_cast<std::size_t>(std::max(
+      1L, obs::env_long("FSI_SERVE_REPLICAS",
+                        static_cast<long>(o.replicas))));
   return o;
 }
 
@@ -61,16 +68,33 @@ struct Conn {
   std::mutex write_mu;
   std::atomic<bool> open{true};
   std::thread reader;
+  /// Process-unique connection id; the queue's per-client quota accounting
+  /// keys on it.
+  std::uint64_t id = 0;
 };
+
+/// Resolve the policy's zero ceilings from the server's static knobs: the
+/// adaptive controller tunes *within* the configured window / max batch,
+/// it never exceeds them.
+AdaptiveConfig resolve_adaptive(const ServerOptions& o) {
+  AdaptiveConfig c = o.adaptive;
+  if (c.window_ceiling_us == 0) c.window_ceiling_us = o.batch_window_us;
+  if (c.max_batch_ceiling == 0) c.max_batch_ceiling = o.max_batch;
+  return c;
+}
 
 }  // namespace
 
 struct Server::Impl {
   explicit Impl(ServerOptions o)
-      : opts(std::move(o)), queue(opts.queue_depth) {}
+      : opts(std::move(o)),
+        queue(opts.queue_depth, opts.client_quota),
+        policy(resolve_adaptive(opts)) {}
 
   ServerOptions opts;
   AdmissionQueue queue;
+  AdaptivePolicy policy;
+  std::atomic<std::uint64_t> next_conn_id{1};
   std::optional<Listener> listener;
   Endpoint bound;  ///< resolved at start(); outlives the listener so
                    ///< endpoint() stays valid after stop()
@@ -250,6 +274,7 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
   PendingRequest p;
   p.c = effective_cluster(req);
   p.q = resolve_q(req, p.c);
+  p.client_id = conn->id;
   p.arrival_ns = arrival_ns;
   p.deadline_ns = deadline_us > 0 ? arrival_ns + deadline_us * 1000 : 0;
   p.schema = schema;
@@ -263,16 +288,24 @@ void Server::Impl::process_request(const std::shared_ptr<Conn>& conn,
     if (const auto c = weak.lock()) send_response(c, std::move(r), schema);
   };
 
-  if (!queue.try_push(std::move(p))) {
-    // Explicit backpressure: the queue is the only buffer and it is full.
-    count(&ServerStats::rejected_full);
-    obs::metrics::add(obs::metrics::Counter::ServeRejected, 1);
-    FSI_LOG_WARN("serve.shed", {"reason", "admission queue full"},
+  const Admit verdict = queue.admit(std::move(p));
+  if (verdict != Admit::Ok) {
+    // Explicit backpressure: the queue is the only buffer and it is full —
+    // or this one client already holds its fair share of it.  Either way
+    // the client gets RetryAfter, never a silent stall.
+    const bool quota = verdict == Admit::OverQuota;
+    count(quota ? &ServerStats::rejected_quota : &ServerStats::rejected_full);
+    obs::metrics::add(quota ? obs::metrics::Counter::ServeQuotaRejected
+                            : obs::metrics::Counter::ServeRejected,
+                      1);
+    FSI_LOG_WARN("serve.shed",
+                 {"reason", quota ? "client over quota" : "admission queue full"},
                  {"depth", static_cast<unsigned long long>(queue.depth())},
                  {"retry_after_ms", opts.retry_after_ms});
     reject.status = Status::RetryAfter;
     reject.retry_after_ms = opts.retry_after_ms;
-    reject.message = "admission queue full";
+    reject.message = quota ? "client over per-connection quota"
+                           : "admission queue full";
     send_response(conn, std::move(reject), schema);
     return;
   }
@@ -339,6 +372,7 @@ void Server::Impl::accept_loop() {
 
     auto conn = std::make_shared<Conn>();
     conn->sock = std::move(s);
+    conn->id = next_conn_id.fetch_add(1, std::memory_order_relaxed);
     count(&ServerStats::connections);
     FSI_LOG_DEBUG("serve.accept");
     {
@@ -499,6 +533,21 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
   obs::metrics::record_windowed(obs::metrics::Hist::ServeBatchOccupancy,
                                 occupancy);
 
+  // Close the adaptive loop: what this batch actually cost.  The straggler
+  // wait paid is dispatch minus the moment the queue first gathered a
+  // request (a batch that filled instantly was never charged the window).
+  {
+    std::int64_t first_popped = dispatch_ns;
+    for (const PendingRequest& p : live)
+      if (p.popped_ns > 0) first_popped = std::min(first_popped, p.popped_ns);
+    BatchObservation ob;
+    ob.batch_size = live.size();
+    ob.queue_depth_after = queue.depth();
+    ob.window_wait_ns = dispatch_ns - first_popped;
+    ob.exec_ns = exec_t1 - exec_t0;
+    policy.observe(key, ob);
+  }
+
   for (std::size_t i = 0; i < live.size(); ++i) {
     PendingRequest& p = live[i];
     // The v2 breakdown: queue wait ends when the queue gathered the request
@@ -565,6 +614,7 @@ StatsResponse Server::Impl::build_stats(std::uint64_t id) {
     s.admitted = stats.admitted;
     s.served_ok = stats.served_ok;
     s.rejected_full = stats.rejected_full;
+    s.rejected_quota = stats.rejected_quota;
     s.deadline_miss = stats.deadline_miss;
     s.cancelled = stats.cancelled;
     s.malformed = stats.malformed;
@@ -600,13 +650,28 @@ StatsResponse Server::Impl::build_stats(std::uint64_t id) {
   s.build_git_sha = b.git_sha;
   s.build_compiler = b.compiler;
   s.build_type = b.build_type;
+
+  // Stats v3: live adaptive-policy state of the most recently dispatched
+  // key — what fsi_top renders and the tuning guide reads.
+  s.replicas = opts.replicas;
+  s.adaptive_enabled = policy.config().enabled;
+  s.policy_keys = policy.keys();
+  const KeyPolicy active = policy.active_state();
+  s.policy_window_us = active.window_us;
+  s.policy_max_batch = active.max_batch;
+  s.policy_bypass = active.bypass;
+  s.policy_speedup = active.speedup;
+  s.bypass_enters = policy.bypass_enters();
+  s.bypass_exits = policy.bypass_exits();
   return s;
 }
 
 void Server::Impl::batcher_loop() {
+  // The policy is consulted per batch with the key about to dispatch; when
+  // adaptive tuning is disabled its plan() degenerates to the static knobs.
+  const auto planner = [this](const BatchKey& key) { return policy.plan(key); };
   for (;;) {
-    std::vector<PendingRequest> batch = queue.next_batch(
-        std::chrono::microseconds(opts.batch_window_us), opts.max_batch);
+    std::vector<PendingRequest> batch = queue.next_batch(planner);
     if (batch.empty()) return;  // shutdown with an empty queue
     run_batch(std::move(batch));
   }
@@ -624,9 +689,12 @@ void Server::start() {
     FSI_CHECK(impl_->access_log != nullptr,
               "serve: cannot open access log: " + impl_->opts.access_log);
   }
-  impl_->listener.emplace(Listener::listen_on(impl_->opts.endpoint));
+  impl_->listener.emplace(Listener::listen_on(impl_->opts.endpoint, 16,
+                                              impl_->opts.reuse_port));
   impl_->bound = impl_->listener->endpoint();
   impl_->start_ns = obs::now_ns();
+  obs::metrics::set(obs::metrics::Gauge::ServeReplicas,
+                    static_cast<double>(impl_->opts.replicas));
   impl_->started.store(true);
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   impl_->batcher_thread = std::thread([this] { impl_->batcher_loop(); });
@@ -694,6 +762,8 @@ ServerStats Server::stats() const {
       std::max(s.queue_high_water, impl_->queue.max_depth_seen());
   return s;
 }
+
+const AdaptivePolicy& Server::policy() const { return impl_->policy; }
 
 double Server::latency_quantile(double p) const {
   std::lock_guard<std::mutex> lock(impl_->stats_mu);

@@ -1,0 +1,94 @@
+#include "fsi/serve/shard.hpp"
+
+#include <cstring>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::serve {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv1a_value(std::uint64_t h, T v) {
+  // Hash the value representation, not the object: doubles go through
+  // memcpy so -0.0 vs 0.0 stay distinct bit patterns (callers normalise if
+  // they care) and there is no padding in the stream.
+  return fnv1a(h, &v, sizeof v);
+}
+
+/// One more FNV round mixing the replica index into the key hash — the
+/// rendezvous score of (key, replica).
+std::uint64_t mix(std::uint64_t key_hash, std::uint64_t replica) {
+  return fnv1a_value(key_hash, replica);
+}
+
+}  // namespace
+
+std::uint64_t batch_key_hash(const BatchKey& key) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_value(h, key.lx);
+  h = fnv1a_value(h, key.ly);
+  h = fnv1a_value(h, key.l);
+  h = fnv1a_value(h, static_cast<std::int64_t>(key.c));
+  h = fnv1a_value(h, key.t);
+  h = fnv1a_value(h, key.u);
+  h = fnv1a_value(h, key.beta);
+  return h;
+}
+
+std::size_t shard_for(const BatchKey& key, std::size_t replicas) {
+  if (replicas <= 1) return 0;
+  const std::uint64_t kh = batch_key_hash(key);
+  std::size_t best = 0;
+  std::uint64_t best_score = mix(kh, 0);
+  for (std::size_t r = 1; r < replicas; ++r) {
+    const std::uint64_t score = mix(kh, r);
+    if (score > best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+ShardedClient::ShardedClient(const std::vector<Endpoint>& endpoints) {
+  FSI_CHECK(!endpoints.empty(), "ShardedClient needs at least one endpoint");
+  clients_.reserve(endpoints.size());
+  for (const auto& ep : endpoints)
+    clients_.push_back(std::make_unique<Client>(ep));
+}
+
+std::size_t ShardedClient::route(const InvertRequest& request) const {
+  // The client does not resolve c (that needs the server's divisor rule),
+  // so the routing key uses the *requested* c — identical requests still
+  // agree, which is all sharding needs.
+  const BatchKey key{request.lx, request.ly, request.l,
+                     static_cast<index_t>(request.c),
+                     request.t,  request.u,  request.beta};
+  return shard_for(key, clients_.size());
+}
+
+std::future<InvertResponse> ShardedClient::submit(InvertRequest request) {
+  return clients_[route(request)]->submit(std::move(request));
+}
+
+InvertResponse ShardedClient::request(InvertRequest req) {
+  return clients_[route(req)]->request(std::move(req));
+}
+
+StatsResponse ShardedClient::stats(std::size_t i) {
+  return clients_.at(i)->stats();
+}
+
+}  // namespace fsi::serve

@@ -20,6 +20,8 @@
 #include "fsi/qmc/multi_gf.hpp"
 #include "fsi/serve/client.hpp"
 #include "fsi/serve/server.hpp"
+#include "fsi/serve/shard.hpp"
+#include "fsi/util/check.hpp"
 
 namespace {
 
@@ -225,6 +227,116 @@ TEST(ServeE2E, ExplicitClusterAndOffsetBitIdentical) {
   expect_bit_identical(req, resp);
   EXPECT_EQ(resp.q_used, 3);
   server.stop();
+}
+
+TEST(ServeE2E, TwoReplicasSharePortAndStayBitIdentical) {
+  // Two Server instances on one TCP port via SO_REUSEPORT — the fsi_serve
+  // --replicas topology.  Requests routed through a ShardedClient against
+  // the shared port must produce bit-identical physics regardless of which
+  // replica's queue/batcher served them.
+  ServerOptions options;
+  options.endpoint = Endpoint::parse("tcp:127.0.0.1:0");
+  options.reuse_port = true;
+  options.replicas = 2;
+  Server first(options);
+  first.start();
+  options.endpoint = first.endpoint();  // resolved port; sibling re-binds it
+  Server second(options);
+  second.start();
+  ASSERT_EQ(second.endpoint().port, first.endpoint().port);
+
+  // Distinct connections (kernel spreads them across the two accept loops;
+  // either placement is correct) with distinct model shapes.
+  std::vector<Endpoint> eps = {first.endpoint(), second.endpoint()};
+  ShardedClient sharded(eps);
+  EXPECT_EQ(sharded.replicas(), 2u);
+  const InvertRequest a = make_request(71, /*lx=*/4, /*l=*/8);
+  const InvertRequest b = make_request(72, /*lx=*/6, /*l=*/12);
+  // The rendezvous route is a pure key function: both requests route
+  // deterministically, and same-key requests agree.
+  EXPECT_EQ(sharded.route(a), sharded.route(a));
+  expect_bit_identical(a, sharded.request(a));
+  expect_bit_identical(b, sharded.request(b));
+
+  const std::uint64_t total_ok =
+      first.stats().served_ok + second.stats().served_ok;
+  second.stop();
+  first.stop();
+  EXPECT_EQ(total_ok, 2u);
+}
+
+TEST(ServeE2E, ReusePortOnUnixEndpointThrows) {
+  ServerOptions options;
+  options.endpoint = Endpoint::parse(test_socket_path("reuse_unix"));
+  options.reuse_port = true;
+  Server server(std::move(options));
+  EXPECT_THROW(server.start(), util::CheckError);
+}
+
+TEST(ServeE2E, AdaptiveBypassRecoversThroughputAndReportsState) {
+  // Closed-loop single client: every request waits for its response, so a
+  // long fixed window charges every dispatch the full straggler wait for
+  // nothing.  The adaptive policy must measure that, halve the window, and
+  // engage bypass; the stats snapshot must expose the transition.
+  ServerOptions options;
+  options.endpoint = Endpoint::parse(test_socket_path("adaptive"));
+  options.batch_window_us = 30000;  // deliberately bad for closed-loop
+  options.adaptive.bypass_after = 3;
+  Server server(std::move(options));
+  server.start();
+
+  Client client(server.endpoint());
+  const InvertRequest req = make_request(81);
+  for (int i = 0; i < 8; ++i) {
+    InvertRequest sent = req;
+    expect_bit_identical(req, client.request(std::move(sent)));
+  }
+  const StatsResponse s = server.stats_snapshot();
+  EXPECT_TRUE(s.adaptive_enabled);
+  EXPECT_GE(s.bypass_enters, 1u);
+  EXPECT_TRUE(s.policy_bypass);
+  EXPECT_EQ(s.policy_window_us, 0);
+  EXPECT_EQ(s.policy_max_batch, 1u);
+  // The measured-speedup estimate has samples (its direction depends on
+  // real engine timing noise; the deterministic trace tests pin it down).
+  EXPECT_GT(s.policy_speedup, 0.0);
+  server.stop();
+}
+
+TEST(ServeE2E, ClientQuotaShedsPipelinedFlood) {
+  // A stub-free flood through the real engine would be slow; instead use a
+  // tiny quota so a pipelined burst trips it deterministically even when
+  // the batcher drains fast: quota 1, burst of 8 from one connection.
+  ServerOptions options;
+  options.endpoint = Endpoint::parse(test_socket_path("quota"));
+  options.client_quota = 1;
+  options.batch_window_us = 0;  // drain as fast as possible
+  Server server(std::move(options));
+  server.start();
+
+  Client client(server.endpoint());
+  std::vector<InvertRequest> requests;
+  std::vector<std::future<InvertResponse>> futures;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    requests.push_back(make_request(90 + i));
+    futures.push_back(client.submit(requests.back()));
+  }
+  std::uint64_t ok = 0, shed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const InvertResponse r = futures[i].get();
+    if (r.status == Status::Ok) {
+      expect_bit_identical(requests[i], r);
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, Status::RetryAfter) << r.message;
+      EXPECT_NE(r.message.find("quota"), std::string::npos);
+      ++shed;
+    }
+  }
+  server.stop();
+  EXPECT_GE(ok, 1u);
+  EXPECT_EQ(ok + shed, 8u);
+  EXPECT_EQ(server.stats().rejected_quota, shed);
 }
 
 TEST(ServeE2E, TcpEndpointRoundTrip) {

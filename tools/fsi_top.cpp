@@ -68,6 +68,11 @@ void print_json(const serve::StatsResponse& s) {
       "\"model_cache_size\":%llu,\"model_cache_hit_rate\":%.4f,"
       "\"queue_depth\":%llu,\"queue_high_water\":%llu,"
       "\"queue_capacity\":%llu,"
+      "\"rejected_quota\":%llu,\"replicas\":%llu,"
+      "\"adaptive_enabled\":%s,\"policy_keys\":%llu,"
+      "\"policy_window_us\":%lld,\"policy_max_batch\":%llu,"
+      "\"policy_bypass\":%s,\"policy_speedup\":%.4f,"
+      "\"bypass_enters\":%llu,\"bypass_exits\":%llu,"
       "\"latency_s\":%s,\"queue_wait_s\":%s,\"occupancy\":%s}\n",
       s.stats_version, static_cast<double>(s.uptime_ns) * 1e-9,
       static_cast<unsigned long long>(s.connections),
@@ -88,6 +93,15 @@ void print_json(const serve::StatsResponse& s) {
       static_cast<unsigned long long>(s.queue_depth),
       static_cast<unsigned long long>(s.queue_high_water),
       static_cast<unsigned long long>(s.queue_capacity),
+      static_cast<unsigned long long>(s.rejected_quota),
+      static_cast<unsigned long long>(s.replicas),
+      s.adaptive_enabled ? "true" : "false",
+      static_cast<unsigned long long>(s.policy_keys),
+      static_cast<long long>(s.policy_window_us),
+      static_cast<unsigned long long>(s.policy_max_batch),
+      s.policy_bypass ? "true" : "false", s.policy_speedup,
+      static_cast<unsigned long long>(s.bypass_enters),
+      static_cast<unsigned long long>(s.bypass_exits),
       win(s.latency_s).c_str(), win(s.queue_wait_s).c_str(),
       win(s.occupancy).c_str());
 }
@@ -124,12 +138,37 @@ void print_dashboard(const std::string& endpoint,
                                   static_cast<double>(s.batches)
                             : 0.0);
   std::printf("  model cache  %llu built, %llu hits (%.0f%%), %llu "
-              "resident\n\n",
+              "resident\n",
               static_cast<unsigned long long>(s.models_built),
               static_cast<unsigned long long>(s.model_cache_hits),
               s.model_cache_hit_rate() * 100.0,
               static_cast<unsigned long long>(s.model_cache_size));
-  std::printf("  rolling window (last ~10 s):\n");
+  // Adaptive-policy line (stats v3): the active key's live tuning state —
+  // docs/tuning.md walks an operator through reading it.  Pre-v3 daemons
+  // report replicas == 0; skip the line rather than print zeros.
+  if (s.replicas > 0) {
+    if (!s.adaptive_enabled) {
+      std::printf("  policy       static (adaptive off)  replicas %llu  "
+                  "over-quota %llu\n",
+                  static_cast<unsigned long long>(s.replicas),
+                  static_cast<unsigned long long>(s.rejected_quota));
+    } else {
+      std::printf("  policy       window %lld us  max-batch %llu  %s  "
+                  "speedup %.2f  keys %llu\n",
+                  static_cast<long long>(s.policy_window_us),
+                  static_cast<unsigned long long>(s.policy_max_batch),
+                  s.policy_bypass ? "BYPASS" : "coalesce",
+                  s.policy_speedup,
+                  static_cast<unsigned long long>(s.policy_keys));
+      std::printf("               bypass enters %llu / exits %llu  "
+                  "replicas %llu  over-quota %llu\n",
+                  static_cast<unsigned long long>(s.bypass_enters),
+                  static_cast<unsigned long long>(s.bypass_exits),
+                  static_cast<unsigned long long>(s.replicas),
+                  static_cast<unsigned long long>(s.rejected_quota));
+    }
+  }
+  std::printf("\n  rolling window (last ~10 s):\n");
   print_window("latency", s.latency_s, 1e3, "ms");
   print_window("queue wait", s.queue_wait_s, 1e3, "ms");
   print_window("occupancy", s.occupancy, 1.0, "");
