@@ -197,6 +197,46 @@ int main(int argc, char** argv) {
   telemetry.add_metric("fsi_speedup_vs_explicit", speedup, "ratio",
                        /*gate=*/!paper);
 
+  // Mixed-precision profile: the two fp32-eligible stages (CLS cluster
+  // products, WRP seed walks) timed against their fp64 twins on the same
+  // matrix.  BSOFI always runs fp64, so the shared reduced inverse is
+  // computed once outside both timed regions; best-of-3 on each side
+  // because the gate is a single-host back-to-back ratio.
+  {
+    const pcyclic::PCyclicMatrix m = model.build_m(field, qmc::Spin::Up);
+    const pcyclic::Selection sel(l, c, 1);
+    const pcyclic::BlockOps ops(m);
+    const pcyclic::BlockOpsF ops_f(m);
+    const auto gtilde = bsofi::invert(selinv::cluster(m, c, 1, true));
+    const dense::MatrixF gtilde_f = dense::demoted(gtilde);
+    const pcyclic::Pattern pats[] = {pcyclic::Pattern::AllDiagonals,
+                                     pcyclic::Pattern::Rows,
+                                     pcyclic::Pattern::Columns};
+    util::WallTimer t;
+    double t64 = 0.0, t32 = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      t.reset();
+      auto reduced = selinv::cluster(m, c, 1, true);
+      for (const auto pat : pats)
+        selinv::wrap(ops, gtilde, pat, sel, true);
+      t64 = rep == 0 ? t.seconds() : std::min(t64, t.seconds());
+
+      t.reset();
+      auto reduced_f = selinv::cluster_mixed(m, c, 1, true);
+      for (const auto pat : pats)
+        selinv::wrap_f(ops_f, gtilde_f, pat, sel, true);
+      t32 = rep == 0 ? t.seconds() : std::min(t32, t.seconds());
+    }
+    const double mixed_speedup = t64 / t32;
+    std::printf("\nmixed precision (fp32 CLS + WRP vs fp64, BSOFI excluded): "
+                "fp64 %.3f s, fp32 %.3f s, speedup %.2fx\n\n",
+                t64, t32, mixed_speedup);
+    telemetry.add_metric("mixed_cls_wrp_s", t32, "s", false,
+                         /*higher_is_better=*/false);
+    telemetry.add_metric("mixed_cls_wrp_speedup", mixed_speedup, "ratio",
+                         /*gate=*/!paper);
+  }
+
   // Per-stage model-vs-measured, derived from trace data: one full FSI call
   // (the paper's b-column workload) with spans on; CLS/BSOFI/WRP wall times
   // come from the recorded fsi.* spans, GFLOP/s from the metrics counters,

@@ -63,8 +63,12 @@ int main(int argc, char** argv) {
     const dense::Matrix ref = pcyclic::dense_block(g, n, k, col);
     worst = std::max(worst, dense::rel_fro_error(s.at(k, col), ref));
   }
-  std::printf("  max relative error vs dense inverse: %.2e  (paper: < 1e-10)\n",
-              worst);
+  // FSI_PRECISION=mixed runs CLS + WRP in fp32 (see docs/precision.md), so
+  // the acceptance bound tracks the mode the pipeline actually used.
+  const bool mixed = stats.precision_used == Precision::Mixed;
+  const double bound = mixed ? 1e-3 : 1e-10;
+  std::printf("  max relative error vs dense inverse: %.2e  (%s: < %.0e)\n",
+              worst, mixed ? "mixed mode" : "paper", bound);
   std::printf("  memory: selected %.2f MB vs full inverse %.2f MB (%.0fx less)\n",
               s.bytes() / 1048576.0, g.bytes() / 1048576.0,
               double(g.bytes()) / double(s.bytes()));
@@ -74,5 +78,5 @@ int main(int argc, char** argv) {
   if (!trace_path.empty())
     std::printf("  trace written to %s (open in chrome://tracing)\n",
                 trace_path.c_str());
-  return worst < 1e-10 ? 0 : 1;
+  return worst < bound ? 0 : 1;
 }

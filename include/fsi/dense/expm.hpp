@@ -6,7 +6,9 @@
 /// the lattice adjacency matrix (paper Sec. V-A).  QUEST computes it with a
 /// checkerboard approximation; we compute it exactly with the scaling-and-
 /// squaring Padé-13 method (Higham 2005), which is what MATLAB/SciPy expm
-/// use.  K is computed once per simulation so speed is irrelevant here.
+/// use.  K is computed once per simulation so speed is irrelevant here —
+/// model setup always uses the fp64 overload; the fp32 one exists only for
+/// completeness of the scalar-generic dense layer.
 
 #include "fsi/dense/matrix.hpp"
 
@@ -15,5 +17,6 @@ namespace fsi::dense {
 /// e^A for a square matrix (scaling & squaring with a [13/13] Padé
 /// approximant).
 Matrix expm(ConstMatrixView a);
+MatrixF expm(ConstMatrixViewF a);
 
 }  // namespace fsi::dense

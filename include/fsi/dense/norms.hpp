@@ -1,6 +1,10 @@
 #pragma once
 /// \file norms.hpp
 /// \brief Matrix norms and error measures.
+///
+/// Overloaded for fp64 and fp32 views; accumulation and return values are
+/// always double, so the mixed-precision health gates compare fp32 results
+/// against fp64 references without an extra promotion pass.
 
 #include "fsi/dense/matrix.hpp"
 
@@ -8,25 +12,32 @@ namespace fsi::dense {
 
 /// Frobenius norm ||A||_F.
 double frobenius_norm(ConstMatrixView a);
+double frobenius_norm(ConstMatrixViewF a);
 
 /// 1-norm (max absolute column sum).
 double one_norm(ConstMatrixView a);
+double one_norm(ConstMatrixViewF a);
 
 /// Infinity norm (max absolute row sum).
 double inf_norm(ConstMatrixView a);
+double inf_norm(ConstMatrixViewF a);
 
 /// Largest absolute entry.
 double max_abs(ConstMatrixView a);
+double max_abs(ConstMatrixViewF a);
 
 /// True when every entry is finite (no NaN/Inf) — the health layer's
 /// result-matrix sentinel.  One pass, early exit on the first bad entry.
 bool all_finite(ConstMatrixView a);
+bool all_finite(ConstMatrixViewF a);
 
 /// ||A - B||_F (shapes must match).
 double fro_distance(ConstMatrixView a, ConstMatrixView b);
+double fro_distance(ConstMatrixViewF a, ConstMatrixViewF b);
 
 /// ||A - B||_F / ||B||_F — the relative error measure of the paper's
 /// correctness validation (Sec. V-A).  Returns ||A||_F when B is zero.
 double rel_fro_error(ConstMatrixView a, ConstMatrixView reference);
+double rel_fro_error(ConstMatrixViewF a, ConstMatrixViewF reference);
 
 }  // namespace fsi::dense

@@ -7,6 +7,8 @@
 /// the right (G = R^-1 Q^T).  The implementation follows LAPACK's compact-WY
 /// scheme: unblocked panel factorisation (geqr2) + T-factor accumulation
 /// (larft) + blocked application (larfb), with all heavy lifting in gemm.
+/// Templated over the scalar like the rest of the dense layer; BSOFI itself
+/// always uses the fp64 instantiation (it is the stability-critical stage).
 
 #include <vector>
 
@@ -19,39 +21,64 @@ namespace fsi::dense {
 /// On exit the upper triangle holds R; the columns below the diagonal hold
 /// the Householder vectors (unit diagonal implicit); \p tau holds the n
 /// reflector coefficients.
-void geqrf(MatrixView a, std::vector<double>& tau);
+template <typename T>
+void geqrf(BasicMatrixView<T> a, std::vector<T>& tau);
+
+inline void geqrf(MatrixView a, std::vector<double>& tau) {
+  geqrf<double>(a, tau);
+}
+inline void geqrf(MatrixViewF a, std::vector<float>& tau) {
+  geqrf<float>(a, tau);
+}
 
 /// Apply Q or Q^T (as stored by geqrf in \p v / \p tau, k reflectors) to C:
 ///   Side::Left : C := op(Q) C      (C has v.rows() rows)
 ///   Side::Right: C := C op(Q)      (C has v.rows() columns)
-void ormqr(Side side, Trans trans, ConstMatrixView v, const std::vector<double>& tau,
-           MatrixView c);
+template <typename T>
+void ormqr(Side side, Trans trans, BasicConstMatrixView<T> v,
+           const std::vector<T>& tau, BasicMatrixView<T> c);
+
+inline void ormqr(Side side, Trans trans, ConstMatrixView v,
+                  const std::vector<double>& tau, MatrixView c) {
+  ormqr<double>(side, trans, v, tau, c);
+}
+inline void ormqr(Side side, Trans trans, ConstMatrixViewF v,
+                  const std::vector<float>& tau, MatrixViewF c) {
+  ormqr<float>(side, trans, v, tau, c);
+}
 
 /// Owning QR factorisation.
-class QrFactorization {
+template <typename T>
+class BasicQrFactorization {
  public:
   /// Factor \p a (consumed); requires rows >= cols.
-  explicit QrFactorization(Matrix a);
+  explicit BasicQrFactorization(BasicMatrix<T> a);
 
   /// C := op(Q) C (Side::Left) or C := C op(Q) (Side::Right).
-  void apply_q(Side side, Trans trans, MatrixView c) const {
-    ormqr(side, trans, packed_, tau_, c);
+  void apply_q(Side side, Trans trans, BasicMatrixView<T> c) const {
+    ormqr<T>(side, trans, packed_, tau_, c);
   }
 
   /// The n x n upper-triangular R factor (explicit copy).
-  Matrix r() const;
+  BasicMatrix<T> r() const;
 
   /// The full m x m Q (explicit, mostly for tests).
-  Matrix q() const;
+  BasicMatrix<T> q() const;
 
   index_t rows() const { return packed_.rows(); }
   index_t cols() const { return packed_.cols(); }
-  const Matrix& packed() const { return packed_; }
-  const std::vector<double>& tau() const { return tau_; }
+  const BasicMatrix<T>& packed() const { return packed_; }
+  const std::vector<T>& tau() const { return tau_; }
 
  private:
-  Matrix packed_;
-  std::vector<double> tau_;
+  BasicMatrix<T> packed_;
+  std::vector<T> tau_;
 };
+
+extern template class BasicQrFactorization<double>;
+extern template class BasicQrFactorization<float>;
+
+using QrFactorization = BasicQrFactorization<double>;
+using QrFactorizationF = BasicQrFactorization<float>;
 
 }  // namespace fsi::dense

@@ -49,6 +49,8 @@ enum class Counter : int {
   ServeQuotaRejected,  ///< requests shed because the client was over quota
   ServeBypassEnter,    ///< adaptive policy transitions into bypass
   ServeBypassExit,     ///< adaptive policy transitions out of bypass
+  MixedRuns,           ///< FSI runs attempted in mixed (fp32 CLS+WRP) mode
+  MixedFallbacks,      ///< mixed runs the health gate sent back to fp64
   kCount
 };
 

@@ -54,4 +54,39 @@ class BlockOps {
   std::vector<std::unique_ptr<dense::LuFactorization>> lu_;
 };
 
+/// fp32 analog of BlockOps for the mixed-precision wrapping stage: owns
+/// demoted copies of the B blocks plus their fp32 LU factorisations, and
+/// implements the same four moves (with the same twelve boundary cases)
+/// on fp32 operands.  Indexing still goes through the referenced fp64
+/// matrix, so wrap arithmetic and bounds are shared with the fp64 path.
+/// Factoring is ~2x cheaper and every move runs at fp32 GEMM/TRSM rates —
+/// the WRP half of the Mixed speedup.  Accuracy is policed downstream by
+/// the selinv mixed gate, not here.
+class BlockOpsF {
+ public:
+  /// Demote + factor all L blocks (parallelised with OpenMP).
+  explicit BlockOpsF(const PCyclicMatrix& m);
+
+  const PCyclicMatrix& matrix() const { return m_; }
+  index_t block_size() const { return m_.block_size(); }
+  index_t num_blocks() const { return m_.num_blocks(); }
+
+  /// The demoted B[i].
+  dense::ConstMatrixViewF b(index_t i) const;
+
+  /// The four adjacency moves of BlockOps, on fp32 operands.
+  dense::MatrixF up(index_t k, index_t l, dense::ConstMatrixViewF g) const;
+  dense::MatrixF down(index_t k, index_t l, dense::ConstMatrixViewF g) const;
+  dense::MatrixF left(index_t k, index_t l, dense::ConstMatrixViewF g) const;
+  dense::MatrixF right(index_t k, index_t l, dense::ConstMatrixViewF g) const;
+
+  /// fp32 LU factorisation of B[i].
+  const dense::LuFactorizationF& lu(index_t i) const;
+
+ private:
+  const PCyclicMatrix& m_;
+  std::vector<dense::MatrixF> bf_;
+  std::vector<std::unique_ptr<dense::LuFactorizationF>> lu_;
+};
+
 }  // namespace fsi::pcyclic

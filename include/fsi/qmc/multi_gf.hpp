@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fsi/precision.hpp"
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/qmc/measurements.hpp"
 
@@ -87,6 +88,10 @@ struct SchedSummary {
   double stage_wrap_seconds = 0.0;     ///< summed seed-walk node time
   double stage_measure_seconds = 0.0;  ///< summed measurement node time
 
+  // --- mixed-precision telemetry (zero for fp64 batches) ------------------
+  std::uint32_t mixed_tasks = 0;      ///< tasks attempted in mixed mode
+  std::uint32_t mixed_fallbacks = 0;  ///< tasks the gate redid in fp64
+
   /// Load balance as max/mean busy time; 1.0 is perfect, higher is worse.
   double balance() const {
     return busy_mean_seconds > 0.0 ? busy_max_seconds / busy_mean_seconds
@@ -129,6 +134,13 @@ struct FsiBatchOptions {
   int omp_threads_per_worker = 0;///< 0 = leave the OpenMP default
   index_t cluster_size = 0;      ///< 0 = divisor of L nearest sqrt(L)
   Schedule schedule = Schedule::WorkStealing;
+  /// Scalar precision of the CLS and WRP nodes (FSI_PRECISION env default).
+  /// Mixed tasks get a per-task gate node between the wrap fences and the
+  /// measurement: probed residual / cond1 beyond selinv::mixed_gate() (or
+  /// non-finite fp32 output) triggers an in-node serial fp64 recompute of
+  /// that task, counted in Counter::MixedFallbacks.  BSOFI always runs
+  /// fp64.  Fp64 batches are bit-identical to the pre-precision engine.
+  Precision precision = precision_from_env();
 };
 
 /// Execute a batch of externally-supplied tasks through the same

@@ -26,6 +26,7 @@
 #include "fsi/pcyclic/adjacency.hpp"
 #include "fsi/pcyclic/patterns.hpp"
 #include "fsi/pcyclic/pcyclic.hpp"
+#include "fsi/precision.hpp"
 #include "fsi/sched/task_graph.hpp"
 #include "fsi/util/rng.hpp"
 
@@ -61,6 +62,14 @@ struct FsiOptions {
   /// the paper's pure-MKL comparator and must stay loop-shaped.
   enum class Exec { Auto, Graph, OmpLoops };
   Exec exec = Exec::Auto;
+  /// Scalar precision of the error-tolerant stages.  Fp64 (the default
+  /// unless FSI_PRECISION overrides it) is bit-identical to the historic
+  /// pipeline.  Mixed runs CLS cluster products and WRP seed walks in fp32
+  /// (BSOFI stays fp64), health-gates the result, and reruns in fp64 when
+  /// the gate trips — see mixed_gate() and docs/precision.md.  Mixed runs
+  /// execute loop-shaped (the graph path is fp64-only at this layer; the
+  /// batched graph engine in qmc::run_fsi_batch has its own mixed nodes).
+  Precision precision = precision_from_env();
 };
 
 /// Per-stage timings and flop counts of one FSI run (for the Fig. 8/10
@@ -73,6 +82,10 @@ struct FsiStats {
   std::uint64_t flops_bsofi = 0;
   std::uint64_t flops_wrap = 0;
   index_t q = 0;  ///< the offset actually used
+  /// Precision the returned result was actually computed at: Mixed runs
+  /// that trip the health gate report Fp64 here (and set mixed_fallback).
+  Precision precision_used = Precision::Fp64;
+  bool mixed_fallback = false;  ///< a mixed attempt was redone in fp64
 
   double seconds_total() const {
     return seconds_cls + seconds_bsofi + seconds_wrap;
@@ -94,6 +107,18 @@ pcyclic::PCyclicMatrix cluster(const pcyclic::PCyclicMatrix& m, index_t c,
 dense::Matrix cluster_product(const pcyclic::PCyclicMatrix& m, index_t c,
                               index_t q, index_t i);
 
+/// Mixed-precision twin of cluster_product: demotes each B block on the
+/// fly (O(N^2) against the O(cN^3) product) and multiplies the chain in
+/// fp32.  The caller promotes the product before BSOFI.
+dense::MatrixF cluster_product_f(const pcyclic::PCyclicMatrix& m, index_t c,
+                                 index_t q, index_t i);
+
+/// CLS with fp32 cluster products, each promoted to fp64 on completion —
+/// the reduced matrix feeds the (always-fp64) BSOFI stage unchanged.
+pcyclic::PCyclicMatrix cluster_mixed(const pcyclic::PCyclicMatrix& m,
+                                     index_t c, index_t q,
+                                     bool parallel = true);
+
 /// Number of independent seed walks of one wrapping stage: b for the
 /// diagonal-family patterns, b^2 for Columns/Rows (paper Alg. 2).
 index_t num_wrap_seeds(Pattern pattern, index_t b);
@@ -107,6 +132,14 @@ void wrap_seed(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
                Pattern pattern, const pcyclic::Selection& sel,
                pcyclic::SelectedInversion& out, index_t seed);
 
+/// Mixed-precision twin of wrap_seed: walks fp32 blocks through the fp32
+/// adjacency relations of \p ops, starting from the demoted reduced
+/// inverse \p gtilde_f, and promotes every stored block into \p out (whose
+/// slots stay fp64, so downstream measurement code is unchanged).
+void wrap_seed_f(const pcyclic::BlockOpsF& ops, const dense::MatrixF& gtilde_f,
+                 Pattern pattern, const pcyclic::Selection& sel,
+                 pcyclic::SelectedInversion& out, index_t seed);
+
 /// Stage 3 (WRP): grow the selected inversion from the reduced inverse
 /// \p gtilde (a dense bN x bN matrix, as produced by bsofi::invert).
 /// Seeds are processed in parallel (OpenMP); each seed walks
@@ -116,6 +149,48 @@ pcyclic::SelectedInversion wrap(const pcyclic::BlockOps& ops,
                                 const dense::Matrix& gtilde, Pattern pattern,
                                 const pcyclic::Selection& sel,
                                 bool parallel = true);
+
+/// Mixed-precision WRP over wrap_seed_f (gtilde_f is the demoted reduced
+/// inverse; results are promoted fp64 blocks).
+pcyclic::SelectedInversion wrap_f(const pcyclic::BlockOpsF& ops,
+                                  const dense::MatrixF& gtilde_f,
+                                  Pattern pattern,
+                                  const pcyclic::Selection& sel,
+                                  bool parallel = true);
+
+// ---------------------------------------------------------------------------
+// Mixed-precision health gate.
+
+/// Acceptance thresholds of one mixed run.  A run falls back to fp64 when
+/// the probed residual exceeds resid_max, when the reduced matrix's cond1
+/// estimate exceeds cond_max, or when any fp32 stage produced non-finite
+/// values.  Defaults come from FSI_PRECISION_RESID_MAX (1e-3, matching the
+/// health layer's resid_fail) and FSI_PRECISION_COND_MAX (1e8: past that,
+/// fp32's ~7 significant digits are spent on conditioning alone).
+struct MixedGate {
+  double resid_max = 1e-3;
+  double cond_max = 1e8;
+};
+
+/// The process-wide gate (env-seeded once, then runtime-settable — tests
+/// force fallbacks by lowering resid_max to 0).
+MixedGate mixed_gate() noexcept;
+void set_mixed_gate(const MixedGate& gate) noexcept;
+
+/// Worst probed residual ||(M G_sel - I) block||_max over two rotating
+/// block probes — the same check residual_spot_check samples, exposed so
+/// the mixed gate can run it on every mixed run.  Returns -1 for patterns
+/// that store no adjacent blocks (no residual can be formed from stored
+/// data); the gate then relies on the cond1 bound alone.
+double probe_residual(const pcyclic::PCyclicMatrix& m,
+                      const pcyclic::SelectedInversion& out, Pattern pattern,
+                      const pcyclic::Selection& sel);
+
+/// cond1 of the reduced matrix from its blocks and explicit inverse:
+/// (1 + max_i ||B~_i||_1) ||G~||_1 (exact 1-norm identity for p-cyclic
+/// normal form).  O((bN)^2) — the mixed gate's second input.
+double reduced_cond1(const pcyclic::PCyclicMatrix& reduced,
+                     dense::ConstMatrixView gtilde);
 
 /// The full FSI algorithm (paper Alg. 1).  \p rng supplies the random q
 /// when opts.q < 0.  \p stats, when non-null, receives per-stage

@@ -48,6 +48,7 @@
 #include <list>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "fsi/serve/queue.hpp"
 
@@ -112,6 +113,10 @@ class AdaptivePolicy {
   /// key) and of the most recently observed key (what dashboards show).
   KeyPolicy state(const BatchKey& key) const;
   KeyPolicy active_state() const;
+
+  /// Every tracked key's state, most recently touched first (the stats v4
+  /// per-key table; bounded by AdaptiveConfig::max_keys).
+  std::vector<std::pair<BatchKey, KeyPolicy>> snapshot() const;
 
   std::size_t keys() const;
   std::uint64_t bypass_enters() const;

@@ -37,11 +37,13 @@ using dense::index_t;
 inline constexpr std::uint32_t kFrameMagic = 0x56525346;  // "FSRV" LE
 /// Current wire schema.  v2 added end-to-end tracing (trace_id + client
 /// send timestamp on requests, a nanosecond timing breakdown on responses)
-/// and the Stats message pair.  v2 bodies are strict supersets of v1 —
-/// extension fields append after the v1 body — so the server decodes both
-/// and answers each request in the schema it arrived with; a v1 client
-/// never sees a v2 frame.
-inline constexpr std::uint32_t kSchemaVersion = 2;
+/// and the Stats message pair.  v3 added the per-request precision field
+/// (fsi::Precision) and the precision-used / mixed-fallback echo on
+/// responses.  Each version's bodies are strict supersets of the previous
+/// — extension fields append after the older body — so the server decodes
+/// all of them and answers each request in the schema it arrived with; a
+/// v1 or v2 client never sees a v3 frame.
+inline constexpr std::uint32_t kSchemaVersion = 3;
 /// Oldest schema decode_payload still accepts.
 inline constexpr std::uint32_t kMinSchemaVersion = 1;
 /// Version tag of the StatsResponse *snapshot layout* (independent of the
@@ -50,8 +52,10 @@ inline constexpr std::uint32_t kMinSchemaVersion = 1;
 /// exact binary answering it; v1 decoders were written before those fields
 /// existed and simply never read them.  v3 appends the adaptive-batching
 /// policy block (live per-key tuning state, quota shedding, replica count)
-/// the same append-only way.
-inline constexpr std::uint32_t kStatsVersion = 3;
+/// the same append-only way.  v4 appends the mixed-precision totals and
+/// the full per-key adaptive-policy table (one row per tracked BatchKey,
+/// what fsi_top renders).
+inline constexpr std::uint32_t kStatsVersion = 4;
 /// Upper bound on one frame's payload; a declared length beyond this is
 /// treated as a malformed stream (protects the server from a hostile or
 /// corrupt length prefix).  64 MiB fits fields for N*L ~ 8M sites-slices.
@@ -98,6 +102,12 @@ struct InvertRequest {
                                     ///< socket; 0 = untraced request
   std::int64_t client_send_ns = 0;  ///< client clock at send (opaque to the
                                     ///< server; echoed into the access log)
+
+  // --- schema v3 extension ---
+  /// Requested fsi::Precision as its wire integer (0 = fp64, 1 = mixed;
+  /// validate_request rejects anything else).  Older frames decode to 0,
+  /// so pre-v3 clients always get the fp64 path.
+  std::uint32_t precision = 0;
 };
 
 /// One inversion response.
@@ -127,6 +137,16 @@ struct InvertResponse {
   std::uint64_t batch_wait_ns = 0;
   std::uint64_t exec_ns = 0;
   double batch_occupancy = 0.0;     ///< carrying batch size / max_batch
+
+  // --- schema v3 extension: mixed-precision outcome (zero for v1/v2
+  // clients and for fp64 requests) ---
+  std::uint32_t precision_used = 0;  ///< the request's effective precision
+                                     ///< mode (fsi::Precision wire integer)
+  /// True when the carrying batch had at least one mixed task the health
+  /// gate sent back to fp64 (the fallback is per task inside the engine,
+  /// so this is a batch-level signal; the result is always gated either
+  /// way).
+  bool mixed_fallback = false;
 };
 
 /// Rolling-window percentile summary of one serve histogram (the last
@@ -137,6 +157,18 @@ struct WindowStat {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+};
+
+/// One tracked BatchKey's live adaptive-policy state in a stats v4
+/// snapshot (fsi_top's per-key table).  The key itself holds
+/// client-supplied doubles, so the row carries a stable hash of it rather
+/// than the raw fields.
+struct PolicyKeyRow {
+  std::uint64_t key_hash = 0;   ///< serve::hash(BatchKey) of the key
+  std::int64_t window_us = 0;   ///< effective coalescing window
+  std::uint64_t max_batch = 1;  ///< effective max batch
+  bool bypass = false;          ///< coalescing disabled for this key
+  double speedup = 0.0;         ///< measured batching-speedup EMA
 };
 
 /// Live introspection snapshot answered to a StatsRequest.  Lifetime
@@ -188,6 +220,14 @@ struct StatsResponse {
   double policy_speedup = 0.0;        ///< active key: measured batching speedup
   std::uint64_t bypass_enters = 0;    ///< total bypass entries, all keys
   std::uint64_t bypass_exits = 0;     ///< total bypass exits, all keys
+
+  // --- stats v4 extension: mixed-precision totals (process-wide
+  // obs::metrics counters) and the full per-key policy table, most
+  // recently dispatched key first.  Empty when decoded from an older
+  // snapshot.
+  std::uint64_t mixed_runs = 0;       ///< FSI runs attempted in mixed mode
+  std::uint64_t mixed_fallbacks = 0;  ///< mixed runs health-gated to fp64
+  std::vector<PolicyKeyRow> policy_rows;
 
   double model_cache_hit_rate() const {
     const std::uint64_t lookups = models_built + model_cache_hits;

@@ -38,10 +38,15 @@ struct BatchKey {
   std::uint32_t lx = 0, ly = 0, l = 0;
   index_t c = 0;
   double t = 0.0, u = 0.0, beta = 0.0;
+  /// Requested precision mode (fsi::Precision wire integer).  Part of the
+  /// key: a mixed and an fp64 request must never share an engine run, since
+  /// the whole batch executes under one FsiBatchOptions::precision.
+  std::uint32_t precision = 0;
 
   friend bool operator==(const BatchKey& a, const BatchKey& b) {
     return a.lx == b.lx && a.ly == b.ly && a.l == b.l && a.c == b.c &&
-           a.t == b.t && a.u == b.u && a.beta == b.beta;
+           a.t == b.t && a.u == b.u && a.beta == b.beta &&
+           a.precision == b.precision;
   }
   friend bool operator!=(const BatchKey& a, const BatchKey& b) {
     return !(a == b);
@@ -49,6 +54,11 @@ struct BatchKey {
   /// Strict weak order so keys can index ordered containers.
   friend bool operator<(const BatchKey& a, const BatchKey& b);
 };
+
+/// Stable hash of a BatchKey for wire/dashboard rows: the key holds
+/// client-supplied doubles (t, u, beta), so stats snapshots carry this
+/// digest instead of the raw fields.
+std::uint64_t hash(const BatchKey& key);
 
 /// One admitted request waiting for a batch slot.
 struct PendingRequest {
@@ -75,8 +85,8 @@ struct PendingRequest {
   std::function<bool()> alive;
 
   BatchKey key() const {
-    return BatchKey{request.lx, request.ly, request.l, c,
-                    request.t,  request.u,  request.beta};
+    return BatchKey{request.lx, request.ly, request.l,    c,
+                    request.t,  request.u,  request.beta, request.precision};
   }
   bool expired(std::int64_t now_ns) const {
     return deadline_ns != 0 && now_ns >= deadline_ns;

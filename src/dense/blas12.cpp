@@ -1,5 +1,5 @@
 /// \file blas12.cpp
-/// \brief Level-1/2 BLAS kernels: gemv, ger, axpby, scal.
+/// \brief Level-1/2 BLAS kernels: gemv, ger, axpby, scal (double + float).
 ///
 /// These appear on two hot paths: the DQMC rank-1 Green's function update
 /// (ger + gemv at every accepted Metropolis flip) and small fix-ups inside
@@ -11,28 +11,29 @@
 
 namespace fsi::dense {
 
-void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x, double beta,
-          double* y) {
+template <typename T>
+void gemv(Trans ta, T alpha, BasicConstMatrixView<T> a, const T* x, T beta,
+          T* y) {
   const index_t m = a.rows(), n = a.cols();
   const index_t ylen = (ta == Trans::No) ? m : n;
-  if (beta == 0.0) {
-    for (index_t i = 0; i < ylen; ++i) y[i] = 0.0;
-  } else if (beta != 1.0) {
+  if (beta == T(0)) {
+    for (index_t i = 0; i < ylen; ++i) y[i] = T(0);
+  } else if (beta != T(1)) {
     for (index_t i = 0; i < ylen; ++i) y[i] *= beta;
   }
   util::flops::add(2ull * m * n);
   if (ta == Trans::No) {
     for (index_t j = 0; j < n; ++j) {
-      const double axj = alpha * x[j];
-      if (axj == 0.0) continue;
-      const double* aj = a.col(j);
+      const T axj = alpha * x[j];
+      if (axj == T(0)) continue;
+      const T* aj = a.col(j);
 #pragma omp simd
       for (index_t i = 0; i < m; ++i) y[i] += aj[i] * axj;
     }
   } else {
     for (index_t j = 0; j < n; ++j) {
-      const double* aj = a.col(j);
-      double dot = 0.0;
+      const T* aj = a.col(j);
+      T dot = T(0);
 #pragma omp simd reduction(+ : dot)
       for (index_t i = 0; i < m; ++i) dot += aj[i] * x[i];
       y[j] += alpha * dot;
@@ -40,35 +41,52 @@ void gemv(Trans ta, double alpha, ConstMatrixView a, const double* x, double bet
   }
 }
 
-void ger(double alpha, const double* x, const double* y, MatrixView a) {
+template void gemv<double>(Trans, double, ConstMatrixView, const double*,
+                           double, double*);
+template void gemv<float>(Trans, float, ConstMatrixViewF, const float*, float,
+                          float*);
+
+template <typename T>
+void ger(T alpha, const T* x, const T* y, BasicMatrixView<T> a) {
   const index_t m = a.rows(), n = a.cols();
   util::flops::add(2ull * m * n);
   for (index_t j = 0; j < n; ++j) {
-    const double ayj = alpha * y[j];
-    if (ayj == 0.0) continue;
-    double* aj = a.col(j);
+    const T ayj = alpha * y[j];
+    if (ayj == T(0)) continue;
+    T* aj = a.col(j);
 #pragma omp simd
     for (index_t i = 0; i < m; ++i) aj[i] += x[i] * ayj;
   }
 }
 
-void axpby(double alpha_b, MatrixView b, ConstMatrixView a) {
+template void ger<double>(double, const double*, const double*, MatrixView);
+template void ger<float>(float, const float*, const float*, MatrixViewF);
+
+template <typename T>
+void axpby(T alpha_b, BasicMatrixView<T> b, BasicConstMatrixView<T> a) {
   FSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "axpby: shape mismatch");
   util::flops::add(2ull * a.rows() * a.cols());
   for (index_t j = 0; j < a.cols(); ++j) {
-    double* bj = b.col(j);
-    const double* aj = a.col(j);
+    T* bj = b.col(j);
+    const T* aj = a.col(j);
 #pragma omp simd
     for (index_t i = 0; i < a.rows(); ++i) bj[i] = alpha_b * bj[i] + aj[i];
   }
 }
 
-void scal(double alpha, MatrixView a) {
+template void axpby<double>(double, MatrixView, ConstMatrixView);
+template void axpby<float>(float, MatrixViewF, ConstMatrixViewF);
+
+template <typename T>
+void scal(T alpha, BasicMatrixView<T> a) {
   util::flops::add(static_cast<std::uint64_t>(a.rows()) * a.cols());
   for (index_t j = 0; j < a.cols(); ++j) {
-    double* aj = a.col(j);
+    T* aj = a.col(j);
     for (index_t i = 0; i < a.rows(); ++i) aj[i] *= alpha;
   }
 }
+
+template void scal<double>(double, MatrixView);
+template void scal<float>(float, MatrixViewF);
 
 }  // namespace fsi::dense

@@ -7,19 +7,22 @@
 #include "fsi/dense/norms.hpp"
 
 namespace fsi::dense {
+namespace {
 
-Matrix expm(ConstMatrixView a) {
+template <typename T>
+BasicMatrix<T> expm_impl(BasicConstMatrixView<T> a) {
   FSI_CHECK(a.rows() == a.cols(), "expm: matrix must be square");
   const index_t n = a.rows();
 
-  // Scaling: theta_13 from Higham (2005).
+  // Scaling: theta_13 from Higham (2005).  The threshold is tuned for fp64;
+  // the fp32 instantiation reuses it (more conservative than fp32 needs).
   constexpr double kTheta13 = 5.371920351148152;
   const double norm = one_norm(a);
   int s = 0;
   if (norm > kTheta13) s = static_cast<int>(std::ceil(std::log2(norm / kTheta13)));
 
-  Matrix as = Matrix::copy_of(a);
-  if (s > 0) scal(std::ldexp(1.0, -s), as);
+  BasicMatrix<T> as = BasicMatrix<T>::copy_of(a);
+  if (s > 0) scal(static_cast<T>(std::ldexp(1.0, -s)), BasicMatrixView<T>(as));
 
   // Padé-13 coefficients.
   constexpr double b[] = {64764752532480000.0, 32382376266240000.0,
@@ -30,48 +33,68 @@ Matrix expm(ConstMatrixView a) {
                           960960.0,            16380.0,
                           182.0,               1.0};
 
-  const Matrix a2 = matmul(as, as);
-  const Matrix a4 = matmul(a2, a2);
-  const Matrix a6 = matmul(a2, a4);
+  const BasicMatrix<T> a2 = matmul(BasicConstMatrixView<T>(as),
+                                   BasicConstMatrixView<T>(as));
+  const BasicMatrix<T> a4 = matmul(BasicConstMatrixView<T>(a2),
+                                   BasicConstMatrixView<T>(a2));
+  const BasicMatrix<T> a6 = matmul(BasicConstMatrixView<T>(a2),
+                                   BasicConstMatrixView<T>(a4));
 
   // U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
-  Matrix w(n, n);
+  BasicMatrix<T> w(n, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i)
-      w(i, j) = b[13] * a6(i, j) + b[11] * a4(i, j) + b[9] * a2(i, j);
-  Matrix u_inner = matmul(a6, w);
+      w(i, j) = static_cast<T>(b[13]) * a6(i, j) +
+                static_cast<T>(b[11]) * a4(i, j) +
+                static_cast<T>(b[9]) * a2(i, j);
+  BasicMatrix<T> u_inner = matmul(BasicConstMatrixView<T>(a6),
+                                  BasicConstMatrixView<T>(w));
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < n; ++i)
-      u_inner(i, j) += b[7] * a6(i, j) + b[5] * a4(i, j) + b[3] * a2(i, j);
-    u_inner(j, j) += b[1];
+      u_inner(i, j) += static_cast<T>(b[7]) * a6(i, j) +
+                       static_cast<T>(b[5]) * a4(i, j) +
+                       static_cast<T>(b[3]) * a2(i, j);
+    u_inner(j, j) += static_cast<T>(b[1]);
   }
-  Matrix u = matmul(as, u_inner);
+  BasicMatrix<T> u = matmul(BasicConstMatrixView<T>(as),
+                            BasicConstMatrixView<T>(u_inner));
 
   // V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i < n; ++i)
-      w(i, j) = b[12] * a6(i, j) + b[10] * a4(i, j) + b[8] * a2(i, j);
-  Matrix v = matmul(a6, w);
+      w(i, j) = static_cast<T>(b[12]) * a6(i, j) +
+                static_cast<T>(b[10]) * a4(i, j) +
+                static_cast<T>(b[8]) * a2(i, j);
+  BasicMatrix<T> v = matmul(BasicConstMatrixView<T>(a6),
+                            BasicConstMatrixView<T>(w));
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < n; ++i)
-      v(i, j) += b[6] * a6(i, j) + b[4] * a4(i, j) + b[2] * a2(i, j);
-    v(j, j) += b[0];
+      v(i, j) += static_cast<T>(b[6]) * a6(i, j) +
+                 static_cast<T>(b[4]) * a4(i, j) +
+                 static_cast<T>(b[2]) * a2(i, j);
+    v(j, j) += static_cast<T>(b[0]);
   }
 
   // Solve (V - U) X = (V + U).
-  Matrix vmu(n, n), vpu(n, n);
+  BasicMatrix<T> vmu(n, n), vpu(n, n);
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < n; ++i) {
       vmu(i, j) = v(i, j) - u(i, j);
       vpu(i, j) = v(i, j) + u(i, j);
     }
   }
-  LuFactorization lu(std::move(vmu));
+  BasicLuFactorization<T> lu(std::move(vmu));
   lu.solve(vpu);
 
   // Undo the scaling by repeated squaring.
-  for (int i = 0; i < s; ++i) vpu = matmul(vpu, vpu);
+  for (int i = 0; i < s; ++i)
+    vpu = matmul(BasicConstMatrixView<T>(vpu), BasicConstMatrixView<T>(vpu));
   return vpu;
 }
+
+}  // namespace
+
+Matrix expm(ConstMatrixView a) { return expm_impl<double>(a); }
+MatrixF expm(ConstMatrixViewF a) { return expm_impl<float>(a); }
 
 }  // namespace fsi::dense

@@ -14,34 +14,35 @@ constexpr index_t kLuPanel = 64;
 
 /// Unblocked panel factorisation (DGETF2) with partial pivoting.
 /// ipiv entries are relative to the panel's first row.
-void getf2(MatrixView a, index_t* ipiv) {
+template <typename T>
+void getf2(BasicMatrixView<T> a, index_t* ipiv) {
   const index_t m = a.rows(), n = a.cols();
   const index_t k = std::min(m, n);
   for (index_t j = 0; j < k; ++j) {
     // Pivot: largest magnitude in column j at or below the diagonal.
     index_t p = j;
-    double pmax = std::fabs(a(j, j));
+    T pmax = std::fabs(a(j, j));
     for (index_t i = j + 1; i < m; ++i) {
-      const double v = std::fabs(a(i, j));
+      const T v = std::fabs(a(i, j));
       if (v > pmax) {
         pmax = v;
         p = i;
       }
     }
     ipiv[j] = p;
-    FSI_CHECK(pmax != 0.0, "getrf: matrix is exactly singular");
+    FSI_CHECK(pmax != T(0), "getrf: matrix is exactly singular");
     if (p != j)
       for (index_t c = 0; c < n; ++c) std::swap(a(j, c), a(p, c));
 
-    const double inv = 1.0 / a(j, j);
-    double* colj = a.col(j);
+    const T inv = T(1) / a(j, j);
+    T* colj = a.col(j);
     for (index_t i = j + 1; i < m; ++i) colj[i] *= inv;
 
     // Rank-1 trailing update.
     for (index_t c = j + 1; c < n; ++c) {
-      const double ajc = a(j, c);
-      if (ajc == 0.0) continue;
-      double* colc = a.col(c);
+      const T ajc = a(j, c);
+      if (ajc == T(0)) continue;
+      T* colc = a.col(c);
 #pragma omp simd
       for (index_t i = j + 1; i < m; ++i) colc[i] -= colj[i] * ajc;
     }
@@ -50,8 +51,9 @@ void getf2(MatrixView a, index_t* ipiv) {
 }
 
 /// Apply the row interchanges ipiv[first..last) to the columns of \p a.
-void laswp(MatrixView a, const std::vector<index_t>& ipiv, index_t first,
-           index_t last, bool forward) {
+template <typename T>
+void laswp(BasicMatrixView<T> a, const std::vector<index_t>& ipiv,
+           index_t first, index_t last, bool forward) {
   auto swap_row = [&](index_t i) {
     const index_t p = ipiv[i];
     if (p == i) return;
@@ -65,7 +67,8 @@ void laswp(MatrixView a, const std::vector<index_t>& ipiv, index_t first,
 
 }  // namespace
 
-void getrf(MatrixView a, std::vector<index_t>& ipiv) {
+template <typename T>
+void getrf(BasicMatrixView<T> a, std::vector<index_t>& ipiv) {
   const index_t m = a.rows(), n = a.cols();
   const index_t k = std::min(m, n);
   obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
@@ -82,44 +85,60 @@ void getrf(MatrixView a, std::vector<index_t>& ipiv) {
     if (jb + nb < n) {
       laswp(a.block(0, jb + nb, m, n - jb - nb), ipiv, jb, jb + nb, true);
       // U12 := L11^-1 A12.
-      trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-           a.block(jb, jb, nb, nb), a.block(jb, jb + nb, nb, n - jb - nb));
+      trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+           BasicConstMatrixView<T>(a.block(jb, jb, nb, nb)),
+           a.block(jb, jb + nb, nb, n - jb - nb));
       // Trailing update A22 -= L21 U12.
       if (jb + nb < m)
-        gemm(Trans::No, Trans::No, -1.0, a.block(jb + nb, jb, m - jb - nb, nb),
-             a.block(jb, jb + nb, nb, n - jb - nb), 1.0,
-             a.block(jb + nb, jb + nb, m - jb - nb, n - jb - nb));
+        gemm(Trans::No, Trans::No, T(-1),
+             BasicConstMatrixView<T>(a.block(jb + nb, jb, m - jb - nb, nb)),
+             BasicConstMatrixView<T>(
+                 a.block(jb, jb + nb, nb, n - jb - nb)),
+             T(1), a.block(jb + nb, jb + nb, m - jb - nb, n - jb - nb));
     }
   }
 }
 
-LuFactorization::LuFactorization(Matrix a) : factors_(std::move(a)) {
+template void getrf<double>(MatrixView, std::vector<index_t>&);
+template void getrf<float>(MatrixViewF, std::vector<index_t>&);
+
+template <typename T>
+BasicLuFactorization<T>::BasicLuFactorization(BasicMatrix<T> a)
+    : factors_(std::move(a)) {
   FSI_CHECK(factors_.rows() == factors_.cols(),
             "LuFactorization: matrix must be square");
-  getrf(factors_, ipiv_);
+  getrf<T>(factors_, ipiv_);
 }
 
-void LuFactorization::solve(Trans trans, MatrixView b) const {
+template <typename T>
+void BasicLuFactorization<T>::solve(Trans trans, BasicMatrixView<T> b) const {
   FSI_CHECK(b.rows() == n(), "LU solve: RHS row count mismatch");
   if (trans == Trans::No) {
     // A = P^T L U  =>  L U X = P B.
     laswp(b, ipiv_, 0, n(), true);
-    trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, factors_, b);
-    trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, factors_, b);
+    trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+         BasicConstMatrixView<T>(factors_), b);
+    trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+         BasicConstMatrixView<T>(factors_), b);
   } else {
     // A^T = U^T L^T P  =>  X = P^T L^-T U^-T B.
-    trsm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0, factors_, b);
-    trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0, factors_, b);
+    trsm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, T(1),
+         BasicConstMatrixView<T>(factors_), b);
+    trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, T(1),
+         BasicConstMatrixView<T>(factors_), b);
     laswp(b, ipiv_, 0, n(), false);
   }
 }
 
-void LuFactorization::solve_right(MatrixView b) const {
+template <typename T>
+void BasicLuFactorization<T>::solve_right(BasicMatrixView<T> b) const {
   FSI_CHECK(b.cols() == n(), "LU solve_right: RHS column count mismatch");
   // X A = B with A = P^T L U:  W := B U^-1 L^-1 solves W L U = B, then
   // X = W P, i.e. column swaps applied in descending order.
-  trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, factors_, b);
-  trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, 1.0, factors_, b);
+  trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+       BasicConstMatrixView<T>(factors_), b);
+  trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+       BasicConstMatrixView<T>(factors_), b);
   for (index_t j = n() - 1; j >= 0; --j) {
     const index_t p = ipiv_[j];
     if (p == j) continue;
@@ -127,17 +146,19 @@ void LuFactorization::solve_right(MatrixView b) const {
   }
 }
 
-Matrix LuFactorization::inverse() const {
+template <typename T>
+BasicMatrix<T> BasicLuFactorization<T>::inverse() const {
   // DGETRI: A^-1 = U^-1 L^-1 P.
-  Matrix inv = factors_;
-  MatrixView v = inv;
+  BasicMatrix<T> inv = factors_;
+  BasicMatrixView<T> v = inv;
   trtri(Uplo::Upper, Diag::NonUnit, v);
   // U^-1 must be an explicit upper-triangular matrix for the right-solve:
   // clear the strictly-lower part, which still holds the L factor.
   for (index_t j = 0; j < n(); ++j)
-    for (index_t i = j + 1; i < n(); ++i) inv(i, j) = 0.0;
+    for (index_t i = j + 1; i < n(); ++i) inv(i, j) = T(0);
   // Solve X L = U^-1 against the unit-lower factor kept in factors_.
-  trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, 1.0, factors_, v);
+  trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+       BasicConstMatrixView<T>(factors_), v);
   // Column interchanges, descending.
   for (index_t j = n() - 1; j >= 0; --j) {
     const index_t p = ipiv_[j];
@@ -147,22 +168,31 @@ Matrix LuFactorization::inverse() const {
   return inv;
 }
 
-double LuFactorization::log_abs_det() const {
+template <typename T>
+double BasicLuFactorization<T>::log_abs_det() const {
   double s = 0.0;
-  for (index_t i = 0; i < n(); ++i) s += std::log(std::fabs(factors_(i, i)));
+  for (index_t i = 0; i < n(); ++i)
+    s += std::log(std::fabs(static_cast<double>(factors_(i, i))));
   return s;
 }
 
-int LuFactorization::sign_det() const {
+template <typename T>
+int BasicLuFactorization<T>::sign_det() const {
   int sign = 1;
   for (index_t i = 0; i < n(); ++i) {
     if (ipiv_[i] != i) sign = -sign;
-    if (factors_(i, i) < 0.0) sign = -sign;
+    if (factors_(i, i) < T(0)) sign = -sign;
   }
   return sign;
 }
 
+template class BasicLuFactorization<double>;
+template class BasicLuFactorization<float>;
+
 Matrix inverse(ConstMatrixView a) { return LuFactorization::of(a).inverse(); }
+MatrixF inverse(ConstMatrixViewF a) {
+  return LuFactorizationF::of(a).inverse();
+}
 
 double cond1_estimate(const LuFactorization& lu, double a_one_norm) {
   // Hager's 1-norm estimator for ||A^-1||_1: power iteration on the dual.

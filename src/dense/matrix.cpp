@@ -3,21 +3,62 @@
 #include <cstring>
 
 namespace fsi::dense {
+namespace {
 
-void copy(ConstMatrixView src, MatrixView dst) {
+template <typename T>
+void copy_impl(BasicConstMatrixView<T> src, BasicMatrixView<T> dst) {
   FSI_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
             "copy: shape mismatch");
   for (index_t j = 0; j < src.cols(); ++j)
-    std::memcpy(dst.col(j), src.col(j), sizeof(double) * src.rows());
+    std::memcpy(dst.col(j), src.col(j), sizeof(T) * src.rows());
 }
 
-void transpose_into(ConstMatrixView src, MatrixView dst) {
+template <typename T>
+void transpose_into_impl(BasicConstMatrixView<T> src, BasicMatrixView<T> dst) {
   FSI_CHECK(src.rows() == dst.cols() && src.cols() == dst.rows(),
             "transpose_into: shape mismatch");
   for (index_t j = 0; j < src.cols(); ++j) {
-    const double* sj = src.col(j);
+    const T* sj = src.col(j);
     for (index_t i = 0; i < src.rows(); ++i) dst(j, i) = sj[i];
   }
+}
+
+template <typename T>
+void set_identity_impl(BasicMatrixView<T> dst) {
+  FSI_CHECK(dst.rows() == dst.cols(), "set_identity: matrix must be square");
+  set_all(dst, T(0));
+  for (index_t i = 0; i < dst.rows(); ++i) dst(i, i) = T(1);
+}
+
+template <typename T>
+void set_all_impl(BasicMatrixView<T> dst, T value) {
+  for (index_t j = 0; j < dst.cols(); ++j) {
+    T* dj = dst.col(j);
+    for (index_t i = 0; i < dst.rows(); ++i) dj[i] = value;
+  }
+}
+
+template <typename From, typename To>
+void convert_impl(BasicConstMatrixView<From> src, BasicMatrixView<To> dst,
+                  const char* what) {
+  FSI_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(), what);
+  for (index_t j = 0; j < src.cols(); ++j) {
+    const From* sj = src.col(j);
+    To* dj = dst.col(j);
+    for (index_t i = 0; i < src.rows(); ++i) dj[i] = static_cast<To>(sj[i]);
+  }
+}
+
+}  // namespace
+
+void copy(ConstMatrixView src, MatrixView dst) { copy_impl<double>(src, dst); }
+void copy(ConstMatrixViewF src, MatrixViewF dst) { copy_impl<float>(src, dst); }
+
+void transpose_into(ConstMatrixView src, MatrixView dst) {
+  transpose_into_impl<double>(src, dst);
+}
+void transpose_into(ConstMatrixViewF src, MatrixViewF dst) {
+  transpose_into_impl<float>(src, dst);
 }
 
 Matrix transposed(ConstMatrixView src) {
@@ -25,18 +66,36 @@ Matrix transposed(ConstMatrixView src) {
   transpose_into(src, t);
   return t;
 }
-
-void set_identity(MatrixView dst) {
-  FSI_CHECK(dst.rows() == dst.cols(), "set_identity: matrix must be square");
-  set_all(dst, 0.0);
-  for (index_t i = 0; i < dst.rows(); ++i) dst(i, i) = 1.0;
+MatrixF transposed(ConstMatrixViewF src) {
+  MatrixF t(src.cols(), src.rows());
+  transpose_into(src, t);
+  return t;
 }
 
-void set_all(MatrixView dst, double value) {
-  for (index_t j = 0; j < dst.cols(); ++j) {
-    double* dj = dst.col(j);
-    for (index_t i = 0; i < dst.rows(); ++i) dj[i] = value;
-  }
+void set_identity(MatrixView dst) { set_identity_impl<double>(dst); }
+void set_identity(MatrixViewF dst) { set_identity_impl<float>(dst); }
+
+void set_all(MatrixView dst, double value) { set_all_impl<double>(dst, value); }
+void set_all(MatrixViewF dst, float value) { set_all_impl<float>(dst, value); }
+
+void promote(ConstMatrixViewF src, MatrixView dst) {
+  convert_impl<float, double>(src, dst, "promote: shape mismatch");
+}
+
+Matrix promoted(ConstMatrixViewF src) {
+  Matrix m(src.rows(), src.cols());
+  promote(src, m);
+  return m;
+}
+
+void demote(ConstMatrixView src, MatrixViewF dst) {
+  convert_impl<double, float>(src, dst, "demote: shape mismatch");
+}
+
+MatrixF demoted(ConstMatrixView src) {
+  MatrixF m(src.rows(), src.cols());
+  demote(src, m);
+  return m;
 }
 
 }  // namespace fsi::dense

@@ -3,71 +3,112 @@
 #include <cmath>
 
 namespace fsi::dense {
+namespace {
 
-double frobenius_norm(ConstMatrixView a) {
+template <typename T>
+double frobenius_norm_impl(BasicConstMatrixView<T> a) {
   double s = 0.0;
   for (index_t j = 0; j < a.cols(); ++j) {
-    const double* col = a.col(j);
-    for (index_t i = 0; i < a.rows(); ++i) s += col[i] * col[i];
+    const T* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i)
+      s += static_cast<double>(col[i]) * static_cast<double>(col[i]);
   }
   return std::sqrt(s);
 }
 
-double one_norm(ConstMatrixView a) {
+template <typename T>
+double one_norm_impl(BasicConstMatrixView<T> a) {
   double best = 0.0;
   for (index_t j = 0; j < a.cols(); ++j) {
     double s = 0.0;
-    const double* col = a.col(j);
-    for (index_t i = 0; i < a.rows(); ++i) s += std::fabs(col[i]);
+    const T* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i)
+      s += std::fabs(static_cast<double>(col[i]));
     best = std::max(best, s);
   }
   return best;
 }
 
-double inf_norm(ConstMatrixView a) {
+template <typename T>
+double inf_norm_impl(BasicConstMatrixView<T> a) {
   double best = 0.0;
   for (index_t i = 0; i < a.rows(); ++i) {
     double s = 0.0;
-    for (index_t j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j));
+    for (index_t j = 0; j < a.cols(); ++j)
+      s += std::fabs(static_cast<double>(a(i, j)));
     best = std::max(best, s);
   }
   return best;
 }
 
-double max_abs(ConstMatrixView a) {
+template <typename T>
+double max_abs_impl(BasicConstMatrixView<T> a) {
   double best = 0.0;
   for (index_t j = 0; j < a.cols(); ++j) {
-    const double* col = a.col(j);
-    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::fabs(col[i]));
+    const T* col = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i)
+      best = std::max(best, std::fabs(static_cast<double>(col[i])));
   }
   return best;
 }
 
-bool all_finite(ConstMatrixView a) {
+template <typename T>
+bool all_finite_impl(BasicConstMatrixView<T> a) {
   for (index_t j = 0; j < a.cols(); ++j) {
-    const double* col = a.col(j);
+    const T* col = a.col(j);
     for (index_t i = 0; i < a.rows(); ++i)
       if (!std::isfinite(col[i])) return false;
   }
   return true;
 }
 
-double fro_distance(ConstMatrixView a, ConstMatrixView b) {
+template <typename T>
+double fro_distance_impl(BasicConstMatrixView<T> a, BasicConstMatrixView<T> b) {
   FSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
             "fro_distance: shape mismatch");
   double s = 0.0;
   for (index_t j = 0; j < a.cols(); ++j) {
-    const double* ca = a.col(j);
-    const double* cb = b.col(j);
+    const T* ca = a.col(j);
+    const T* cb = b.col(j);
     for (index_t i = 0; i < a.rows(); ++i) {
-      const double d = ca[i] - cb[i];
+      const double d = static_cast<double>(ca[i]) - static_cast<double>(cb[i]);
       s += d * d;
     }
   }
   return std::sqrt(s);
 }
 
+}  // namespace
+
+double frobenius_norm(ConstMatrixView a) { return frobenius_norm_impl(a); }
+double frobenius_norm(ConstMatrixViewF a) { return frobenius_norm_impl(a); }
+
+double one_norm(ConstMatrixView a) { return one_norm_impl(a); }
+double one_norm(ConstMatrixViewF a) { return one_norm_impl(a); }
+
+double inf_norm(ConstMatrixView a) { return inf_norm_impl(a); }
+double inf_norm(ConstMatrixViewF a) { return inf_norm_impl(a); }
+
+double max_abs(ConstMatrixView a) { return max_abs_impl(a); }
+double max_abs(ConstMatrixViewF a) { return max_abs_impl(a); }
+
+bool all_finite(ConstMatrixView a) { return all_finite_impl(a); }
+bool all_finite(ConstMatrixViewF a) { return all_finite_impl(a); }
+
+double fro_distance(ConstMatrixView a, ConstMatrixView b) {
+  return fro_distance_impl(a, b);
+}
+double fro_distance(ConstMatrixViewF a, ConstMatrixViewF b) {
+  return fro_distance_impl(a, b);
+}
+
 double rel_fro_error(ConstMatrixView a, ConstMatrixView reference) {
+  const double denom = frobenius_norm(reference);
+  const double dist = fro_distance(a, reference);
+  return denom == 0.0 ? dist : dist / denom;
+}
+
+double rel_fro_error(ConstMatrixViewF a, ConstMatrixViewF reference) {
   const double denom = frobenius_norm(reference);
   const double dist = fro_distance(a, reference);
   return denom == 0.0 ? dist : dist / denom;

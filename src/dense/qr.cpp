@@ -13,32 +13,34 @@ constexpr index_t kQrPanel = 48;
 
 /// Generate an elementary reflector H = I - tau v v^T with v(0) = 1 such
 /// that H [alpha; x] = [beta; 0]   (DLARFG).
-double larfg(double& alpha, double* x, index_t n) {
-  double xnorm2 = 0.0;
+template <typename T>
+T larfg(T& alpha, T* x, index_t n) {
+  T xnorm2 = T(0);
   for (index_t i = 0; i < n; ++i) xnorm2 += x[i] * x[i];
-  if (xnorm2 == 0.0) return 0.0;  // already triangular; H = I
-  const double beta = -std::copysign(std::sqrt(alpha * alpha + xnorm2), alpha);
-  const double tau = (beta - alpha) / beta;
-  const double inv = 1.0 / (alpha - beta);
+  if (xnorm2 == T(0)) return T(0);  // already triangular; H = I
+  const T beta = -std::copysign(std::sqrt(alpha * alpha + xnorm2), alpha);
+  const T tau = (beta - alpha) / beta;
+  const T inv = T(1) / (alpha - beta);
   for (index_t i = 0; i < n; ++i) x[i] *= inv;
   alpha = beta;
   return tau;
 }
 
 /// Unblocked panel QR (DGEQR2).
-void geqr2(MatrixView a, double* tau) {
+template <typename T>
+void geqr2(BasicMatrixView<T> a, T* tau) {
   const index_t m = a.rows(), n = a.cols();
-  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<T> w(static_cast<std::size_t>(n));
   for (index_t j = 0; j < n && j < m; ++j) {
-    double* below = (j + 1 < m) ? a.col(j) + (j + 1) : nullptr;
+    T* below = (j + 1 < m) ? a.col(j) + (j + 1) : nullptr;
     tau[j] = larfg(a(j, j), below, m - j - 1);
-    if (tau[j] == 0.0 || j + 1 >= n) continue;
+    if (tau[j] == T(0) || j + 1 >= n) continue;
     // Apply H_j to the trailing columns: A := (I - tau v v^T) A.
-    const double beta = a(j, j);
-    a(j, j) = 1.0;  // temporarily store the full v (unit head)
-    ConstMatrixView trail = a.block(j, j + 1, m - j, n - j - 1);
-    MatrixView trail_mut = a.block(j, j + 1, m - j, n - j - 1);
-    gemv(Trans::Yes, 1.0, trail, a.col(j) + j, 0.0, w.data());
+    const T beta = a(j, j);
+    a(j, j) = T(1);  // temporarily store the full v (unit head)
+    BasicConstMatrixView<T> trail = a.block(j, j + 1, m - j, n - j - 1);
+    BasicMatrixView<T> trail_mut = a.block(j, j + 1, m - j, n - j - 1);
+    gemv(Trans::Yes, T(1), trail, a.col(j) + j, T(0), w.data());
     ger(-tau[j], a.col(j) + j, w.data(), trail_mut);
     a(j, j) = beta;
   }
@@ -47,7 +49,8 @@ void geqr2(MatrixView a, double* tau) {
 /// Form the upper-triangular T of the compact-WY representation
 /// Q = I - V T V^T from the k reflectors in v/tau (DLARFT, forward
 /// columnwise).  V is m x k, unit lower trapezoidal as stored by geqr2.
-void larft(ConstMatrixView v, const double* tau, MatrixView t) {
+template <typename T>
+void larft(BasicConstMatrixView<T> v, const T* tau, BasicMatrixView<T> t) {
   const index_t m = v.rows(), k = v.cols();
   for (index_t i = 0; i < k; ++i) {
     t(i, i) = tau[i];
@@ -55,14 +58,14 @@ void larft(ConstMatrixView v, const double* tau, MatrixView t) {
     // t(0:i, i) = -tau_i * V(:, 0:i)^T v_i, then T(0:i,0:i) * that.
     // v_i has implicit unit at row i and zeros above.
     for (index_t j = 0; j < i; ++j) {
-      double dot = v(i, j);  // unit head of v_i times V(i, j)
+      T dot = v(i, j);  // unit head of v_i times V(i, j)
       for (index_t r = i + 1; r < m; ++r) dot += v(r, j) * v(r, i);
       t(j, i) = -tau[i] * dot;
     }
     util::flops::add(2ull * (m - i) * i);
     // t(0:i, i) := T(0:i, 0:i) * t(0:i, i) (in-place trmv, upper).
     for (index_t r = 0; r < i; ++r) {
-      double s = t(r, r) * t(r, i);
+      T s = t(r, r) * t(r, i);
       for (index_t p = r + 1; p < i; ++p) s += t(r, p) * t(p, i);
       t(r, i) = s;
     }
@@ -72,59 +75,72 @@ void larft(ConstMatrixView v, const double* tau, MatrixView t) {
 /// Copy the unit lower-trapezoidal V out of the packed QR storage into a
 /// clean workspace (zeros above the diagonal, explicit unit diagonal), so
 /// gemm can consume it directly.
-Matrix extract_v(ConstMatrixView packed) {
+template <typename T>
+BasicMatrix<T> extract_v(BasicConstMatrixView<T> packed) {
   const index_t m = packed.rows(), k = packed.cols();
-  Matrix v(m, k);
+  BasicMatrix<T> v(m, k);
   for (index_t j = 0; j < k; ++j) {
-    v(j, j) = 1.0;
+    v(j, j) = T(1);
     for (index_t i = j + 1; i < m; ++i) v(i, j) = packed(i, j);
   }
   return v;
 }
 
 /// Apply the block reflector H = I - V T V^T (or H^T) to C (DLARFB).
-void larfb(Side side, Trans trans, ConstMatrixView v, ConstMatrixView t,
-           MatrixView c) {
+template <typename T>
+void larfb(Side side, Trans trans, BasicConstMatrixView<T> v,
+           BasicConstMatrixView<T> t, BasicMatrixView<T> c) {
   const Trans t_op = (trans == Trans::No) ? Trans::No : Trans::Yes;
   if (side == Side::Left) {
     // C := (I - V T' V^T) C  =  C - V T' (V^T C).
-    Matrix w(v.cols(), c.cols());
-    gemm(Trans::Yes, Trans::No, 1.0, v, c, 0.0, w);
-    trmm(Side::Left, Uplo::Upper, t_op, Diag::NonUnit, 1.0, t, w);
-    gemm(Trans::No, Trans::No, -1.0, v, w, 1.0, c);
+    BasicMatrix<T> w(v.cols(), c.cols());
+    gemm(Trans::Yes, Trans::No, T(1), v, BasicConstMatrixView<T>(c), T(0),
+         BasicMatrixView<T>(w));
+    trmm(Side::Left, Uplo::Upper, t_op, Diag::NonUnit, T(1), t,
+         BasicMatrixView<T>(w));
+    gemm(Trans::No, Trans::No, T(-1), v, BasicConstMatrixView<T>(w), T(1), c);
   } else {
     // C := C (I - V T' V^T)  =  C - (C V) T' V^T.
-    Matrix w(c.rows(), v.cols());
-    gemm(Trans::No, Trans::No, 1.0, c, v, 0.0, w);
-    trmm(Side::Right, Uplo::Upper, t_op, Diag::NonUnit, 1.0, t, w);
-    gemm(Trans::No, Trans::Yes, -1.0, w, v, 1.0, c);
+    BasicMatrix<T> w(c.rows(), v.cols());
+    gemm(Trans::No, Trans::No, T(1), BasicConstMatrixView<T>(c), v, T(0),
+         BasicMatrixView<T>(w));
+    trmm(Side::Right, Uplo::Upper, t_op, Diag::NonUnit, T(1), t,
+         BasicMatrixView<T>(w));
+    gemm(Trans::No, Trans::Yes, T(-1), BasicConstMatrixView<T>(w), v, T(1), c);
   }
 }
 
 }  // namespace
 
-void geqrf(MatrixView a, std::vector<double>& tau) {
+template <typename T>
+void geqrf(BasicMatrixView<T> a, std::vector<T>& tau) {
   const index_t m = a.rows(), n = a.cols();
   FSI_CHECK(m >= n, "geqrf: requires rows >= cols");
   obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
-  tau.assign(static_cast<std::size_t>(n), 0.0);
+  tau.assign(static_cast<std::size_t>(n), T(0));
   for (index_t jb = 0; jb < n; jb += kQrPanel) {
     const index_t nb = std::min(kQrPanel, n - jb);
-    MatrixView panel = a.block(jb, jb, m - jb, nb);
+    BasicMatrixView<T> panel = a.block(jb, jb, m - jb, nb);
     geqr2(panel, tau.data() + jb);
     util::flops::add(2ull * (m - jb) * nb * nb);
     if (jb + nb < n) {
-      Matrix v = extract_v(panel);
-      Matrix t(nb, nb);
-      larft(v, tau.data() + jb, t);
-      larfb(Side::Left, Trans::Yes, v, t,
+      BasicMatrix<T> v = extract_v(BasicConstMatrixView<T>(panel));
+      BasicMatrix<T> t(nb, nb);
+      larft(BasicConstMatrixView<T>(v), tau.data() + jb,
+            BasicMatrixView<T>(t));
+      larfb(Side::Left, Trans::Yes, BasicConstMatrixView<T>(v),
+            BasicConstMatrixView<T>(t),
             a.block(jb, jb + nb, m - jb, n - jb - nb));
     }
   }
 }
 
-void ormqr(Side side, Trans trans, ConstMatrixView vfull,
-           const std::vector<double>& tau, MatrixView c) {
+template void geqrf<double>(MatrixView, std::vector<double>&);
+template void geqrf<float>(MatrixViewF, std::vector<float>&);
+
+template <typename T>
+void ormqr(Side side, Trans trans, BasicConstMatrixView<T> vfull,
+           const std::vector<T>& tau, BasicMatrixView<T> c) {
   const index_t m = vfull.rows();
   const index_t k = vfull.cols();
   FSI_CHECK(static_cast<index_t>(tau.size()) >= k, "ormqr: tau too short");
@@ -143,32 +159,46 @@ void ormqr(Side side, Trans trans, ConstMatrixView vfull,
 
   for (index_t jb : starts) {
     const index_t nb = std::min(kQrPanel, k - jb);
-    Matrix v = extract_v(vfull.block(jb, jb, m - jb, nb));
-    Matrix t(nb, nb);
-    larft(v, tau.data() + jb, t);
+    BasicMatrix<T> v = extract_v(vfull.block(jb, jb, m - jb, nb));
+    BasicMatrix<T> t(nb, nb);
+    larft(BasicConstMatrixView<T>(v), tau.data() + jb, BasicMatrixView<T>(t));
     if (side == Side::Left)
-      larfb(side, trans, v, t, c.block(jb, 0, m - jb, c.cols()));
+      larfb(side, trans, BasicConstMatrixView<T>(v),
+            BasicConstMatrixView<T>(t), c.block(jb, 0, m - jb, c.cols()));
     else
-      larfb(side, trans, v, t, c.block(0, jb, c.rows(), m - jb));
+      larfb(side, trans, BasicConstMatrixView<T>(v),
+            BasicConstMatrixView<T>(t), c.block(0, jb, c.rows(), m - jb));
   }
 }
 
-QrFactorization::QrFactorization(Matrix a) : packed_(std::move(a)) {
-  geqrf(packed_, tau_);
+template void ormqr<double>(Side, Trans, ConstMatrixView,
+                            const std::vector<double>&, MatrixView);
+template void ormqr<float>(Side, Trans, ConstMatrixViewF,
+                           const std::vector<float>&, MatrixViewF);
+
+template <typename T>
+BasicQrFactorization<T>::BasicQrFactorization(BasicMatrix<T> a)
+    : packed_(std::move(a)) {
+  geqrf<T>(packed_, tau_);
 }
 
-Matrix QrFactorization::r() const {
+template <typename T>
+BasicMatrix<T> BasicQrFactorization<T>::r() const {
   const index_t n = packed_.cols();
-  Matrix r(n, n);
+  BasicMatrix<T> r(n, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t i = 0; i <= j; ++i) r(i, j) = packed_(i, j);
   return r;
 }
 
-Matrix QrFactorization::q() const {
-  Matrix q = Matrix::identity(packed_.rows());
+template <typename T>
+BasicMatrix<T> BasicQrFactorization<T>::q() const {
+  BasicMatrix<T> q = BasicMatrix<T>::identity(packed_.rows());
   apply_q(Side::Left, Trans::No, q);
   return q;
 }
+
+template class BasicQrFactorization<double>;
+template class BasicQrFactorization<float>;
 
 }  // namespace fsi::dense

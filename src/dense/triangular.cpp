@@ -7,7 +7,8 @@
 /// blocked drivers on top of Level-3 BLAS.  The recursions only ever hand
 /// gemm rectangular off-diagonal blocks, so matrices that carry unrelated
 /// data in the opposite triangle (e.g. the packed LU factors) are handled
-/// correctly.
+/// correctly.  All kernels are scalar templates instantiated for double and
+/// float.
 
 #include "fsi/dense/blas.hpp"
 #include "fsi/obs/metrics.hpp"
@@ -18,43 +19,45 @@ namespace {
 
 constexpr index_t kTriBase = 64;  // unblocked base-case size
 
-double diag_coeff(ConstMatrixView a, Diag diag, index_t i) {
-  return diag == Diag::Unit ? 1.0 : a(i, i);
+template <typename T>
+T diag_coeff(BasicConstMatrixView<T> a, Diag diag, index_t i) {
+  return diag == Diag::Unit ? T(1) : a(i, i);
 }
 
-void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
-                    MatrixView b) {
+template <typename T>
+void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag,
+                    BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   const index_t n = a.rows();
   const index_t m = (side == Side::Left) ? b.cols() : b.rows();
   util::flops::add(static_cast<std::uint64_t>(n) * n * m);
 
   if (side == Side::Left) {
     for (index_t j = 0; j < b.cols(); ++j) {
-      double* bj = b.col(j);
+      T* bj = b.col(j);
       if (uplo == Uplo::Lower && trans == Trans::No) {
         for (index_t p = 0; p < n; ++p) {
           if (diag == Diag::NonUnit) bj[p] /= a(p, p);
-          const double bpj = bj[p];
+          const T bpj = bj[p];
           for (index_t i = p + 1; i < n; ++i) bj[i] -= a(i, p) * bpj;
         }
       } else if (uplo == Uplo::Lower && trans == Trans::Yes) {
         for (index_t p = n - 1; p >= 0; --p) {
-          double dot = 0.0;
-          const double* ap = a.col(p);
+          T dot = T(0);
+          const T* ap = a.col(p);
           for (index_t i = p + 1; i < n; ++i) dot += ap[i] * bj[i];
           bj[p] = (bj[p] - dot) / diag_coeff(a, diag, p);
         }
       } else if (uplo == Uplo::Upper && trans == Trans::No) {
         for (index_t p = n - 1; p >= 0; --p) {
           if (diag == Diag::NonUnit) bj[p] /= a(p, p);
-          const double bpj = bj[p];
-          const double* ap = a.col(p);
+          const T bpj = bj[p];
+          const T* ap = a.col(p);
           for (index_t i = 0; i < p; ++i) bj[i] -= ap[i] * bpj;
         }
       } else {  // Upper, Trans
         for (index_t p = 0; p < n; ++p) {
-          double dot = 0.0;
-          const double* ap = a.col(p);
+          T dot = T(0);
+          const T* ap = a.col(p);
           for (index_t i = 0; i < p; ++i) dot += ap[i] * bj[i];
           bj[p] = (bj[p] - dot) / diag_coeff(a, diag, p);
         }
@@ -65,17 +68,17 @@ void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixVie
 
   // Side::Right: solve X * op(A) = B in-place, column-by-column of X.
   const index_t rows = b.rows();
-  auto axpy_col = [&](double coeff, index_t src, index_t dst) {
-    if (coeff == 0.0) return;
-    const double* s = b.col(src);
-    double* d = b.col(dst);
+  auto axpy_col = [&](T coeff, index_t src, index_t dst) {
+    if (coeff == T(0)) return;
+    const T* s = b.col(src);
+    T* d = b.col(dst);
 #pragma omp simd
     for (index_t i = 0; i < rows; ++i) d[i] -= coeff * s[i];
   };
   auto div_col = [&](index_t j) {
     if (diag == Diag::Unit) return;
-    const double inv = 1.0 / a(j, j);
-    double* d = b.col(j);
+    const T inv = T(1) / a(j, j);
+    T* d = b.col(j);
     for (index_t i = 0; i < rows; ++i) d[i] *= inv;
   };
   const bool forward = (uplo == Uplo::Upper) == (trans == Trans::No);
@@ -94,64 +97,66 @@ void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixVie
   }
 }
 
-void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
-              MatrixView b) {
+template <typename T>
+void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag,
+              BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   const index_t n = a.rows();
   if (n <= kTriBase) {
     trsm_unblocked(side, uplo, trans, diag, a, b);
     return;
   }
   const index_t h = n / 2;
-  ConstMatrixView a11 = a.block(0, 0, h, h);
-  ConstMatrixView a12 = a.block(0, h, h, n - h);
-  ConstMatrixView a21 = a.block(h, 0, n - h, h);
-  ConstMatrixView a22 = a.block(h, h, n - h, n - h);
+  BasicConstMatrixView<T> a11 = a.block(0, 0, h, h);
+  BasicConstMatrixView<T> a12 = a.block(0, h, h, n - h);
+  BasicConstMatrixView<T> a21 = a.block(h, 0, n - h, h);
+  BasicConstMatrixView<T> a22 = a.block(h, h, n - h, n - h);
 
   if (side == Side::Left) {
-    MatrixView b1 = b.block(0, 0, h, b.cols());
-    MatrixView b2 = b.block(h, 0, n - h, b.cols());
+    BasicMatrixView<T> b1 = b.block(0, 0, h, b.cols());
+    BasicMatrixView<T> b2 = b.block(h, 0, n - h, b.cols());
     if (uplo == Uplo::Lower && trans == Trans::No) {
       trsm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::No, -1.0, a21, b1, 1.0, b2);
+      gemm(Trans::No, Trans::No, T(-1), a21, b1, T(1), b2);
       trsm_rec(side, uplo, trans, diag, a22, b2);
     } else if (uplo == Uplo::Lower && trans == Trans::Yes) {
       trsm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::Yes, Trans::No, -1.0, a21, b2, 1.0, b1);
+      gemm(Trans::Yes, Trans::No, T(-1), a21, b2, T(1), b1);
       trsm_rec(side, uplo, trans, diag, a11, b1);
     } else if (uplo == Uplo::Upper && trans == Trans::No) {
       trsm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::No, -1.0, a12, b2, 1.0, b1);
+      gemm(Trans::No, Trans::No, T(-1), a12, b2, T(1), b1);
       trsm_rec(side, uplo, trans, diag, a11, b1);
     } else {
       trsm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::Yes, Trans::No, -1.0, a12, b1, 1.0, b2);
+      gemm(Trans::Yes, Trans::No, T(-1), a12, b1, T(1), b2);
       trsm_rec(side, uplo, trans, diag, a22, b2);
     }
   } else {
-    MatrixView b1 = b.block(0, 0, b.rows(), h);
-    MatrixView b2 = b.block(0, h, b.rows(), n - h);
+    BasicMatrixView<T> b1 = b.block(0, 0, b.rows(), h);
+    BasicMatrixView<T> b2 = b.block(0, h, b.rows(), n - h);
     if (uplo == Uplo::Upper && trans == Trans::No) {
       trsm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::No, -1.0, b1, a12, 1.0, b2);
+      gemm(Trans::No, Trans::No, T(-1), b1, a12, T(1), b2);
       trsm_rec(side, uplo, trans, diag, a22, b2);
     } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
       trsm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::Yes, -1.0, b2, a12, 1.0, b1);
+      gemm(Trans::No, Trans::Yes, T(-1), b2, a12, T(1), b1);
       trsm_rec(side, uplo, trans, diag, a11, b1);
     } else if (uplo == Uplo::Lower && trans == Trans::No) {
       trsm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::No, -1.0, b2, a21, 1.0, b1);
+      gemm(Trans::No, Trans::No, T(-1), b2, a21, T(1), b1);
       trsm_rec(side, uplo, trans, diag, a11, b1);
     } else {
       trsm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::Yes, -1.0, b1, a21, 1.0, b2);
+      gemm(Trans::No, Trans::Yes, T(-1), b1, a21, T(1), b2);
       trsm_rec(side, uplo, trans, diag, a22, b2);
     }
   }
 }
 
-void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
-                    MatrixView b) {
+template <typename T>
+void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag,
+                    BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   const index_t n = a.rows();
   util::flops::add(static_cast<std::uint64_t>(n) * n *
                    ((side == Side::Left) ? b.cols() : b.rows()));
@@ -161,9 +166,9 @@ void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixVie
     // every row is consumed before being overwritten.
     const bool ascending = (uplo == Uplo::Upper) == (trans == Trans::No);
     for (index_t j = 0; j < b.cols(); ++j) {
-      double* bj = b.col(j);
+      T* bj = b.col(j);
       auto run = [&](index_t i) {
-        double s = diag_coeff(a, diag, i) * bj[i];
+        T s = diag_coeff(a, diag, i) * bj[i];
         if (uplo == Uplo::Upper && trans == Trans::No) {
           for (index_t p = i + 1; p < n; ++p) s += a(i, p) * bj[p];
         } else if (uplo == Uplo::Lower && trans == Trans::No) {
@@ -186,12 +191,12 @@ void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixVie
     const bool ascending = (uplo == Uplo::Lower && trans == Trans::No) ||
                            (uplo == Uplo::Upper && trans == Trans::Yes);
     auto run = [&](index_t j) {
-      double* bj = b.col(j);
-      const double djj = diag_coeff(a, diag, j);
+      T* bj = b.col(j);
+      const T djj = diag_coeff(a, diag, j);
       for (index_t i = 0; i < rows; ++i) bj[i] *= djj;
-      auto accumulate = [&](index_t p, double coeff) {
-        if (coeff == 0.0) return;
-        const double* bp = b.col(p);
+      auto accumulate = [&](index_t p, T coeff) {
+        if (coeff == T(0)) return;
+        const T* bp = b.col(p);
 #pragma omp simd
         for (index_t i = 0; i < rows; ++i) bj[i] += coeff * bp[i];
       };
@@ -211,78 +216,81 @@ void trmm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixVie
   }
 }
 
-void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView a,
-              MatrixView b) {
+template <typename T>
+void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag,
+              BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   const index_t n = a.rows();
   if (n <= kTriBase) {
     trmm_unblocked(side, uplo, trans, diag, a, b);
     return;
   }
   const index_t h = n / 2;
-  ConstMatrixView a11 = a.block(0, 0, h, h);
-  ConstMatrixView a12 = a.block(0, h, h, n - h);
-  ConstMatrixView a21 = a.block(h, 0, n - h, h);
-  ConstMatrixView a22 = a.block(h, h, n - h, n - h);
+  BasicConstMatrixView<T> a11 = a.block(0, 0, h, h);
+  BasicConstMatrixView<T> a12 = a.block(0, h, h, n - h);
+  BasicConstMatrixView<T> a21 = a.block(h, 0, n - h, h);
+  BasicConstMatrixView<T> a22 = a.block(h, h, n - h, n - h);
 
   if (side == Side::Left) {
-    MatrixView b1 = b.block(0, 0, h, b.cols());
-    MatrixView b2 = b.block(h, 0, n - h, b.cols());
+    BasicMatrixView<T> b1 = b.block(0, 0, h, b.cols());
+    BasicMatrixView<T> b2 = b.block(h, 0, n - h, b.cols());
     if (uplo == Uplo::Upper && trans == Trans::No) {
       trmm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::No, 1.0, a12, b2, 1.0, b1);
+      gemm(Trans::No, Trans::No, T(1), a12, b2, T(1), b1);
       trmm_rec(side, uplo, trans, diag, a22, b2);
     } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
       trmm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::Yes, Trans::No, 1.0, a12, b1, 1.0, b2);
+      gemm(Trans::Yes, Trans::No, T(1), a12, b1, T(1), b2);
       trmm_rec(side, uplo, trans, diag, a11, b1);
     } else if (uplo == Uplo::Lower && trans == Trans::No) {
       trmm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::No, 1.0, a21, b1, 1.0, b2);
+      gemm(Trans::No, Trans::No, T(1), a21, b1, T(1), b2);
       trmm_rec(side, uplo, trans, diag, a11, b1);
     } else {
       trmm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::Yes, Trans::No, 1.0, a21, b2, 1.0, b1);
+      gemm(Trans::Yes, Trans::No, T(1), a21, b2, T(1), b1);
       trmm_rec(side, uplo, trans, diag, a22, b2);
     }
   } else {
-    MatrixView b1 = b.block(0, 0, b.rows(), h);
-    MatrixView b2 = b.block(0, h, b.rows(), n - h);
+    BasicMatrixView<T> b1 = b.block(0, 0, b.rows(), h);
+    BasicMatrixView<T> b2 = b.block(0, h, b.rows(), n - h);
     if (uplo == Uplo::Upper && trans == Trans::No) {
       trmm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::No, 1.0, b1, a12, 1.0, b2);
+      gemm(Trans::No, Trans::No, T(1), b1, a12, T(1), b2);
       trmm_rec(side, uplo, trans, diag, a11, b1);
     } else if (uplo == Uplo::Upper && trans == Trans::Yes) {
       trmm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::Yes, 1.0, b2, a12, 1.0, b1);
+      gemm(Trans::No, Trans::Yes, T(1), b2, a12, T(1), b1);
       trmm_rec(side, uplo, trans, diag, a22, b2);
     } else if (uplo == Uplo::Lower && trans == Trans::No) {
       trmm_rec(side, uplo, trans, diag, a11, b1);
-      gemm(Trans::No, Trans::No, 1.0, b2, a21, 1.0, b1);
+      gemm(Trans::No, Trans::No, T(1), b2, a21, T(1), b1);
       trmm_rec(side, uplo, trans, diag, a22, b2);
     } else {
       trmm_rec(side, uplo, trans, diag, a22, b2);
-      gemm(Trans::No, Trans::Yes, 1.0, b1, a21, 1.0, b2);
+      gemm(Trans::No, Trans::Yes, T(1), b1, a21, T(1), b2);
       trmm_rec(side, uplo, trans, diag, a11, b1);
     }
   }
 }
 
-void trtri_unblocked(Uplo uplo, Diag diag, MatrixView a) {
+template <typename T>
+void trtri_unblocked(Uplo uplo, Diag diag, BasicMatrixView<T> a) {
+  const BasicConstMatrixView<T> ac = a;
   const index_t n = a.rows();
   util::flops::add(static_cast<std::uint64_t>(n) * n * n / 3);
   if (uplo == Uplo::Upper) {
     for (index_t j = 0; j < n; ++j) {
-      double ajj;
+      T ajj;
       if (diag == Diag::NonUnit) {
-        FSI_CHECK(a(j, j) != 0.0, "trtri: singular triangular matrix");
-        a(j, j) = 1.0 / a(j, j);
+        FSI_CHECK(a(j, j) != T(0), "trtri: singular triangular matrix");
+        a(j, j) = T(1) / a(j, j);
         ajj = -a(j, j);
       } else {
-        ajj = -1.0;
+        ajj = T(-1);
       }
       // a(0:j, j) := ajj * T * a(0:j, j), T = already-inverted leading block.
       for (index_t i = 0; i < j; ++i) {
-        double s = diag_coeff(a, diag, i) * a(i, j);
+        T s = diag_coeff(ac, diag, i) * a(i, j);
         for (index_t p = i + 1; p < j; ++p) s += a(i, p) * a(p, j);
         a(i, j) = s;
       }
@@ -290,16 +298,16 @@ void trtri_unblocked(Uplo uplo, Diag diag, MatrixView a) {
     }
   } else {
     for (index_t j = n - 1; j >= 0; --j) {
-      double ajj;
+      T ajj;
       if (diag == Diag::NonUnit) {
-        FSI_CHECK(a(j, j) != 0.0, "trtri: singular triangular matrix");
-        a(j, j) = 1.0 / a(j, j);
+        FSI_CHECK(a(j, j) != T(0), "trtri: singular triangular matrix");
+        a(j, j) = T(1) / a(j, j);
         ajj = -a(j, j);
       } else {
-        ajj = -1.0;
+        ajj = T(-1);
       }
       for (index_t i = n - 1; i > j; --i) {
-        double s = diag_coeff(a, diag, i) * a(i, j);
+        T s = diag_coeff(ac, diag, i) * a(i, j);
         for (index_t p = j + 1; p < i; ++p) s += a(i, p) * a(p, j);
         a(i, j) = s;
       }
@@ -310,29 +318,42 @@ void trtri_unblocked(Uplo uplo, Diag diag, MatrixView a) {
 
 }  // namespace
 
-void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
-          ConstMatrixView a, MatrixView b) {
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   FSI_CHECK(a.rows() == a.cols(), "trsm: A must be square");
   const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
   FSI_CHECK(a.rows() == expected, "trsm: dimension mismatch between A and B");
   if (b.rows() == 0 || b.cols() == 0) return;
   obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
-  if (alpha != 1.0) scal(alpha, b);
+  if (alpha != T(1)) scal(alpha, b);
   trsm_rec(side, uplo, trans, diag, a, b);
 }
 
-void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
-          ConstMatrixView a, MatrixView b) {
+template void trsm<double>(Side, Uplo, Trans, Diag, double, ConstMatrixView,
+                           MatrixView);
+template void trsm<float>(Side, Uplo, Trans, Diag, float, ConstMatrixViewF,
+                          MatrixViewF);
+
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          BasicConstMatrixView<T> a, BasicMatrixView<T> b) {
   FSI_CHECK(a.rows() == a.cols(), "trmm: A must be square");
   const index_t expected = (side == Side::Left) ? b.rows() : b.cols();
   FSI_CHECK(a.rows() == expected, "trmm: dimension mismatch between A and B");
   if (b.rows() == 0 || b.cols() == 0) return;
   obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
   trmm_rec(side, uplo, trans, diag, a, b);
-  if (alpha != 1.0) scal(alpha, b);
+  if (alpha != T(1)) scal(alpha, b);
 }
 
-void trtri(Uplo uplo, Diag diag, MatrixView a) {
+template void trmm<double>(Side, Uplo, Trans, Diag, double, ConstMatrixView,
+                           MatrixView);
+template void trmm<float>(Side, Uplo, Trans, Diag, float, ConstMatrixViewF,
+                          MatrixViewF);
+
+template <typename T>
+void trtri(Uplo uplo, Diag diag, BasicMatrixView<T> a) {
   FSI_CHECK(a.rows() == a.cols(), "trtri: matrix must be square");
   const index_t n = a.rows();
   if (n <= kTriBase) {
@@ -340,22 +361,29 @@ void trtri(Uplo uplo, Diag diag, MatrixView a) {
     return;
   }
   const index_t h = n / 2;
-  MatrixView a11 = a.block(0, 0, h, h);
-  MatrixView a22 = a.block(h, h, n - h, n - h);
+  BasicMatrixView<T> a11 = a.block(0, 0, h, h);
+  BasicMatrixView<T> a22 = a.block(h, h, n - h, n - h);
   trtri(uplo, diag, a11);
   trtri(uplo, diag, a22);
   if (uplo == Uplo::Upper) {
     // inv([[A11, A12], [0, A22]]) has top-right block -A11^-1 A12 A22^-1;
     // a11/a22 hold the already-inverted triangles here.
-    MatrixView a12 = a.block(0, h, h, n - h);
-    trmm(Side::Left, Uplo::Upper, Trans::No, diag, 1.0, a11, a12);
-    trmm(Side::Right, Uplo::Upper, Trans::No, diag, -1.0, a22, a12);
+    BasicMatrixView<T> a12 = a.block(0, h, h, n - h);
+    trmm(Side::Left, Uplo::Upper, Trans::No, diag, T(1),
+         BasicConstMatrixView<T>(a11), a12);
+    trmm(Side::Right, Uplo::Upper, Trans::No, diag, T(-1),
+         BasicConstMatrixView<T>(a22), a12);
   } else {
     // inv([[A11, 0], [A21, A22]]) has bottom-left block -A22^-1 A21 A11^-1.
-    MatrixView a21 = a.block(h, 0, n - h, h);
-    trmm(Side::Left, Uplo::Lower, Trans::No, diag, 1.0, a22, a21);
-    trmm(Side::Right, Uplo::Lower, Trans::No, diag, -1.0, a11, a21);
+    BasicMatrixView<T> a21 = a.block(h, 0, n - h, h);
+    trmm(Side::Left, Uplo::Lower, Trans::No, diag, T(1),
+         BasicConstMatrixView<T>(a22), a21);
+    trmm(Side::Right, Uplo::Lower, Trans::No, diag, T(-1),
+         BasicConstMatrixView<T>(a11), a21);
   }
 }
+
+template void trtri<double>(Uplo, Diag, MatrixView);
+template void trtri<float>(Uplo, Diag, MatrixViewF);
 
 }  // namespace fsi::dense

@@ -10,6 +10,8 @@
 #include "fsi/dense/norms.hpp"
 #include "fsi/obs/env.hpp"
 #include "fsi/obs/health.hpp"
+#include "fsi/obs/log.hpp"
+#include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/sched/executor.hpp"
 #include "fsi/sched/workspace_pool.hpp"
@@ -82,6 +84,49 @@ PCyclicMatrix cluster(const PCyclicMatrix& m, index_t c, index_t q,
   return reduced;
 }
 
+dense::MatrixF cluster_product_f(const PCyclicMatrix& m, index_t c, index_t q,
+                                 index_t i) {
+  // Same chain as cluster_product, with every factor demoted on the fly:
+  // each B block belongs to exactly one cluster, so nothing is demoted
+  // twice and the O(N^2) conversions vanish next to the O(cN^3) products.
+  FSI_OBS_SPAN("cls.cluster_f");
+  const index_t n = m.block_size();
+  const index_t j_lo = c * i - q;  // j0 - c + 1
+  dense::MatrixF prod = sched::acquire_f(n, n);
+  dense::demote(m.b(m.wrap(j_lo)), prod.view());
+  dense::MatrixF bf = sched::acquire_f(n, n);
+  dense::MatrixF next = sched::acquire_f(n, n);
+  for (index_t t = 1; t < c; ++t) {
+    dense::demote(m.b(m.wrap(j_lo + t)), bf.view());
+    dense::gemm(dense::Trans::No, dense::Trans::No, 1.0f, bf, prod, 0.0f,
+                next);
+    std::swap(prod, next);
+  }
+  sched::recycle(std::move(bf));
+  sched::recycle(std::move(next));
+  return prod;
+}
+
+PCyclicMatrix cluster_mixed(const PCyclicMatrix& m, index_t c, index_t q,
+                            bool parallel) {
+  const index_t l = m.num_blocks();
+  FSI_CHECK(c > 0 && l % c == 0, "cluster_mixed: c must divide L");
+  FSI_CHECK(q >= 0 && q < c, "cluster_mixed: q must be in [0, c)");
+  const index_t b = l / c;
+  const index_t n = m.block_size();
+
+  PCyclicMatrix reduced(n, b);
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (index_t i = 0; i < b; ++i) {
+    dense::MatrixF prod = cluster_product_f(m, c, q, i);
+    dense::Matrix promoted = sched::acquire(n, n);
+    dense::promote(prod, promoted.view());
+    sched::recycle(std::move(prod));
+    reduced.b_matrix(i) = std::move(promoted);
+  }
+  return reduced;
+}
+
 namespace {
 
 /// Copy the seed block G~(k0, l0) out of the reduced inverse (pool-backed).
@@ -108,6 +153,17 @@ void residual_spot_check(const PCyclicMatrix& m, const SelectedInversion& out,
   if (pattern != Pattern::Columns && pattern != Pattern::Rows) return;
   if (!obs::health::should_sample_residual()) return;
   util::WallTimer health_timer;
+  const double worst = probe_residual(m, out, pattern, sel);
+  obs::health::record_residual(worst);
+  obs::metrics::add_seconds(obs::metrics::Accum::HealthCheck,
+                            health_timer.seconds());
+}
+
+}  // namespace
+
+double probe_residual(const PCyclicMatrix& m, const SelectedInversion& out,
+                      Pattern pattern, const Selection& sel) {
+  if (pattern != Pattern::Columns && pattern != Pattern::Rows) return -1.0;
   const index_t n = m.block_size();
   const index_t l = m.num_blocks();
   const auto idx = sel.indices();
@@ -147,12 +203,47 @@ void residual_spot_check(const PCyclicMatrix& m, const SelectedInversion& out,
       for (index_t d = 0; d < n; ++d) r(d, d) -= 1.0;
     worst = std::max(worst, dense::max_abs(r.view()));
   }
-  obs::health::record_residual(worst);
-  obs::metrics::add_seconds(obs::metrics::Accum::HealthCheck,
-                            health_timer.seconds());
+  return worst;
+}
+
+double reduced_cond1(const PCyclicMatrix& reduced,
+                     dense::ConstMatrixView gtilde) {
+  double max_b = 0.0;
+  for (index_t i = 0; i < reduced.num_blocks(); ++i)
+    max_b = std::max(max_b, dense::one_norm(reduced.b(i)));
+  return (1.0 + max_b) * dense::one_norm(gtilde);
+}
+
+namespace {
+
+/// The process-wide gate cells, env-seeded on first touch.
+struct GateCells {
+  std::atomic<double> resid;
+  std::atomic<double> cond;
+  GateCells()
+      : resid(obs::env_double("FSI_PRECISION_RESID_MAX",
+                              MixedGate{}.resid_max)),
+        cond(obs::env_double("FSI_PRECISION_COND_MAX", MixedGate{}.cond_max)) {}
+};
+
+GateCells& gate_cells() noexcept {
+  static GateCells cells;
+  return cells;
 }
 
 }  // namespace
+
+MixedGate mixed_gate() noexcept {
+  GateCells& g = gate_cells();
+  return MixedGate{g.resid.load(std::memory_order_relaxed),
+                   g.cond.load(std::memory_order_relaxed)};
+}
+
+void set_mixed_gate(const MixedGate& gate) noexcept {
+  GateCells& g = gate_cells();
+  g.resid.store(gate.resid_max, std::memory_order_relaxed);
+  g.cond.store(gate.cond_max, std::memory_order_relaxed);
+}
 
 index_t num_wrap_seeds(Pattern pattern, index_t b) {
   switch (pattern) {
@@ -296,6 +387,146 @@ void wrap_seed(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
   }
 }
 
+namespace {
+
+/// Copy the seed block G~(k0, l0) out of the demoted reduced inverse.
+dense::MatrixF seed_block_f(const dense::MatrixF& gtilde_f, index_t n,
+                            index_t k0, index_t l0) {
+  return sched::acquire_copy_f(gtilde_f.block(k0 * n, l0 * n, n, n));
+}
+
+/// Promote an fp32 walk block into a pool-backed fp64 matrix — what the
+/// mixed wrap stores into the (fp64) SelectedInversion slots.
+dense::Matrix promoted_store(const dense::MatrixF& src) {
+  dense::Matrix out = sched::acquire(src.rows(), src.cols());
+  dense::promote(src, out.view());
+  return out;
+}
+
+}  // namespace
+
+void wrap_seed_f(const pcyclic::BlockOpsF& ops, const dense::MatrixF& gtilde_f,
+                 Pattern pattern, const Selection& sel, SelectedInversion& out,
+                 index_t seed) {
+  // Kept in lockstep with wrap_seed above: same walks, same recycle
+  // discipline, fp32 intermediates, promoted stores.
+  FSI_OBS_SPAN("wrp.seed_f");
+  const index_t n = ops.block_size();
+  const index_t l = ops.num_blocks();
+  const index_t b = sel.b();
+  const auto idx = sel.indices();
+  const index_t up_steps = (sel.c - 1) / 2;
+  const index_t down_steps = sel.c / 2;
+
+  switch (pattern) {
+    case Pattern::Diagonal: {
+      const index_t k0 = seed;
+      dense::MatrixF sb = seed_block_f(gtilde_f, n, k0, k0);
+      out.slot(idx[k0], idx[k0]) = promoted_store(sb);
+      sched::recycle(std::move(sb));
+      break;
+    }
+    case Pattern::SubDiagonal: {
+      const index_t k0 = seed;
+      const index_t k = idx[k0];
+      if (k == l - 1) break;
+      dense::MatrixF sb = seed_block_f(gtilde_f, n, k0, k0);
+      dense::MatrixF moved = ops.right(k, k, sb);
+      out.slot(k, k + 1) = promoted_store(moved);
+      sched::recycle(std::move(moved));
+      sched::recycle(std::move(sb));
+      break;
+    }
+    case Pattern::Columns: {
+      const index_t l0 = seed / b;
+      const index_t k0 = seed % b;
+      const index_t col = idx[l0];
+      const index_t row = idx[k0];
+      dense::MatrixF sb = seed_block_f(gtilde_f, n, k0, l0);
+      dense::MatrixF cur = sched::acquire_copy_f(sb);
+      index_t k = row;
+      for (index_t s = 0; s < up_steps; ++s) {
+        dense::MatrixF next = ops.up(k, col, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        k = ops.matrix().wrap(k - 1);
+        out.slot(k, col) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      k = row;
+      out.slot(k, col) = promoted_store(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        dense::MatrixF next = ops.down(k, col, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        k = ops.matrix().wrap(k + 1);
+        out.slot(k, col) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+    case Pattern::AllDiagonals: {
+      const index_t k0 = seed;
+      const index_t row = idx[k0];
+      dense::MatrixF sb = seed_block_f(gtilde_f, n, k0, k0);
+      dense::MatrixF cur = sched::acquire_copy_f(sb);
+      index_t k = row;
+      for (index_t s = 0; s < up_steps; ++s) {
+        dense::MatrixF mid = ops.up(k, k, cur);
+        sched::recycle(std::move(cur));
+        cur = ops.left(ops.matrix().wrap(k - 1), k, mid);
+        sched::recycle(std::move(mid));
+        k = ops.matrix().wrap(k - 1);
+        out.slot(k, k) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      k = row;
+      out.slot(k, k) = promoted_store(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        dense::MatrixF mid = ops.down(k, k, cur);
+        sched::recycle(std::move(cur));
+        cur = ops.right(ops.matrix().wrap(k + 1), k, mid);
+        sched::recycle(std::move(mid));
+        k = ops.matrix().wrap(k + 1);
+        out.slot(k, k) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+    case Pattern::Rows: {
+      const index_t k0 = seed / b;
+      const index_t l0 = seed % b;
+      const index_t row = idx[k0];
+      const index_t col = idx[l0];
+      dense::MatrixF sb = seed_block_f(gtilde_f, n, k0, l0);
+      dense::MatrixF cur = sched::acquire_copy_f(sb);
+      index_t cl = col;
+      for (index_t s = 0; s < up_steps; ++s) {
+        dense::MatrixF next = ops.left(row, cl, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        cl = ops.matrix().wrap(cl - 1);
+        out.slot(row, cl) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      cur = std::move(sb);
+      cl = col;
+      out.slot(row, cl) = promoted_store(cur);
+      for (index_t s = 0; s < down_steps; ++s) {
+        dense::MatrixF next = ops.right(row, cl, cur);
+        sched::recycle(std::move(cur));
+        cur = std::move(next);
+        cl = ops.matrix().wrap(cl + 1);
+        out.slot(row, cl) = promoted_store(cur);
+      }
+      sched::recycle(std::move(cur));
+      break;
+    }
+  }
+}
+
 SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde,
                        Pattern pattern, const Selection& sel, bool parallel) {
   const index_t n = ops.block_size();
@@ -316,6 +547,29 @@ SelectedInversion wrap(const pcyclic::BlockOps& ops, const dense::Matrix& gtilde
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (index_t s = 0; s < seeds; ++s)
     wrap_seed(ops, gtilde, pattern, sel, out, s);
+  return out;
+}
+
+SelectedInversion wrap_f(const pcyclic::BlockOpsF& ops,
+                         const dense::MatrixF& gtilde_f, Pattern pattern,
+                         const Selection& sel, bool parallel) {
+  const index_t n = ops.block_size();
+  const index_t l = ops.num_blocks();
+  const index_t b = sel.b();
+  FSI_CHECK(gtilde_f.rows() == b * n && gtilde_f.cols() == b * n,
+            "wrap_f: reduced inverse has wrong dimensions");
+  FSI_CHECK(sel.l_total == l, "wrap_f: selection does not match the matrix");
+
+  SelectedInversion out(pattern, n, sel);
+  const index_t seeds = num_wrap_seeds(pattern, b);
+  if (pattern == Pattern::Diagonal) {
+    for (index_t s = 0; s < seeds; ++s)
+      wrap_seed_f(ops, gtilde_f, pattern, sel, out, s);
+    return out;
+  }
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (index_t s = 0; s < seeds; ++s)
+    wrap_seed_f(ops, gtilde_f, pattern, sel, out, s);
   return out;
 }
 
@@ -442,6 +696,100 @@ std::vector<SelectedInversion> fsi_graph_run(const PCyclicMatrix& m,
   return std::move(task.results);
 }
 
+/// One mixed-precision attempt: fp32 CLS (promoted per product), fp64
+/// BSOFI, fp32 WRP (promoted stores), then the health gate.  True when the
+/// gate accepted; false (results discarded by the caller) when the run must
+/// be redone in fp64.  Stage accounting goes into \p stats exactly like the
+/// fp64 loop path's.
+bool fsi_mixed_attempt(const PCyclicMatrix& m,
+                       const std::vector<Pattern>& patterns,
+                       const Selection& sel, bool coarse_parallel,
+                       std::vector<SelectedInversion>& results,
+                       FsiStats& stats) {
+  obs::metrics::add(obs::metrics::Counter::MixedRuns, 1);
+  const MixedGate gate = mixed_gate();
+
+  PCyclicMatrix reduced = [&] {  // Stage 1: CLS in fp32.
+    StageMeter meter("fsi.cls", stats.seconds_cls, stats.flops_cls);
+    return cluster_mixed(m, sel.c, sel.q, coarse_parallel);
+  }();
+  dense::Matrix gtilde = [&] {  // Stage 2: BSOFI, always fp64.
+    StageMeter meter("fsi.bsofi", stats.seconds_bsofi, stats.flops_bsofi);
+    return bsofi::invert(reduced);
+  }();
+  // cond1 gate before any wrapping work: when the reduced matrix already
+  // eats most of fp32's ~7 digits, the walks cannot recover.  (The value
+  // also streams into Hist::Cond1Reduced via bsofi::invert.)
+  const double cond1 = reduced_cond1(reduced, gtilde);
+  reduced.release_blocks();
+  if (!dense::all_finite(gtilde.view()) || !(cond1 <= gate.cond_max)) {
+    sched::recycle(std::move(gtilde));
+    return false;
+  }
+
+  {  // Stage 3: WRP in fp32 (BlockOpsF demote+factor is wrap work, like
+     // the fp64 convenience overload attributes BlockOps).
+    StageMeter meter("fsi.wrap", stats.seconds_wrap, stats.flops_wrap);
+    const pcyclic::BlockOpsF opsf(m);
+    dense::MatrixF gtilde_f = sched::acquire_f(gtilde.rows(), gtilde.cols());
+    dense::demote(gtilde, gtilde_f.view());
+    results.reserve(patterns.size());
+    for (Pattern p : patterns)
+      results.push_back(wrap_f(opsf, gtilde_f, p, sel, coarse_parallel));
+    sched::recycle(std::move(gtilde_f));
+  }
+  sched::recycle(std::move(gtilde));
+
+  // Residual gate: probe every checkable pattern (unconditionally — mixed
+  // runs always pay the ~4 N^3 probe; it is what licenses the fp32 result).
+  util::WallTimer health_timer;
+  bool ok = true;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const double r = probe_residual(m, results[i], patterns[i], sel);
+    if (r < 0.0) continue;  // pattern stores no adjacent blocks
+    obs::health::record_residual(r);
+    if (!(r <= gate.resid_max)) ok = false;  // catches NaN too
+  }
+  obs::metrics::add_seconds(obs::metrics::Accum::HealthCheck,
+                            health_timer.seconds());
+  return ok;
+}
+
+/// Mixed driver shared by fsi() and fsi_multi(): try fp32, fall back to
+/// fp64 (counted + WARN-logged) when the gate trips or the fp32 factorise
+/// dies on a singular block.  True = \p results holds the accepted mixed
+/// run; false = caller must run the fp64 path (with \p stats freshly
+/// zeroed here, mixed_fallback flagged).
+bool fsi_mixed_try(const PCyclicMatrix& m, const std::vector<Pattern>& patterns,
+                   const Selection& sel, const FsiOptions& opts,
+                   std::vector<SelectedInversion>& results, FsiStats& stats) {
+  const char* reason = "health_gate";
+  bool ok = false;
+  try {
+    ok = fsi_mixed_attempt(m, patterns, sel, opts.coarse_parallel, results,
+                           stats);
+  } catch (const util::CheckError& e) {
+    // e.g. a block singular at fp32 that is fine at fp64.
+    reason = e.what();
+    ok = false;
+  }
+  if (ok) {
+    stats.precision_used = Precision::Mixed;
+    return true;
+  }
+  obs::metrics::add(obs::metrics::Counter::MixedFallbacks, 1);
+  FSI_LOG_WARN("fsi.mixed_fallback", {"reason", reason},
+               {"resid_max", mixed_gate().resid_max},
+               {"cond_max", mixed_gate().cond_max});
+  results.clear();
+  const index_t q = stats.q;
+  stats = FsiStats{};
+  stats.q = q;
+  stats.mixed_fallback = true;
+  stats.precision_used = Precision::Fp64;
+  return false;
+}
+
 }  // namespace
 
 SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
@@ -455,9 +803,21 @@ SelectedInversion fsi(const PCyclicMatrix& m, const pcyclic::BlockOps& ops,
   FsiStats local;
   local.q = q;
 
+  if (opts.precision == Precision::Mixed) {
+    std::vector<SelectedInversion> results;
+    if (fsi_mixed_try(m, {opts.pattern}, sel, opts, results, local)) {
+      if (stats != nullptr) *stats = local;
+      return std::move(results.front());
+    }
+    // Gate tripped: fall through to the fp64 path below (loop or graph),
+    // with local freshly zeroed and mixed_fallback flagged.
+  }
+
   if (use_graph(opts)) {
+    const bool fell_back = local.mixed_fallback;
     std::vector<SelectedInversion> results =
         fsi_graph_run(m, ops, {opts.pattern}, sel, local);
+    local.mixed_fallback = fell_back;
     if (stats != nullptr) *stats = local;
     return std::move(results.front());
   }
@@ -522,6 +882,14 @@ std::vector<SelectedInversion> fsi_multi(const PCyclicMatrix& m,
 
   FsiStats local;
   local.q = q;
+
+  if (opts.precision == Precision::Mixed) {
+    std::vector<SelectedInversion> out;
+    if (fsi_mixed_try(m, patterns, sel, opts, out, local)) {
+      if (stats != nullptr) *stats = local;
+      return out;
+    }
+  }
 
   if (use_graph(opts)) {
     std::vector<SelectedInversion> out = fsi_graph_run(m, ops, patterns, sel, local);

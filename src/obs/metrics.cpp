@@ -92,6 +92,8 @@ const char* name(Counter c) noexcept {
     case Counter::ServeQuotaRejected: return "serve_quota_rejected";
     case Counter::ServeBypassEnter: return "serve_bypass_enter";
     case Counter::ServeBypassExit: return "serve_bypass_exit";
+    case Counter::MixedRuns: return "mixed_runs";
+    case Counter::MixedFallbacks: return "mixed_fallbacks";
     case Counter::kCount: break;
   }
   return "?";

@@ -1,0 +1,61 @@
+#include "fsi/precision.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "fsi/obs/log.hpp"
+
+namespace fsi {
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::Fp64: return "fp64";
+    case Precision::Mixed: return "mixed";
+  }
+  return "unknown";
+}
+
+bool parse_precision(const std::string& text, Precision& out) noexcept {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  if (t == "fp64" || t == "double" || t == "64") {
+    out = Precision::Fp64;
+    return true;
+  }
+  if (t == "mixed" || t == "fp32" || t == "32") {
+    out = Precision::Mixed;
+    return true;
+  }
+  return false;
+}
+
+bool precision_from_u32(std::uint32_t v, Precision& out) noexcept {
+  switch (v) {
+    case static_cast<std::uint32_t>(Precision::Fp64):
+      out = Precision::Fp64;
+      return true;
+    case static_cast<std::uint32_t>(Precision::Mixed):
+      out = Precision::Mixed;
+      return true;
+  }
+  return false;
+}
+
+Precision precision_from_env() noexcept {
+  static const Precision cached = [] {
+    const char* v = std::getenv("FSI_PRECISION");
+    if (v == nullptr || *v == '\0') return Precision::Fp64;
+    Precision p = Precision::Fp64;
+    if (!parse_precision(v, p)) {
+      FSI_LOG_WARN("precision.bad_env", {"value", v},
+                   {"fallback", precision_name(Precision::Fp64)});
+      return Precision::Fp64;
+    }
+    return p;
+  }();
+  return cached;
+}
+
+}  // namespace fsi

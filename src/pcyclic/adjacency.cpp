@@ -18,6 +18,12 @@ Matrix minus_identity(ConstMatrixView g) {
   return out;
 }
 
+dense::MatrixF minus_identity(dense::ConstMatrixViewF g) {
+  dense::MatrixF out = sched::acquire_copy_f(g);
+  for (index_t d = 0; d < out.rows(); ++d) out(d, d) -= 1.0f;
+  return out;
+}
+
 }  // namespace
 
 BlockOps::BlockOps(const PCyclicMatrix& m) : m_(m) {
@@ -100,6 +106,83 @@ Matrix BlockOps::right(index_t k, index_t l, ConstMatrixView g) const {
   const index_t ln = m_.wrap(l + 1);
   Matrix rhs = (k == l) ? minus_identity(g) : sched::acquire_copy(g);
   if (l == num_blocks() - 1) dense::scal(-1.0, rhs);
+  lu(ln).solve_right(rhs);
+  return rhs;
+}
+
+// ---------------------------------------------------------------------------
+// BlockOpsF — the same moves and boundary-case tables on fp32 operands.
+// Kept in lockstep with BlockOps above; test_fsi_mixed checks every move
+// against its fp64 twin within fp32 tolerance.
+// ---------------------------------------------------------------------------
+
+BlockOpsF::BlockOpsF(const PCyclicMatrix& m) : m_(m) {
+  const index_t l = m.num_blocks();
+  bf_.resize(static_cast<std::size_t>(l));
+  lu_.resize(static_cast<std::size_t>(l));
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic)
+  for (index_t i = 0; i < l; ++i) {
+    try {
+      dense::MatrixF bf = dense::demoted(m.b(i));
+      lu_[static_cast<std::size_t>(i)] =
+          std::make_unique<dense::LuFactorizationF>(dense::MatrixF::copy_of(bf));
+      bf_[static_cast<std::size_t>(i)] = std::move(bf);
+    } catch (...) {
+#pragma omp critical
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+dense::ConstMatrixViewF BlockOpsF::b(index_t i) const {
+  FSI_CHECK(i >= 0 && i < num_blocks(), "BlockOpsF: block index out of range");
+  return bf_[static_cast<std::size_t>(i)];
+}
+
+const dense::LuFactorizationF& BlockOpsF::lu(index_t i) const {
+  FSI_CHECK(i >= 0 && i < num_blocks(), "BlockOpsF: block index out of range");
+  return *lu_[static_cast<std::size_t>(i)];
+}
+
+dense::MatrixF BlockOpsF::up(index_t k, index_t l,
+                             dense::ConstMatrixViewF g) const {
+  dense::MatrixF rhs = (k == l) ? minus_identity(g) : sched::acquire_copy_f(g);
+  if (k == 0) dense::scal(-1.0f, rhs);
+  lu(k).solve(rhs);
+  return rhs;
+}
+
+dense::MatrixF BlockOpsF::down(index_t k, index_t l,
+                               dense::ConstMatrixViewF g) const {
+  const index_t lmax = num_blocks() - 1;
+  const index_t kn = m_.wrap(k + 1);
+  dense::MatrixF out = sched::acquire_f(block_size(), block_size());
+  const float sign = (k == lmax) ? -1.0f : 1.0f;
+  dense::gemm(dense::Trans::No, dense::Trans::No, sign, b(kn), g, 0.0f, out);
+  if (kn == l) {
+    for (index_t d = 0; d < block_size(); ++d) out(d, d) += 1.0f;
+  }
+  return out;
+}
+
+dense::MatrixF BlockOpsF::left(index_t k, index_t l,
+                               dense::ConstMatrixViewF g) const {
+  dense::MatrixF out = sched::acquire_f(block_size(), block_size());
+  const float sign = (l == 0) ? -1.0f : 1.0f;
+  dense::gemm(dense::Trans::No, dense::Trans::No, sign, g, b(l), 0.0f, out);
+  if (m_.wrap(l - 1) == k) {
+    for (index_t d = 0; d < block_size(); ++d) out(d, d) += 1.0f;
+  }
+  return out;
+}
+
+dense::MatrixF BlockOpsF::right(index_t k, index_t l,
+                                dense::ConstMatrixViewF g) const {
+  const index_t ln = m_.wrap(l + 1);
+  dense::MatrixF rhs = (k == l) ? minus_identity(g) : sched::acquire_copy_f(g);
+  if (l == num_blocks() - 1) dense::scal(-1.0f, rhs);
   lu(ln).solve_right(rhs);
   return rhs;
 }

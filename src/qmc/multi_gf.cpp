@@ -3,12 +3,17 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <memory>
 
+#include "fsi/dense/norms.hpp"
 #include "fsi/mpi/minimpi.hpp"
 #include "fsi/obs/env.hpp"
+#include "fsi/obs/health.hpp"
+#include "fsi/obs/log.hpp"
+#include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/qmc/dqmc.hpp"
 #include "fsi/sched/executor.hpp"
@@ -113,12 +118,20 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
     for (index_t t = lo; t < hi; ++t) owner[static_cast<std::size_t>(t)] = w;
   }
 
+  const bool mixed = options.precision == Precision::Mixed;
+  // Mixed-task telemetry, accumulated by the gate nodes.
+  std::atomic<std::uint32_t> mixed_tasks{0};
+  std::atomic<std::uint32_t> mixed_fallbacks{0};
+
   /// Per-spin node storage; bodies of different nodes write disjoint fields.
   struct SpinWork {
     std::unique_ptr<pcyclic::PCyclicMatrix> mat;  ///< set by the Build node
     std::unique_ptr<pcyclic::BlockOps> ops;       ///< set by the Build node
+    std::unique_ptr<pcyclic::BlockOpsF> ops_f;    ///< Build node, mixed only
     std::vector<dense::Matrix> cls_blocks;        ///< one per Cls node
     dense::Matrix gtilde;                         ///< set by the Bsofi node
+    dense::MatrixF gtilde_f;                      ///< Bsofi node, mixed only
+    double cond1 = 0.0;                           ///< Bsofi node, mixed only
     pcyclic::SelectedInversion diag, rows, cols;  ///< filled by Wrap nodes
     SpinWork(index_t nn, const pcyclic::Selection& sel)
         : diag(pcyclic::Pattern::AllDiagonals, nn, sel),
@@ -154,11 +167,16 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
     for (SpinWork* sw : {&tw->up, &tw->dn}) {
       const Spin spin = (sw == &tw->up) ? Spin::Up : Spin::Down;
       const sched::NodeId build = graph.add_node(
-          [&model, &task, sw, spin](int) {
+          [&model, &task, sw, spin, mixed](int) {
             FSI_OBS_SPAN("qmc.build_m");
             sw->mat = std::make_unique<pcyclic::PCyclicMatrix>(
                 model.build_m(task.field, spin));
-            sw->ops = std::make_unique<pcyclic::BlockOps>(*sw->mat);
+            // Mixed tasks factor fp32; the fp64 BlockOps is built lazily by
+            // the gate node only when the task falls back.
+            if (mixed)
+              sw->ops_f = std::make_unique<pcyclic::BlockOpsF>(*sw->mat);
+            else
+              sw->ops = std::make_unique<pcyclic::BlockOps>(*sw->mat);
           },
           sched::Stage::Build, hint);
 
@@ -167,21 +185,36 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
       cls_nodes.reserve(static_cast<std::size_t>(b));
       for (index_t i = 0; i < b; ++i) {
         const sched::NodeId id = graph.add_node(
-            [sw, c, q, i](int) {
+            [sw, c, q, i, mixed](int) {
               FSI_OBS_SPAN("fsi.cls");
-              sw->cls_blocks[static_cast<std::size_t>(i)] =
-                  selinv::cluster_product(*sw->mat, c, q, i);
+              dense::Matrix& slot = sw->cls_blocks[static_cast<std::size_t>(i)];
+              if (mixed) {
+                dense::MatrixF prod =
+                    selinv::cluster_product_f(*sw->mat, c, q, i);
+                slot = sched::acquire(prod.rows(), prod.cols());
+                dense::promote(prod, slot.view());
+                sched::recycle(std::move(prod));
+              } else {
+                slot = selinv::cluster_product(*sw->mat, c, q, i);
+              }
             },
             sched::Stage::Cls, hint);
         graph.add_edge(build, id);
         cls_nodes.push_back(id);
       }
       const sched::NodeId bsofi_node = graph.add_node(
-          [sw](int) {
+          [sw, mixed](int) {
             FSI_OBS_SPAN("fsi.bsofi");
             pcyclic::PCyclicMatrix reduced(std::move(sw->cls_blocks));
             sw->gtilde = bsofi::invert(reduced);
+            if (mixed)
+              sw->cond1 = selinv::reduced_cond1(reduced, sw->gtilde);
             reduced.release_blocks();
+            if (mixed) {
+              sw->gtilde_f =
+                  sched::acquire_f(sw->gtilde.rows(), sw->gtilde.cols());
+              dense::demote(sw->gtilde, sw->gtilde_f.view());
+            }
           },
           sched::Stage::Bsofi, hint);
       for (sched::NodeId id : cls_nodes) graph.add_edge(id, bsofi_node);
@@ -191,9 +224,14 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
         const index_t seeds = selinv::num_wrap_seeds(pat, b);
         for (index_t s = 0; s < seeds; ++s) {
           const sched::NodeId id = graph.add_node(
-              [sw, tw, pat, out, s](int) {
+              [sw, tw, pat, out, s, mixed](int) {
                 FSI_OBS_SPAN("fsi.wrap");
-                selinv::wrap_seed(*sw->ops, sw->gtilde, pat, tw->sel, *out, s);
+                if (mixed)
+                  selinv::wrap_seed_f(*sw->ops_f, sw->gtilde_f, pat, tw->sel,
+                                      *out, s);
+                else
+                  selinv::wrap_seed(*sw->ops, sw->gtilde, pat, tw->sel, *out,
+                                    s);
               },
               sched::Stage::Wrap, hint);
           graph.add_edge(bsofi_node, id);
@@ -205,6 +243,72 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
         emit_wrap(pcyclic::Pattern::Rows, &sw->rows);
         emit_wrap(pcyclic::Pattern::Columns, &sw->cols);
       }
+    }
+
+    // Mixed tasks get a gate node between the wrap fences and the
+    // measurement: check cond1, finiteness and (heavy tasks) the probed
+    // residual of both spins against selinv::mixed_gate(); on a trip,
+    // recompute the whole task serially in fp64 in-node, so the measurement
+    // downstream always consumes gated data.
+    sched::NodeId gate_node = 0;
+    if (mixed) {
+      gate_node = graph.add_node(
+          [tw, t, c, q, &mixed_tasks, &mixed_fallbacks](int) {
+            FSI_OBS_SPAN("fsi.mixed_gate");
+            mixed_tasks.fetch_add(1, std::memory_order_relaxed);
+            obs::metrics::add(obs::metrics::Counter::MixedRuns, 1);
+            const selinv::MixedGate gate = selinv::mixed_gate();
+            const char* reason = nullptr;
+            for (SpinWork* s : {&tw->up, &tw->dn}) {
+              if (!(s->cond1 <= gate.cond_max)) reason = "cond1";
+              else if (!dense::all_finite(s->gtilde.view()))
+                reason = "nonfinite";
+              else if (tw->heavy) {
+                for (const pcyclic::SelectedInversion* out :
+                     {&s->rows, &s->cols}) {
+                  const double r = selinv::probe_residual(
+                      *s->mat, *out, out->pattern(), tw->sel);
+                  if (r >= 0.0) obs::health::record_residual(r);
+                  if (!(r <= gate.resid_max)) reason = "residual";
+                }
+              }
+              if (reason != nullptr) break;
+            }
+            // fp32 context is spent either way.
+            for (SpinWork* s : {&tw->up, &tw->dn}) {
+              sched::recycle(std::move(s->gtilde_f));
+              s->ops_f.reset();
+            }
+            if (reason == nullptr) return;
+            mixed_fallbacks.fetch_add(1, std::memory_order_relaxed);
+            obs::metrics::add(obs::metrics::Counter::MixedFallbacks, 1);
+            FSI_LOG_WARN("qmc.mixed_fallback", {"task", t}, {"reason", reason},
+                         {"resid_max", gate.resid_max},
+                         {"cond_max", gate.cond_max});
+            for (SpinWork* s : {&tw->up, &tw->dn}) {
+              s->ops = std::make_unique<pcyclic::BlockOps>(*s->mat);
+              pcyclic::PCyclicMatrix reduced =
+                  selinv::cluster(*s->mat, c, q, false);
+              sched::recycle(std::move(s->gtilde));
+              s->gtilde = bsofi::invert(reduced);
+              reduced.release_blocks();
+              s->diag.release_blocks();
+              s->diag = selinv::wrap(*s->ops, s->gtilde,
+                                     pcyclic::Pattern::AllDiagonals, tw->sel,
+                                     false);
+              if (tw->heavy) {
+                s->rows.release_blocks();
+                s->rows = selinv::wrap(*s->ops, s->gtilde,
+                                       pcyclic::Pattern::Rows, tw->sel, false);
+                s->cols.release_blocks();
+                s->cols = selinv::wrap(*s->ops, s->gtilde,
+                                       pcyclic::Pattern::Columns, tw->sel,
+                                       false);
+              }
+            }
+          },
+          sched::Stage::Measure, hint);
+      for (sched::NodeId id : fences) graph.add_edge(id, gate_node);
     }
 
     // The per-task Measure node: serial accumulation into this task's
@@ -231,7 +335,10 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
           }
         },
         sched::Stage::Measure, hint);
-    for (sched::NodeId id : fences) graph.add_edge(id, measure);
+    if (mixed)
+      graph.add_edge(gate_node, measure);
+    else
+      for (sched::NodeId id : fences) graph.add_edge(id, measure);
   }
 
   sched::ExecOptions exec_opts = sched::ExecOptions::from_env();
@@ -257,6 +364,9 @@ std::vector<Measurements> run_fsi_batch(const HubbardModel& model,
     sched_out->stage_wrap_seconds = gs.of(sched::Stage::Wrap).busy_seconds;
     sched_out->stage_measure_seconds =
         gs.of(sched::Stage::Measure).busy_seconds;
+    sched_out->mixed_tasks = mixed_tasks.load(std::memory_order_relaxed);
+    sched_out->mixed_fallbacks =
+        mixed_fallbacks.load(std::memory_order_relaxed);
   }
   return results;
 }

@@ -23,25 +23,49 @@ WorkspacePool& WorkspacePool::global() {
   return *pool;
 }
 
-dense::Matrix WorkspacePool::acquire(index_t rows, index_t cols) {
+template <typename T>
+dense::BasicMatrix<T> WorkspacePool::acquire_impl(Shard<T> (&shards)[kShards],
+                                                  index_t rows, index_t cols) {
   const std::size_t count =
       static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
   if (enabled_ && count > 0) {
-    Shard& s = shard_for(count);
+    Shard<T>& s = shard_for(shards, count);
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.free.find(count);
     if (it != s.free.end() && !it->second.empty()) {
-      std::vector<double> buf = std::move(it->second.back());
+      std::vector<T> buf = std::move(it->second.back());
       it->second.pop_back();
-      s.bytes -= count * sizeof(double);
+      s.bytes -= count * sizeof(T);
       hits_.fetch_add(1, std::memory_order_relaxed);
       obs::metrics::add(obs::metrics::Counter::PoolHits, 1);
-      return dense::Matrix(rows, cols, std::move(buf));
+      return dense::BasicMatrix<T>(rows, cols, std::move(buf));
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   obs::metrics::add(obs::metrics::Counter::PoolMisses, 1);
-  return dense::Matrix(rows, cols);
+  return dense::BasicMatrix<T>(rows, cols);
+}
+
+template <typename T>
+void WorkspacePool::recycle_impl(Shard<T> (&shards)[kShards],
+                                 dense::BasicMatrix<T>&& m) {
+  if (m.empty()) return;
+  std::vector<T> buf = m.release_storage();
+  if (!enabled_) return;  // buf frees here
+  const std::size_t count = buf.size();
+  Shard<T>& s = shard_for(shards, count);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.bytes + count * sizeof(T) > max_bytes_ / kShards) return;
+  s.bytes += count * sizeof(T);
+  s.free[count].push_back(std::move(buf));
+}
+
+dense::Matrix WorkspacePool::acquire(index_t rows, index_t cols) {
+  return acquire_impl(shards_, rows, cols);
+}
+
+dense::MatrixF WorkspacePool::acquire_f(index_t rows, index_t cols) {
+  return acquire_impl(shards_f_, rows, cols);
 }
 
 dense::Matrix WorkspacePool::acquire_copy(dense::ConstMatrixView src) {
@@ -50,16 +74,18 @@ dense::Matrix WorkspacePool::acquire_copy(dense::ConstMatrixView src) {
   return out;
 }
 
+dense::MatrixF WorkspacePool::acquire_copy_f(dense::ConstMatrixViewF src) {
+  dense::MatrixF out = acquire_f(src.rows(), src.cols());
+  dense::copy(src, out.view());
+  return out;
+}
+
 void WorkspacePool::recycle(dense::Matrix&& m) {
-  if (m.empty()) return;
-  std::vector<double> buf = m.release_storage();
-  if (!enabled_) return;  // buf frees here
-  const std::size_t count = buf.size();
-  Shard& s = shard_for(count);
-  std::lock_guard<std::mutex> lock(s.mu);
-  if (s.bytes + count * sizeof(double) > max_bytes_ / kShards) return;
-  s.bytes += count * sizeof(double);
-  s.free[count].push_back(std::move(buf));
+  recycle_impl(shards_, std::move(m));
+}
+
+void WorkspacePool::recycle(dense::MatrixF&& m) {
+  recycle_impl(shards_f_, std::move(m));
 }
 
 double WorkspacePool::hit_rate() const {
@@ -70,8 +96,12 @@ double WorkspacePool::hit_rate() const {
 
 std::size_t WorkspacePool::cached_bytes() const {
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<Shard&>(s).mu);
+  for (const Shard<double>& s : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard<double>&>(s).mu);
+    total += s.bytes;
+  }
+  for (const Shard<float>& s : shards_f_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard<float>&>(s).mu);
     total += s.bytes;
   }
   return total;
@@ -79,15 +109,24 @@ std::size_t WorkspacePool::cached_bytes() const {
 
 std::size_t WorkspacePool::cached_buffers() const {
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<Shard&>(s).mu);
+  for (const Shard<double>& s : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard<double>&>(s).mu);
+    for (const auto& [count, list] : s.free) total += list.size();
+  }
+  for (const Shard<float>& s : shards_f_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard<float>&>(s).mu);
     for (const auto& [count, list] : s.free) total += list.size();
   }
   return total;
 }
 
 void WorkspacePool::clear() {
-  for (Shard& s : shards_) {
+  for (Shard<double>& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.free.clear();
+    s.bytes = 0;
+  }
+  for (Shard<float>& s : shards_f_) {
     std::lock_guard<std::mutex> lock(s.mu);
     s.free.clear();
     s.bytes = 0;

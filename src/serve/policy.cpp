@@ -155,6 +155,14 @@ KeyPolicy AdaptivePolicy::active_state() const {
   return active_;
 }
 
+std::vector<std::pair<BatchKey, KeyPolicy>> AdaptivePolicy::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<BatchKey, KeyPolicy>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.key, e.state);
+  return out;
+}
+
 std::size_t AdaptivePolicy::keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

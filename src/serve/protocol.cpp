@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "fsi/io/wire.hpp"
+#include "fsi/precision.hpp"
 #include "fsi/qmc/dqmc.hpp"
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/util/rng.hpp"
@@ -81,6 +82,7 @@ std::vector<std::uint8_t> encode_request(const InvertRequest& r,
     w.put_u64(r.trace_id);
     w.put_i64(r.client_send_ns);
   }
+  if (version >= 3) w.put_u32(r.precision);
   return w.take();
 }
 
@@ -105,6 +107,10 @@ std::vector<std::uint8_t> encode_response(const InvertResponse& r,
     w.put_u64(r.batch_wait_ns);
     w.put_u64(r.exec_ns);
     w.put_f64(r.batch_occupancy);
+  }
+  if (version >= 3) {
+    w.put_u32(r.precision_used);
+    w.put_u8(r.mixed_fallback ? 1 : 0);
   }
   return w.take();
 }
@@ -161,6 +167,19 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& r) {
     w.put_u64(r.bypass_enters);
     w.put_u64(r.bypass_exits);
   }
+  // Stats v4: mixed-precision totals + the per-key policy table.
+  if (r.stats_version >= 4) {
+    w.put_u64(r.mixed_runs);
+    w.put_u64(r.mixed_fallbacks);
+    w.put_u32(static_cast<std::uint32_t>(r.policy_rows.size()));
+    for (const PolicyKeyRow& row : r.policy_rows) {
+      w.put_u64(row.key_hash);
+      w.put_i64(row.window_us);
+      w.put_u64(row.max_batch);
+      w.put_u8(row.bypass ? 1 : 0);
+      w.put_f64(row.speedup);
+    }
+  }
   return w.take();
 }
 
@@ -194,6 +213,7 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
       q.trace_id = r.get_u64();
       q.client_send_ns = r.get_i64();
     }
+    if (schema >= 3) q.precision = r.get_u32();
   } else if (type == static_cast<std::uint32_t>(MsgType::InvertResponse)) {
     d.type = MsgType::InvertResponse;
     InvertResponse& p = d.response;
@@ -216,6 +236,10 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
       p.batch_wait_ns = r.get_u64();
       p.exec_ns = r.get_u64();
       p.batch_occupancy = r.get_f64();
+    }
+    if (schema >= 3) {
+      p.precision_used = r.get_u32();
+      p.mixed_fallback = r.get_u8() != 0;
     }
   } else if (type == static_cast<std::uint32_t>(MsgType::StatsRequest) &&
              schema >= 2) {
@@ -265,6 +289,23 @@ Decoded decode_payload(const std::uint8_t* data, std::size_t size) {
       s.policy_speedup = r.get_f64();
       s.bypass_enters = r.get_u64();
       s.bypass_exits = r.get_u64();
+    }
+    if (s.stats_version >= 4) {
+      s.mixed_runs = r.get_u64();
+      s.mixed_fallbacks = r.get_u64();
+      const std::uint32_t rows = r.get_u32();
+      // The policy table is LRU-bounded server-side (AdaptiveConfig
+      // max_keys, default 64); an implausible count is a hostile frame.
+      FSI_CHECK(rows <= 4096, "serve: implausible policy-row count " +
+                                  std::to_string(rows));
+      s.policy_rows.resize(rows);
+      for (PolicyKeyRow& row : s.policy_rows) {
+        row.key_hash = r.get_u64();
+        row.window_us = r.get_i64();
+        row.max_batch = r.get_u64();
+        row.bypass = r.get_u8() != 0;
+        row.speedup = r.get_f64();
+      }
     }
   } else {
     FSI_CHECK(false, "serve: unknown message type " + std::to_string(type) +
@@ -334,6 +375,8 @@ std::string validate_request(const InvertRequest& r) {
   } else if (!std::isfinite(r.t) || !std::isfinite(r.u) ||
              !std::isfinite(r.beta) || !(r.beta > 0.0)) {
     why << "non-finite or non-positive physics parameters";
+  } else if (r.precision > static_cast<std::uint32_t>(Precision::Mixed)) {
+    why << "unknown precision " << r.precision << " (0 = fp64, 1 = mixed)";
   } else if (r.field.size() !=
              static_cast<std::size_t>(r.l) * r.lx * r.ly) {
     why << "field length " << r.field.size() << " != L*N = "

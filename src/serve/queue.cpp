@@ -1,6 +1,7 @@
 #include "fsi/serve/queue.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <tuple>
 
 #include "fsi/obs/metrics.hpp"
@@ -9,8 +10,32 @@
 namespace fsi::serve {
 
 bool operator<(const BatchKey& a, const BatchKey& b) {
-  return std::tie(a.lx, a.ly, a.l, a.c, a.t, a.u, a.beta) <
-         std::tie(b.lx, b.ly, b.l, b.c, b.t, b.u, b.beta);
+  return std::tie(a.lx, a.ly, a.l, a.c, a.t, a.u, a.beta, a.precision) <
+         std::tie(b.lx, b.ly, b.l, b.c, b.t, b.u, b.beta, b.precision);
+}
+
+std::uint64_t hash(const BatchKey& key) {
+  // Boost-style 64-bit combine over the fields; doubles go in by bit
+  // pattern, so equal keys hash equal and -0.0 vs 0.0 never coalesce
+  // anyway (operator== distinguishes them too: a key is an exact shape).
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  };
+  const auto bits = [](double d) {
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof u);
+    return u;
+  };
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, key.lx);
+  h = mix(h, key.ly);
+  h = mix(h, key.l);
+  h = mix(h, static_cast<std::uint64_t>(key.c));
+  h = mix(h, bits(key.t));
+  h = mix(h, bits(key.u));
+  h = mix(h, bits(key.beta));
+  h = mix(h, key.precision);
+  return h;
 }
 
 AdmissionQueue::AdmissionQueue(std::size_t max_depth,

@@ -485,6 +485,12 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
 
   qmc::FsiBatchOptions batch_opts = opts.batch;
   batch_opts.cluster_size = key.c;
+  // The batch runs at the requested precision (part of the BatchKey, so a
+  // batch is homogeneous).  An out-of-range value cannot reach here —
+  // validate_request rejected it — so the fallback to Fp64 is defensive.
+  Precision prec = Precision::Fp64;
+  (void)precision_from_u32(key.precision, prec);
+  batch_opts.precision = prec;
 
   // Tag the engine's per-node executor spans (recorded on pool threads)
   // with this batch's trace: exactly one batch runs at a time (single
@@ -500,12 +506,15 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
 
   std::vector<qmc::Measurements> results;
   std::string engine_error;
+  qmc::SchedSummary engine_sched;  // mixed-task telemetry of the run
   obs::set_active_trace(batch_trace);
   const std::int64_t exec_t0 = obs::now_ns();
   try {
     obs::Span span("serve.execute");
-    results = opts.engine ? opts.engine(model, tasks, batch_opts)
-                          : qmc::run_fsi_batch(model, tasks, batch_opts);
+    results = opts.engine
+                  ? opts.engine(model, tasks, batch_opts)
+                  : qmc::run_fsi_batch(model, tasks, batch_opts,
+                                       &engine_sched);
     FSI_CHECK(results.size() == tasks.size(),
               "serve: engine returned wrong result count");
   } catch (const std::exception& e) {
@@ -567,6 +576,8 @@ void Server::Impl::run_batch(std::vector<PendingRequest>&& batch) {
     r.batch_wait_ns = static_cast<std::uint64_t>(exec_t0 - popped_ns);
     r.exec_ns = exec_ns;
     r.batch_occupancy = occupancy;
+    r.precision_used = key.precision;
+    r.mixed_fallback = engine_sched.mixed_fallbacks > 0;
     obs::metrics::record_windowed(
         obs::metrics::Hist::ServeQueueWait,
         static_cast<double>(popped_ns - p.arrival_ns) * 1e-9);
@@ -663,6 +674,22 @@ StatsResponse Server::Impl::build_stats(std::uint64_t id) {
   s.policy_speedup = active.speedup;
   s.bypass_enters = policy.bypass_enters();
   s.bypass_exits = policy.bypass_exits();
+
+  // Stats v4: mixed-precision totals (process-wide metrics counters, the
+  // same series the OpenMetrics exporter publishes) and the full per-key
+  // policy table, LRU order.
+  s.mixed_runs = obs::metrics::total(obs::metrics::Counter::MixedRuns);
+  s.mixed_fallbacks =
+      obs::metrics::total(obs::metrics::Counter::MixedFallbacks);
+  for (const auto& [key, state] : policy.snapshot()) {
+    PolicyKeyRow row;
+    row.key_hash = hash(key);
+    row.window_us = state.window_us;
+    row.max_batch = state.max_batch;
+    row.bypass = state.bypass;
+    row.speedup = state.speedup;
+    s.policy_rows.push_back(row);
+  }
   return s;
 }
 

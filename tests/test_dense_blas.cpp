@@ -262,4 +262,116 @@ TEST(Scal, ScalesEverything) {
     for (index_t i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(a(i, j), -0.25 * ref(i, j));
 }
 
+// ---- scalar-generic suites: the same kernels at both widths --------------
+// The fp64 suites above pin the numerics; these pin the float instantiation
+// of every Level-1/2/3 template the mixed-precision CLS/WRP path uses.
+
+template <typename T>
+class TypedBlas : public ::testing::Test {};
+using Scalars = ::testing::Types<double, float>;
+TYPED_TEST_SUITE(TypedBlas, Scalars);
+
+TYPED_TEST(TypedBlas, GemmMatchesNaiveAllTransposes) {
+  using T = TypeParam;
+  using fsi::testing::naive_gemm_t;
+  using fsi::testing::random_matrix_t;
+  const index_t m = 33, n = 17, k = 29;
+  for (Trans ta : {Trans::No, Trans::Yes}) {
+    for (Trans tb : {Trans::No, Trans::Yes}) {
+      util::Rng rng(42, static_cast<std::uint64_t>(ta == Trans::Yes) * 2 +
+                            static_cast<std::uint64_t>(tb == Trans::Yes));
+      BasicMatrix<T> a = (ta == Trans::No) ? random_matrix_t<T>(m, k, rng)
+                                           : random_matrix_t<T>(k, m, rng);
+      BasicMatrix<T> b = (tb == Trans::No) ? random_matrix_t<T>(k, n, rng)
+                                           : random_matrix_t<T>(n, k, rng);
+      BasicMatrix<T> c = random_matrix_t<T>(m, n, rng);
+      BasicMatrix<T> c_ref = c;
+      gemm(ta, tb, T(0.5), a, b, T(-1), c);
+      naive_gemm_t<T>(ta, tb, T(0.5), a, b, T(-1), c_ref);
+      fsi::testing::expect_close(c, c_ref, fsi::testing::Tol<T>::tight,
+                                 "typed gemm");
+    }
+  }
+}
+
+TYPED_TEST(TypedBlas, GemmParallelPathMatchesNaive) {
+  // Big enough to cross the packed parallel threshold at both widths.
+  using T = TypeParam;
+  const index_t m = 190, n = 170, k = 150;
+  util::Rng rng(43);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(m, k, rng);
+  BasicMatrix<T> b = fsi::testing::random_matrix_t<T>(k, n, rng);
+  BasicMatrix<T> c(m, n);
+  BasicMatrix<T> c_ref(m, n);
+  gemm(Trans::No, Trans::No, T(1), a, b, T(0), c);
+  fsi::testing::naive_gemm_t<T>(Trans::No, Trans::No, T(1), a, b, T(0), c_ref);
+  fsi::testing::expect_close(c, c_ref, fsi::testing::Tol<T>::tight,
+                             "typed parallel gemm");
+}
+
+TYPED_TEST(TypedBlas, TrsmTrmmRoundTrip) {
+  using T = TypeParam;
+  const index_t n = 41, m = 13;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Trans trans : {Trans::No, Trans::Yes}) {
+        util::Rng rng(44, static_cast<std::uint64_t>(side == Side::Right) * 4 +
+                              static_cast<std::uint64_t>(uplo == Uplo::Upper) *
+                                  2 +
+                              static_cast<std::uint64_t>(trans == Trans::Yes));
+        BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(n, n, rng);
+        for (index_t i = 0; i < n; ++i)
+          a(i, i) = T(2) + static_cast<T>(rng.uniform());
+        const index_t brows = (side == Side::Left) ? n : m;
+        const index_t bcols = (side == Side::Left) ? m : n;
+        BasicMatrix<T> b = fsi::testing::random_matrix_t<T>(brows, bcols, rng);
+        BasicMatrix<T> x = b;
+        trsm(side, uplo, trans, Diag::NonUnit, T(1), a, x);
+        trmm(side, uplo, trans, Diag::NonUnit, T(1), a, x);
+        fsi::testing::expect_close(x, b, fsi::testing::Tol<T>::tight,
+                                   "typed trsm/trmm");
+      }
+    }
+  }
+}
+
+TYPED_TEST(TypedBlas, GemvGerScalAgreeWithReference) {
+  using T = TypeParam;
+  const index_t m = 19, n = 11;
+  util::Rng rng(45);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(m, n, rng);
+  std::vector<T> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(m));
+  for (auto& v : x) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  for (auto& v : y) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+
+  // gemv vs explicit loops.
+  std::vector<T> y_ref = y;
+  for (index_t i = 0; i < m; ++i) {
+    T dot = T(0);
+    for (index_t j = 0; j < n; ++j)
+      dot += a(i, j) * x[static_cast<std::size_t>(j)];
+    y_ref[static_cast<std::size_t>(i)] =
+        T(2) * dot + y_ref[static_cast<std::size_t>(i)];
+  }
+  gemv(Trans::No, T(2), a, x.data(), T(1), y.data());
+  for (index_t i = 0; i < m; ++i)
+    EXPECT_NEAR(static_cast<double>(y[static_cast<std::size_t>(i)]),
+                static_cast<double>(y_ref[static_cast<std::size_t>(i)]),
+                fsi::testing::Tol<T>::tight);
+
+  // ger then scal round trip: A' = s * (A + alpha x y^T).
+  BasicMatrix<T> u = a;
+  ger(T(-1.5), y.data(), x.data(), u);
+  scal(T(-2), u);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_NEAR(static_cast<double>(u(i, j)),
+                  -2.0 * (static_cast<double>(a(i, j)) -
+                          1.5 * static_cast<double>(y[static_cast<std::size_t>(
+                                    i)]) *
+                              static_cast<double>(x[static_cast<std::size_t>(
+                                  j)])),
+                  fsi::testing::Tol<T>::tight);
+}
+
 }  // namespace

@@ -164,4 +164,53 @@ TEST(Lu, DiagonallyDominantIsStable) {
   expect_close(matmul(a, ainv), Matrix::identity(n), 1e-12, "dd inverse");
 }
 
+// ---- scalar-generic suite: the LU family at both widths ------------------
+// The fp32 instantiation backs BlockOpsF (mixed-precision WRP walks).
+
+template <typename T>
+class TypedLu : public ::testing::Test {};
+using Scalars = ::testing::Types<double, float>;
+TYPED_TEST_SUITE(TypedLu, Scalars);
+
+TYPED_TEST(TypedLu, SolvesAllThreeModes) {
+  using T = TypeParam;
+  const index_t n = 37;
+  util::Rng rng(61, static_cast<std::uint64_t>(n));
+  BasicMatrix<T> a = fsi::testing::random_dd_matrix_t<T>(n, rng);
+  BasicLuFactorization<T> lu = BasicLuFactorization<T>::of(a);
+
+  BasicMatrix<T> b = fsi::testing::random_matrix_t<T>(n, 5, rng);
+  BasicMatrix<T> x = b;
+  lu.solve(x);
+  BasicMatrix<T> ax(n, 5);
+  gemm(Trans::No, Trans::No, T(1), a, x, T(0), ax);
+  fsi::testing::expect_close(ax, b, fsi::testing::Tol<T>::tight, "typed Ax=b");
+
+  x = b;
+  lu.solve(Trans::Yes, x);
+  gemm(Trans::Yes, Trans::No, T(1), a, x, T(0), ax);
+  fsi::testing::expect_close(ax, b, fsi::testing::Tol<T>::tight,
+                             "typed A^Tx=b");
+
+  BasicMatrix<T> br = fsi::testing::random_matrix_t<T>(5, n, rng);
+  BasicMatrix<T> xr = br;
+  lu.solve_right(xr);
+  BasicMatrix<T> xa(5, n);
+  gemm(Trans::No, Trans::No, T(1), xr, a, T(0), xa);
+  fsi::testing::expect_close(xa, br, fsi::testing::Tol<T>::tight,
+                             "typed xA=b");
+}
+
+TYPED_TEST(TypedLu, InverseRoundTripsAndSingularThrows) {
+  using T = TypeParam;
+  const index_t n = 48;
+  util::Rng rng(62);
+  BasicMatrix<T> a = fsi::testing::random_dd_matrix_t<T>(n, rng);
+  BasicMatrix<T> ainv = BasicLuFactorization<T>::of(a).inverse();
+  fsi::testing::expect_close(matmul(a, ainv), BasicMatrix<T>::identity(n),
+                             fsi::testing::Tol<T>::loose, "typed A A^-1 = I");
+  EXPECT_THROW(BasicLuFactorization<T>(BasicMatrix<T>(3, 3)),
+               util::CheckError);
+}
+
 }  // namespace

@@ -142,4 +142,77 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// ---- scalar-generic suite: the invariants at both widths -----------------
+// Width-independent algebra: anything that holds for the fp64 kernels must
+// hold for their float instantiations at float tolerances.
+
+template <typename T>
+class TypedProps : public ::testing::Test {};
+using Scalars = ::testing::Types<double, float>;
+TYPED_TEST_SUITE(TypedProps, Scalars);
+
+TYPED_TEST(TypedProps, MatmulAssociativeAndIdentityNeutral) {
+  using T = TypeParam;
+  const index_t n = 31;
+  util::Rng rng(71);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(n, n, rng);
+  BasicMatrix<T> b = fsi::testing::random_matrix_t<T>(n, n, rng);
+  BasicMatrix<T> c = fsi::testing::random_matrix_t<T>(n, n, rng);
+  fsi::testing::expect_close(matmul(matmul(a, b), c), matmul(a, matmul(b, c)),
+                             fsi::testing::Tol<T>::tight, "typed (AB)C");
+  fsi::testing::expect_close(matmul(a, BasicMatrix<T>::identity(n)), a, 1e-12,
+                             "typed A I = A");
+}
+
+TYPED_TEST(TypedProps, TransposeReversesProducts) {
+  using T = TypeParam;
+  const index_t n = 23;
+  util::Rng rng(72);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(n, n, rng);
+  BasicMatrix<T> b = fsi::testing::random_matrix_t<T>(n, n, rng);
+  BasicMatrix<T> ab_t = transposed(matmul(a, b));
+  BasicMatrix<T> bt_at(n, n);
+  gemm(Trans::Yes, Trans::Yes, T(1), b, a, T(0), bt_at);
+  fsi::testing::expect_close(ab_t, bt_at, fsi::testing::Tol<T>::tight,
+                             "typed (AB)^T");
+}
+
+TYPED_TEST(TypedProps, InverseOfInverseIsOriginal) {
+  using T = TypeParam;
+  const index_t n = 29;
+  util::Rng rng(73);
+  BasicMatrix<T> a = fsi::testing::random_dd_matrix_t<T>(n, rng);
+  fsi::testing::expect_close(inverse(inverse(a)), a,
+                             fsi::testing::Tol<T>::loose, "typed (A^-1)^-1");
+}
+
+TYPED_TEST(TypedProps, NormInequalitiesHold) {
+  using T = TypeParam;
+  const index_t n = 27;
+  util::Rng rng(74);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(n, n, rng);
+  const double fro = frobenius_norm(a);
+  const double one = one_norm(a);
+  const double inf = inf_norm(a);
+  const double mx = max_abs(a);
+  EXPECT_LE(mx, fro + 1e-15);
+  EXPECT_LE(fro, std::sqrt(double(n)) * std::max(one, inf) + 1e-6);
+  EXPECT_GE(one, mx);
+  EXPECT_GE(inf, mx);
+  EXPECT_TRUE(all_finite(a));
+}
+
+TYPED_TEST(TypedProps, QPreservesFrobeniusNorm) {
+  using T = TypeParam;
+  const index_t n = 21;
+  util::Rng rng(75);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(n + 5, n, rng);
+  BasicQrFactorization<T> qr(std::move(a));
+  BasicMatrix<T> c = fsi::testing::random_matrix_t<T>(n + 5, 3, rng);
+  const double before = frobenius_norm(c);
+  qr.apply_q(Side::Left, Trans::Yes, c);
+  EXPECT_NEAR(frobenius_norm(c), before,
+              fsi::testing::Tol<T>::tight * before);
+}
+
 }  // namespace

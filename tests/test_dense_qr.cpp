@@ -46,6 +46,36 @@ TEST_P(QrShapes, QIsOrthogonal) {
   expect_close(qtq, Matrix::identity(m), 1e-11, "Q^T Q = I");
 }
 
+// ---- scalar-generic suite: the QR family at both widths ------------------
+
+template <typename T>
+class TypedQr : public ::testing::Test {};
+using Scalars = ::testing::Types<double, float>;
+TYPED_TEST_SUITE(TypedQr, Scalars);
+
+TYPED_TEST(TypedQr, ReconstructsAAndQOrthogonal) {
+  using T = TypeParam;
+  for (auto [m, n] : {std::pair<index_t, index_t>{24, 24}, {40, 24}}) {
+    util::Rng rng(51, static_cast<std::uint64_t>(m * 1000 + n));
+    BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(m, n, rng);
+    BasicQrFactorization<T> qr(BasicMatrix<T>::copy_of(a));
+
+    BasicMatrix<T> r_full(m, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= std::min(j, m - 1); ++i)
+        r_full(i, j) = qr.packed()(i, j);
+    qr.apply_q(Side::Left, Trans::No, r_full);
+    fsi::testing::expect_close(r_full, a, fsi::testing::Tol<T>::tight,
+                               "typed Q R = A");
+
+    BasicMatrix<T> q = qr.q();
+    BasicMatrix<T> qtq(m, m);
+    gemm(Trans::Yes, Trans::No, T(1), q, q, T(0), qtq);
+    fsi::testing::expect_close(qtq, BasicMatrix<T>::identity(m),
+                               fsi::testing::Tol<T>::tight, "typed Q^T Q = I");
+  }
+}
+
 TEST_P(QrShapes, QtAEqualsR) {
   const auto [m, n] = GetParam();
   util::Rng rng(23, static_cast<std::uint64_t>(m * 1000 + n));

@@ -79,4 +79,68 @@ TEST(FsiFuzz, RandomConfigurationsAllMatchDenseInverses) {
   }
 }
 
+TEST(FsiFuzz, MixedConfigurationsStayWithinGateTolerance) {
+  // The same sweep at Precision::Mixed.  The health gate licenses every
+  // returned result — an accepted fp32 run sits within the gate's error
+  // budget, a tripped gate returns the fp64 recompute — so every selected
+  // block must match the dense inverse at the corresponding tolerance.
+  util::Rng config_rng(0xF53);
+  const pcyclic::Pattern patterns[] = {
+      pcyclic::Pattern::Diagonal, pcyclic::Pattern::SubDiagonal,
+      pcyclic::Pattern::Columns, pcyclic::Pattern::Rows,
+      pcyclic::Pattern::AllDiagonals};
+
+  int accepted = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const index_t n = 2 + static_cast<index_t>(config_rng.below(7));
+    const index_t l = 4 + static_cast<index_t>(config_rng.below(11));
+    const auto divisors = proper_divisors(l);
+    const index_t c =
+        divisors[static_cast<std::size_t>(config_rng.below(divisors.size()))];
+    const index_t q = static_cast<index_t>(
+        config_rng.below(static_cast<std::uint64_t>(c)));
+    const auto pattern = patterns[config_rng.below(5)];
+
+    pcyclic::PCyclicMatrix m = [&] {
+      if (trial % 2 == 0) {
+        util::Rng mat_rng(5000 + trial);
+        return pcyclic::PCyclicMatrix::random(n, l, mat_rng);
+      }
+      qmc::HubbardParams p;
+      p.u = config_rng.uniform(0.5, 5.0);
+      p.beta = config_rng.uniform(0.5, 3.0);
+      p.l = l;
+      qmc::HubbardModel model(qmc::Lattice::chain(n), p);
+      util::Rng field_rng(6000 + trial);
+      qmc::HsField field(l, n, field_rng);
+      return model.build_m(field, qmc::Spin::Up);
+    }();
+
+    Matrix g = pcyclic::full_inverse_dense(m);
+    selinv::FsiOptions opts;
+    opts.c = c;
+    opts.q = q;
+    opts.pattern = pattern;
+    opts.precision = fsi::Precision::Mixed;
+    util::Rng rng(7000 + trial);
+    selinv::FsiStats stats;
+    auto s = selinv::fsi(m, opts, rng, &stats);
+
+    SCOPED_TRACE("mixed trial " + std::to_string(trial) + ": N=" +
+                 std::to_string(n) + " L=" + std::to_string(l) + " c=" +
+                 std::to_string(c) + " q=" + std::to_string(q) + " pattern=" +
+                 pcyclic::pattern_name(pattern) +
+                 (stats.mixed_fallback ? " (fp64 fallback)" : " (fp32 kept)"));
+    const bool kept_fp32 = stats.precision_used == fsi::Precision::Mixed;
+    if (kept_fp32) ++accepted;
+    const double tol = kept_fp32 ? 5e-3 : 5e-8;
+    for (const auto& [k, col] : s.keys())
+      expect_close(s.at(k, col), pcyclic::dense_block(g, n, k, col), tol,
+                   "mixed fuzzed block");
+  }
+  // These are small well-conditioned configurations: if the gate rejected
+  // every single run, mixed mode is broken (or the gate unusably tight).
+  EXPECT_GT(accepted, 0);
+}
+
 }  // namespace

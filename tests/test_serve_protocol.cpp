@@ -118,7 +118,7 @@ TEST(ServeProtocol, V2RequestRoundTripCarriesTraceContext) {
   InvertRequest r = tiny_request(42);
   r.trace_id = 0xDEADBEEFCAFEULL;
   r.client_send_ns = 1234567890123;
-  const auto payload = encode_request(r);  // defaults to kSchemaVersion (2)
+  const auto payload = encode_request(r);  // defaults to kSchemaVersion
   const Decoded d = decode_payload(payload.data(), payload.size());
   ASSERT_EQ(d.type, MsgType::InvertRequest);
   EXPECT_EQ(d.schema, kSchemaVersion);
@@ -172,6 +172,74 @@ TEST(ServeProtocol, V1EncodingDecodesWithDefaultExtensions) {
   EXPECT_EQ(dp.response.trace_id, 0u);
   EXPECT_EQ(dp.response.queue_wait_ns, 0u);
   EXPECT_EQ(dp.response.batch_occupancy, 0.0);
+}
+
+TEST(ServeProtocol, V3RoundTripCarriesPrecision) {
+  InvertRequest r = tiny_request(11);
+  r.precision = 1;  // mixed
+  const auto payload = encode_request(r);  // defaults to kSchemaVersion (3)
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  EXPECT_EQ(d.schema, kSchemaVersion);
+  EXPECT_EQ(d.request.precision, 1u);
+
+  InvertResponse resp;
+  resp.id = 12;
+  resp.status = Status::Ok;
+  resp.precision_used = 1;
+  resp.mixed_fallback = true;
+  const auto resp_payload = encode_response(resp);
+  const Decoded dp = decode_payload(resp_payload.data(), resp_payload.size());
+  EXPECT_EQ(dp.schema, kSchemaVersion);
+  EXPECT_EQ(dp.response.precision_used, 1u);
+  EXPECT_TRUE(dp.response.mixed_fallback);
+}
+
+TEST(ServeProtocol, V2EncodingDropsPrecisionFields) {
+  // A v2 frame is a strict prefix of the v3 body: precision never travels
+  // and decodes to the fp64 default, so a v2 client sees today's protocol.
+  InvertRequest req = tiny_request(13);
+  req.precision = 1;
+  const auto req_payload = encode_request(req, /*version=*/2);
+  const Decoded dr = decode_payload(req_payload.data(), req_payload.size());
+  EXPECT_EQ(dr.schema, 2u);
+  EXPECT_EQ(dr.request.precision, 0u);
+
+  InvertResponse resp;
+  resp.id = 14;
+  resp.status = Status::Ok;
+  resp.precision_used = 1;
+  resp.mixed_fallback = true;
+  const auto resp_payload = encode_response(resp, /*version=*/2);
+  const Decoded dp = decode_payload(resp_payload.data(), resp_payload.size());
+  EXPECT_EQ(dp.schema, 2u);
+  EXPECT_EQ(dp.response.precision_used, 0u);
+  EXPECT_FALSE(dp.response.mixed_fallback);
+}
+
+TEST(ServeProtocol, ValidateRejectsUnknownPrecision) {
+  InvertRequest r = tiny_request(15);
+  r.precision = 2;  // only 0 (fp64) and 1 (mixed) are defined
+  const std::string why = validate_request(r);
+  EXPECT_NE(why.find("precision"), std::string::npos) << why;
+  r.precision = 1;
+  EXPECT_EQ(validate_request(r), "");
+}
+
+TEST(ServeQueue, BatchKeySeparatesPrecisions) {
+  // A mixed and an fp64 request must never coalesce into one engine run:
+  // precision is part of the BatchKey and of its stable hash.
+  PendingRequest a;
+  a.request = tiny_request(1);
+  PendingRequest b;
+  b.request = tiny_request(2);
+  b.request.precision = 1;
+  EXPECT_FALSE(a.key() == b.key());
+  EXPECT_NE(hash(a.key()), hash(b.key()));
+
+  PendingRequest c;
+  c.request = tiny_request(3);
+  EXPECT_TRUE(a.key() == c.key());
+  EXPECT_EQ(hash(a.key()), hash(c.key()));
 }
 
 TEST(ServeProtocol, StatsRoundTrip) {
@@ -263,6 +331,61 @@ TEST(ServeProtocol, StatsV1SnapshotRoundTripsWithoutBuildStrings) {
   EXPECT_TRUE(d.stats.build_git_sha.empty());
   EXPECT_TRUE(d.stats.build_compiler.empty());
   EXPECT_TRUE(d.stats.build_type.empty());
+
+  const auto again = encode_stats_response(d.stats);
+  EXPECT_EQ(again, payload);
+}
+
+TEST(ServeProtocol, StatsV4RoundTripCarriesMixedTotalsAndPolicyRows) {
+  StatsResponse s;
+  s.id = 51;
+  s.served_ok = 7;
+  s.mixed_runs = 40;
+  s.mixed_fallbacks = 3;
+  s.policy_rows.push_back(PolicyKeyRow{0xDEADBEEFCAFEF00Dull, 1500, 8,
+                                       /*bypass=*/false, 2.25});
+  s.policy_rows.push_back(PolicyKeyRow{42, 0, 1, /*bypass=*/true, 0.97});
+
+  const auto payload = encode_stats_response(s);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::StatsResponse);
+  EXPECT_EQ(d.stats.stats_version, kStatsVersion);
+  EXPECT_EQ(d.stats.mixed_runs, 40u);
+  EXPECT_EQ(d.stats.mixed_fallbacks, 3u);
+  ASSERT_EQ(d.stats.policy_rows.size(), 2u);
+  EXPECT_EQ(d.stats.policy_rows[0].key_hash, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(d.stats.policy_rows[0].window_us, 1500);
+  EXPECT_EQ(d.stats.policy_rows[0].max_batch, 8u);
+  EXPECT_FALSE(d.stats.policy_rows[0].bypass);
+  EXPECT_DOUBLE_EQ(d.stats.policy_rows[0].speedup, 2.25);
+  EXPECT_EQ(d.stats.policy_rows[1].key_hash, 42u);
+  EXPECT_TRUE(d.stats.policy_rows[1].bypass);
+  EXPECT_DOUBLE_EQ(d.stats.policy_rows[1].speedup, 0.97);
+}
+
+TEST(ServeProtocol, StatsV3SnapshotRoundTripsWithoutMixedFields) {
+  // A v3-tagged snapshot (pre-mixed daemon) carries no mixed totals and no
+  // policy table on the wire: the fields decode to their zero defaults and
+  // the snapshot re-encodes byte-identically, mirroring the v1 guarantee.
+  StatsResponse s;
+  s.id = 52;
+  s.stats_version = 3;
+  s.served_ok = 19;
+  s.adaptive_enabled = true;
+  s.policy_keys = 2;
+  s.mixed_runs = 99;  // must not travel in a v3 body
+  s.policy_rows.push_back(PolicyKeyRow{1, 2, 3, false, 4.0});
+
+  const auto payload = encode_stats_response(s);
+  const Decoded d = decode_payload(payload.data(), payload.size());
+  ASSERT_EQ(d.type, MsgType::StatsResponse);
+  EXPECT_EQ(d.stats.stats_version, 3u);
+  EXPECT_EQ(d.stats.served_ok, 19u);
+  EXPECT_TRUE(d.stats.adaptive_enabled);
+  EXPECT_EQ(d.stats.policy_keys, 2u);
+  EXPECT_EQ(d.stats.mixed_runs, 0u);
+  EXPECT_EQ(d.stats.mixed_fallbacks, 0u);
+  EXPECT_TRUE(d.stats.policy_rows.empty());
 
   const auto again = encode_stats_response(d.stats);
   EXPECT_EQ(again, payload);

@@ -48,6 +48,25 @@ void print_window(const char* label, const serve::WindowStat& w,
               unit);
 }
 
+std::string policy_rows_json(const serve::StatsResponse& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.policy_rows.size(); ++i) {
+    const serve::PolicyKeyRow& r = s.policy_rows[i];
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"key_hash\":\"%016llx\",\"window_us\":%lld,"
+                  "\"max_batch\":%llu,\"bypass\":%s,\"speedup\":%.4f}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(r.key_hash),
+                  static_cast<long long>(r.window_us),
+                  static_cast<unsigned long long>(r.max_batch),
+                  r.bypass ? "true" : "false", r.speedup);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 void print_json(const serve::StatsResponse& s) {
   const auto win = [](const serve::WindowStat& w) {
     static char buf[160];
@@ -73,6 +92,8 @@ void print_json(const serve::StatsResponse& s) {
       "\"policy_window_us\":%lld,\"policy_max_batch\":%llu,"
       "\"policy_bypass\":%s,\"policy_speedup\":%.4f,"
       "\"bypass_enters\":%llu,\"bypass_exits\":%llu,"
+      "\"mixed_runs\":%llu,\"mixed_fallbacks\":%llu,"
+      "\"policy_rows\":%s,"
       "\"latency_s\":%s,\"queue_wait_s\":%s,\"occupancy\":%s}\n",
       s.stats_version, static_cast<double>(s.uptime_ns) * 1e-9,
       static_cast<unsigned long long>(s.connections),
@@ -102,6 +123,9 @@ void print_json(const serve::StatsResponse& s) {
       s.policy_bypass ? "true" : "false", s.policy_speedup,
       static_cast<unsigned long long>(s.bypass_enters),
       static_cast<unsigned long long>(s.bypass_exits),
+      static_cast<unsigned long long>(s.mixed_runs),
+      static_cast<unsigned long long>(s.mixed_fallbacks),
+      policy_rows_json(s).c_str(),
       win(s.latency_s).c_str(), win(s.queue_wait_s).c_str(),
       win(s.occupancy).c_str());
 }
@@ -167,6 +191,32 @@ void print_dashboard(const std::string& endpoint,
                   static_cast<unsigned long long>(s.replicas),
                   static_cast<unsigned long long>(s.rejected_quota));
     }
+  }
+  // Mixed-precision line (stats v4): attempts and health-gate fallbacks.
+  if (s.stats_version >= 4 && s.mixed_runs > 0) {
+    std::printf("  precision    mixed runs %llu  fp64 fallbacks %llu "
+                "(%.1f%%)\n",
+                static_cast<unsigned long long>(s.mixed_runs),
+                static_cast<unsigned long long>(s.mixed_fallbacks),
+                100.0 * static_cast<double>(s.mixed_fallbacks) /
+                    static_cast<double>(s.mixed_runs));
+  }
+  // Per-key policy table (stats v4), most recently dispatched first.
+  if (!s.policy_rows.empty()) {
+    std::printf("\n  per-key policy (%zu tracked):\n", s.policy_rows.size());
+    std::printf("    %-18s %10s %10s %9s %8s\n", "key", "window_us",
+                "max_batch", "mode", "speedup");
+    const std::size_t shown = std::min<std::size_t>(s.policy_rows.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const serve::PolicyKeyRow& r = s.policy_rows[i];
+      std::printf("    %016llx %10lld %10llu %9s %8.2f\n",
+                  static_cast<unsigned long long>(r.key_hash),
+                  static_cast<long long>(r.window_us),
+                  static_cast<unsigned long long>(r.max_batch),
+                  r.bypass ? "BYPASS" : "coalesce", r.speedup);
+    }
+    if (shown < s.policy_rows.size())
+      std::printf("    ... %zu more\n", s.policy_rows.size() - shown);
   }
   std::printf("\n  rolling window (last ~10 s):\n");
   print_window("latency", s.latency_s, 1e3, "ms");

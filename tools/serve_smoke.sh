@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Smoke test of the fsi::serve daemon as CI (and operators) run it: boot
 # fsi_serve on a Unix socket, drive it with concurrent fsi_request clients
-# of mixed sizes — every response verified bit-identical against the
-# in-process qmc::run_fsi_batch reference — plus one past-deadline request
-# that must be shed with an explicit DeadlineMiss, scrape the OpenMetrics
+# of mixed sizes — every fp64 response verified bit-identical against the
+# in-process qmc::run_fsi_batch reference, every --precision mixed response
+# verified within the health gate's error budget — plus one past-deadline
+# request that must be shed with an explicit DeadlineMiss, scrape the OpenMetrics
 # endpoint and validate the exposition grammar, then stop the daemon with
 # SIGTERM and check it exits cleanly and writes its telemetry.
 #
@@ -43,6 +44,10 @@ pids=()
 "$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8  --count 3 --seed 11 --verify & pids+=($!)
 "$build"/tools/fsi_request --socket "$sock" --lx 6 --L 12 --count 2 --seed 23 --verify & pids+=($!)
 "$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8  --count 3 --seed 37 --verify & pids+=($!)
+# Mixed-precision requests: verified against the fp64 reference within the
+# gate's error budget (or bit-identical if the health gate fell back).
+"$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8  --count 2 --seed 41 \
+    --precision mixed --verify --verify-tol 5e-3 & pids+=($!)
 # One request with an already-expired deadline: must be rejected, not run.
 "$build"/tools/fsi_request --socket "$sock" --lx 4 --L 8 \
     --deadline-us -1 --expect-status deadline-miss & pids+=($!)
@@ -81,8 +86,20 @@ with urllib.request.urlopen(
 EOF
 python3 "$tools_dir"/check_openmetrics.py "$artifacts/metrics.txt" \
     --require fsi_build --require fsi_serve_requests \
-    --require fsi_serve_latency_s \
+    --require fsi_serve_latency_s --require fsi_mixed_runs \
     || { echo "serve_smoke: /metrics failed the grammar check"; exit 1; }
+
+# The mixed clients above ran under this daemon: its mixed-run counter must
+# have moved (fallbacks allowed — the gate decides — but runs must count).
+python3 - "$artifacts/metrics.txt" <<'EOF'
+import sys
+runs = 0.0
+for line in open(sys.argv[1]):
+    if line.startswith("fsi_mixed_runs_total "):
+        runs = float(line.split()[1])
+assert runs >= 2, f"expected >= 2 mixed runs in /metrics, saw {runs}"
+print(f"serve_smoke: /metrics shows {int(runs)} mixed-precision runs")
+EOF
 
 # Liveness probe answers while the daemon is up.
 python3 - "$metrics_port" <<'EOF'
@@ -104,7 +121,7 @@ python3 - "$artifacts/BENCH_fsi_serve.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 metrics = {m["key"]: m["value"] for m in doc["metrics"]}
-assert metrics["served_ok"] == 8, metrics
+assert metrics["served_ok"] == 10, metrics
 assert metrics["deadline_miss"] == 1, metrics
 assert metrics["latency_p99_ms"] > 0, metrics
 print(f"serve_smoke OK: {int(metrics['served_ok'])} served, "
