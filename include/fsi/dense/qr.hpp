@@ -81,4 +81,68 @@ extern template class BasicQrFactorization<float>;
 using QrFactorization = BasicQrFactorization<double>;
 using QrFactorizationF = BasicQrFactorization<float>;
 
+/// In-place Householder QR with column pivoting (DGEQP3/DGEQPF family):
+///   A P = Q R,   |r_00| >= |r_11| >= ... >= |r_{n-1,n-1}|.
+/// At step j the remaining column of largest partial norm is swapped into
+/// position j, so the diagonal of R is monotone and *rank-revealing*: for a
+/// chain product whose scales span many orders of magnitude, diag(R) exposes
+/// the scale ladder that the stabilised-propagator (UDT) layer separates
+/// into its D factor.  Storage convention matches geqrf (R in the upper
+/// triangle, reflectors below, coefficients in \p tau); \p jpvt receives the
+/// permutation: column j of A*P is original column jpvt[j].  Partial column
+/// norms are downdated per step and recomputed when cancellation eats them
+/// (the LAPACK xGEQPF safeguard), so the pivot order stays reliable even on
+/// graded matrices.
+template <typename T>
+void geqp3(BasicMatrixView<T> a, std::vector<T>& tau,
+           std::vector<index_t>& jpvt);
+
+inline void geqp3(MatrixView a, std::vector<double>& tau,
+                  std::vector<index_t>& jpvt) {
+  geqp3<double>(a, tau, jpvt);
+}
+inline void geqp3(MatrixViewF a, std::vector<float>& tau,
+                  std::vector<index_t>& jpvt) {
+  geqp3<float>(a, tau, jpvt);
+}
+
+/// Owning column-pivoted QR factorisation: A P = Q R.  Reflector storage is
+/// geqrf-compatible, so apply_q reuses the blocked ormqr machinery.
+template <typename T>
+class BasicQrpFactorization {
+ public:
+  /// Factor \p a (consumed); requires rows >= cols.
+  explicit BasicQrpFactorization(BasicMatrix<T> a);
+
+  /// C := op(Q) C (Side::Left) or C := C op(Q) (Side::Right).
+  void apply_q(Side side, Trans trans, BasicMatrixView<T> c) const {
+    ormqr<T>(side, trans, packed_, tau_, c);
+  }
+
+  /// The n x n upper-triangular R factor (explicit copy; monotone |diag|).
+  BasicMatrix<T> r() const;
+
+  /// The full m x m Q (explicit, mostly for tests).
+  BasicMatrix<T> q() const;
+
+  /// Column permutation: column j of A*P is original column jpvt()[j].
+  const std::vector<index_t>& jpvt() const { return jpvt_; }
+
+  index_t rows() const { return packed_.rows(); }
+  index_t cols() const { return packed_.cols(); }
+  const BasicMatrix<T>& packed() const { return packed_; }
+  const std::vector<T>& tau() const { return tau_; }
+
+ private:
+  BasicMatrix<T> packed_;
+  std::vector<T> tau_;
+  std::vector<index_t> jpvt_;
+};
+
+extern template class BasicQrpFactorization<double>;
+extern template class BasicQrpFactorization<float>;
+
+using QrpFactorization = BasicQrpFactorization<double>;
+using QrpFactorizationF = BasicQrpFactorization<float>;
+
 }  // namespace fsi::dense

@@ -51,6 +51,9 @@ enum class Counter : int {
   ServeBypassExit,     ///< adaptive policy transitions out of bypass
   MixedRuns,           ///< FSI runs attempted in mixed (fp32 CLS+WRP) mode
   MixedFallbacks,      ///< mixed runs the health gate sent back to fp64
+  StabQrp,             ///< pivoted-QR re-orthogonalisations in the UDT chain
+  StabRecombine,       ///< UDT recombination inversions (1 + UDT)^-1
+  GreensRecomputes,    ///< EqualTimeGreens from-scratch stabilised recomputes
   kCount
 };
 
@@ -209,6 +212,9 @@ enum class Gauge : int {
   ServePolicyMaxBatch,  ///< adaptive policy: effective max batch of the active key
   ServePolicyBypass,    ///< adaptive policy: 1 when the active key is in bypass
   ServeReplicas,        ///< daemon replicas sharing this process's endpoint
+  StabScaleSpread,      ///< log10(dmax/dmin) of the last UDT chain recombined
+  GreensLastDrift,      ///< most recent EqualTimeGreens wrap-drift sample
+  GreensMaxDrift,       ///< worst wrap-drift sample since the last reset
   kCount
 };
 

@@ -42,8 +42,17 @@ bool parse_precision(const std::string& text, Precision& out) noexcept;
 /// Value of a wire/env integer as a Precision; false when out of range.
 bool precision_from_u32(std::uint32_t v, Precision& out) noexcept;
 
-/// The FSI_PRECISION environment variable ("fp64" when unset or
-/// unparsable; a bad value WARN-logs once).  Read once and cached.
-Precision precision_from_env() noexcept;
+/// Interpret one FSI_PRECISION value: nullptr/"" selects Fp64; anything
+/// unparsable throws util::CheckError naming the value and the accepted
+/// spellings.  A typo like FSI_PRECISION=fp16 must not silently run the
+/// whole job in fp64 — fail-loud is the only recoverable behavior for a
+/// precision selector.  Exposed separately from the cached reader so tests
+/// can exercise the error path without mutating the environment.
+Precision precision_from_env_value(const char* value);
+
+/// The FSI_PRECISION environment variable ("fp64" when unset).  Read once
+/// and cached; throws util::CheckError on an unparsable value (the throw is
+/// retried on the next call, so a bad first read does not poison the cache).
+Precision precision_from_env();
 
 }  // namespace fsi

@@ -49,6 +49,10 @@ struct DqmcOptions {
   /// optimisation of the paper's ref. [23]).
   index_t delay_depth = 0;
   GreensEngine engine = GreensEngine::Fsi;
+  /// How the sweep engines recompute G at stabilisation points; the default
+  /// follows FSI_STAB (QrAccumulate when unset — pre-stab behavior, or the
+  /// stab::StabilizedChain UDT path for large-beta runs).
+  RecomputeMethod recompute = default_recompute_method();
   /// Also compute the SPXX time-dependent measurement (needs rows+columns).
   bool measure_time_dependent = true;
   std::uint64_t seed = 1234;

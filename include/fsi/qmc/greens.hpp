@@ -28,7 +28,16 @@ namespace fsi::qmc {
 enum class RecomputeMethod {
   QrAccumulate,  ///< clustered QR-accumulated chain product (default)
   PartialBsofi,  ///< CLS + one block row of the BSOFI inverse (selinv path)
+  Udt,           ///< fsi::stab UDT chain + scale-separated inversion — the
+                 ///< large-beta path; accurate where QrAccumulate's wrap
+                 ///< drift blows through the obs::health budget
 };
+
+/// The recompute method selected by the FSI_STAB environment variable
+/// (stab::StabStrategy): Naive (unset/default) maps to QrAccumulate, Udt to
+/// Udt — so default runs stay bit-identical to the pre-stab pipeline.
+/// Throws util::CheckError on an unparsable FSI_STAB value.
+RecomputeMethod default_recompute_method();
 
 /// Equal-time Green's function for one spin species.
 ///
@@ -46,7 +55,7 @@ class EqualTimeGreens {
   EqualTimeGreens(const HubbardModel& model, const HsField& field, Spin spin,
                   index_t cluster_size, index_t wrap_interval = 8,
                   index_t delay_depth = 0,
-                  RecomputeMethod method = RecomputeMethod::QrAccumulate);
+                  RecomputeMethod method = default_recompute_method());
 
   /// Slice whose updates this G serves (the l of G_l above).
   index_t slice() const { return slice_; }
@@ -127,5 +136,14 @@ class EqualTimeGreens {
 /// for the U = 0 free-fermion checks.
 Matrix equal_time_greens(const HubbardModel& model, const HsField& field,
                          Spin spin, index_t k, index_t cluster_size);
+
+/// Same G(k, k), computed through the stab::StabilizedChain UDT engine:
+/// the chain is accumulated as U diag(d) T with a pivoted QR every
+/// `cluster_size` slices (FSI_STAB_CLUSTER overrides when set and > 0) and
+/// inverted with the large/small-scale separation.  The accurate path at
+/// large beta*L; see docs/stabilization.md.
+Matrix stabilized_equal_time_greens(const HubbardModel& model,
+                                    const HsField& field, Spin spin, index_t k,
+                                    index_t cluster_size);
 
 }  // namespace fsi::qmc

@@ -1,0 +1,26 @@
+#pragma once
+/// \file reference.hpp
+/// \brief Extended-precision reference Green's functions for validation.
+///
+/// A deliberately simple, self-contained long-double (x86 80-bit)
+/// implementation of the stabilized chain inversion: per-factor pivoted-QR
+/// UDT recurrence (cluster size 1 — maximally careful) plus the Db/Ds
+/// scale-separated solve, written as scalar loops with no dependence on the
+/// dense templates (which only instantiate float/double).  With ~19
+/// significant digits and per-slice re-orthogonalisation it stays accurate
+/// far beyond where any double-precision path can, so tests and
+/// bench_stab_beta use it as the "quad-careful" ground truth for G at
+/// large beta.  O(L * n^3) scalar flops — small n only.
+
+#include <vector>
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::stab {
+
+/// G = (1 + B[L-1] * ... * B[1] * B[0])^-1 in long double; all factors must
+/// be square and of equal dimension, and the list non-empty.
+dense::Matrix reference_inverse_one_plus_chain(
+    const std::vector<dense::Matrix>& b_factors);
+
+}  // namespace fsi::stab

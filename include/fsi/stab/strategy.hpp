@@ -1,0 +1,52 @@
+#pragma once
+/// \file strategy.hpp
+/// \brief Chain-stabilization strategy selection (FSI_STAB).
+///
+/// Selects how qmc::EqualTimeGreens recomputes Green's functions from
+/// scratch at each stabilisation point:
+///
+///   Naive — the existing QR-accumulate product path.  The default,
+///           bit-identical to the pre-stab pipeline; accurate up to
+///           moderate beta*L, then the chain's exponential scale spread
+///           swamps double precision and the wrap drift blows through the
+///           obs::health budget.
+///   Udt   — the fsi::stab ASvQRD engine: the chain is held as U diag(d) T
+///           and inverted with the large/small-scale separation, pushing
+///           the attainable beta*L frontier out by well over 4x at the
+///           same drift budget (see bench_stab_beta and
+///           docs/stabilization.md).
+///
+/// Like Precision, the enum is wire/env-stable: values are never
+/// renumbered.  Unknown FSI_STAB values fail loudly (util::CheckError) —
+/// silently falling back to Naive would un-stabilise a large-beta run.
+
+#include <cstdint>
+#include <string>
+
+namespace fsi::stab {
+
+enum class StabStrategy : std::uint32_t {
+  Naive = 0,  ///< plain QR-accumulate product (default, pre-stab behavior)
+  Udt = 1,    ///< ASvQRD UDT-decomposed chain + scale-separated inversion
+};
+
+/// Canonical lower-case name ("naive", "udt").
+const char* stab_strategy_name(StabStrategy s) noexcept;
+
+/// Parse a strategy name (case-insensitive; accepts "naive"/"qr" and
+/// "udt"/"asvqrd").  Returns false on anything else, leaving \p out
+/// untouched.
+bool parse_stab_strategy(const std::string& text, StabStrategy& out) noexcept;
+
+/// Interpret one FSI_STAB value: nullptr/"" selects Naive; anything
+/// unparsable throws util::CheckError naming the value and the accepted
+/// spellings.  Exposed separately from the cached reader so tests can
+/// exercise the fail-loud path without mutating the environment.
+StabStrategy stab_strategy_from_env_value(const char* value);
+
+/// The FSI_STAB environment variable, read once and cached.  Throws
+/// util::CheckError on an unparsable value (retried on the next call, so a
+/// throwing first read does not poison the cache).
+StabStrategy stab_strategy_from_env();
+
+}  // namespace fsi::stab

@@ -1,0 +1,83 @@
+#pragma once
+/// \file udt.hpp
+/// \brief UDT-decomposed propagator products (ASvQRD recurrence).
+///
+/// At large inverse temperature beta the slice-propagator chain
+/// B_L ... B_1 spans exponentially separated scales: forming it as a plain
+/// (or even QR-accumulated) product mixes scales that differ by more than
+/// 1/eps and the equal-time Green's function G = (1 + B_L...B_1)^-1 loses
+/// every digit.  The standard cure (ASvQRD — Bauer 2020 "Fast and stable
+/// determinant quantum Monte Carlo"; Luu et al. 2026) keeps the chain in
+/// decomposed form
+///
+///   B_k ... B_1 = U * diag(d) * T,
+///
+/// with U orthogonal, d a positive scale vector sorted descending by the
+/// column-pivoted QR, and T the bounded triangular-ish remainder.  The
+/// recurrence never forms the explosive product: appending a factor C
+/// computes QRP((C U) * diag(d)) — the only unbounded object is the
+/// column-scaled n x n matrix whose scales the next pivoted QR immediately
+/// re-separates into the new d.
+///
+/// The inversion G = (1 + U D T)^-1 uses the large/small-scale separation:
+/// with D = Db * Ds, Db = max(d, 1), Ds = min(d, 1),
+///
+///   1 + U D T = U Db (Db^-1 U^T + Ds T)
+///   =>  G = (Db^-1 U^T + Ds T)^-1 Db^-1 U^T,
+///
+/// where both summands of the inner matrix are O(1)-bounded (Db^-1 <= 1
+/// row-scales an orthogonal matrix, Ds <= 1 row-scales the bounded T), so
+/// the LU solve is well conditioned regardless of how far d spans.
+///
+/// The stored scales saturate at +-120 decades: a scale past ~1e16 already
+/// contributes zero (or exactly its T row) to G at double precision, so
+/// truncating keeps the recurrence inside double range at arbitrary beta
+/// instead of overflowing near a 300-decade spread the way any plain
+/// product representation must.
+
+#include <vector>
+
+#include "fsi/dense/matrix.hpp"
+
+namespace fsi::stab {
+
+using dense::index_t;
+using dense::Matrix;
+
+/// The decomposed chain product U * diag(d) * T.
+struct UdtDecomposition {
+  Matrix u;               ///< n x n orthogonal
+  std::vector<double> d;  ///< n positive scales, descending (pivoted QR)
+  Matrix t;               ///< n x n bounded remainder (row-scaled permuted R
+                          ///< times the previous T; not triangular in general)
+
+  index_t n() const { return u.rows(); }
+
+  /// The chain with zero factors: U = T = I, d = 1.
+  static UdtDecomposition identity(index_t n);
+
+  /// Largest / smallest scale of d (1 for the empty decomposition).
+  double dmax() const;
+  double dmin() const;
+
+  /// log10(dmax/dmin) — how many decades the chain's scales span.  Above
+  /// ~15 a plain double-precision product has already lost every digit.
+  double scale_spread_log10() const;
+
+  /// Recombine U * diag(d) * T explicitly (overflows for long chains at
+  /// large beta — tests/diagnostics only).
+  Matrix dense() const;
+};
+
+/// One ASvQRD step: udt <- UDT(c * U * diag(d) * T).  Cost: two n^3 GEMMs
+/// plus one pivoted QR; \p c is typically a cluster product of a few
+/// consecutive slice propagators (the pending product of StabilizedChain).
+void udt_advance(UdtDecomposition& udt, dense::ConstMatrixView c);
+
+/// Decompose a single matrix: UDT(a) (one udt_advance from identity).
+UdtDecomposition udt_decompose(Matrix a);
+
+/// G = (1 + U D T)^-1 via the Db/Ds scale separation described above.
+Matrix inverse_one_plus(const UdtDecomposition& udt);
+
+}  // namespace fsi::stab

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 
 #include "fsi/obs/metrics.hpp"
 #include "fsi/util/flops.hpp"
@@ -139,6 +141,78 @@ template void geqrf<double>(MatrixView, std::vector<double>&);
 template void geqrf<float>(MatrixViewF, std::vector<float>&);
 
 template <typename T>
+void geqp3(BasicMatrixView<T> a, std::vector<T>& tau,
+           std::vector<index_t>& jpvt) {
+  const index_t m = a.rows(), n = a.cols();
+  FSI_CHECK(m >= n, "geqp3: requires rows >= cols");
+  obs::metrics::add(obs::metrics::Counter::KernelCalls, 1);
+  tau.assign(static_cast<std::size_t>(n), T(0));
+  jpvt.resize(static_cast<std::size_t>(n));
+  std::iota(jpvt.begin(), jpvt.end(), index_t(0));
+
+  // Partial column norms: vn1 is downdated after each reflector, vn2 holds
+  // the norm at the last exact evaluation.  When cancellation has eaten more
+  // than sqrt(eps) of vn1 relative to vn2, the downdate is no longer
+  // trustworthy and the norm is recomputed from the trailing rows.
+  auto col_norm = [&](index_t j, index_t from) {
+    T s = T(0);
+    for (index_t i = from; i < m; ++i) s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+  };
+  std::vector<T> vn1(static_cast<std::size_t>(n)), vn2(vn1);
+  for (index_t j = 0; j < n; ++j) vn1[j] = vn2[j] = col_norm(j, 0);
+  const T tol3z = std::sqrt(std::numeric_limits<T>::epsilon());
+
+  std::vector<T> w(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    // Pivot: swap the remaining column of largest partial norm into place.
+    index_t p = j;
+    for (index_t k = j + 1; k < n; ++k)
+      if (vn1[k] > vn1[p]) p = k;
+    if (p != j) {
+      for (index_t i = 0; i < m; ++i) std::swap(a(i, j), a(i, p));
+      std::swap(jpvt[j], jpvt[p]);
+      std::swap(vn1[j], vn1[p]);
+      std::swap(vn2[j], vn2[p]);
+    }
+
+    T* below = (j + 1 < m) ? a.col(j) + (j + 1) : nullptr;
+    tau[j] = larfg(a(j, j), below, m - j - 1);
+    if (j + 1 >= n) continue;
+
+    if (tau[j] != T(0)) {
+      // Apply H_j to the trailing columns (same gemv/ger pair as geqr2).
+      const T beta = a(j, j);
+      a(j, j) = T(1);
+      BasicConstMatrixView<T> trail = a.block(j, j + 1, m - j, n - j - 1);
+      BasicMatrixView<T> trail_mut = a.block(j, j + 1, m - j, n - j - 1);
+      gemv(Trans::Yes, T(1), trail, a.col(j) + j, T(0), w.data());
+      ger(-tau[j], a.col(j) + j, w.data(), trail_mut);
+      a(j, j) = beta;
+    }
+
+    for (index_t k = j + 1; k < n; ++k) {
+      if (vn1[k] == T(0)) continue;
+      T temp = std::abs(a(j, k)) / vn1[k];
+      temp = std::max(T(0), (T(1) + temp) * (T(1) - temp));
+      const T ratio = vn1[k] / vn2[k];
+      if (temp * ratio * ratio <= tol3z) {
+        vn1[k] = (j + 1 < m) ? col_norm(k, j + 1) : T(0);
+        vn2[k] = vn1[k];
+      } else {
+        vn1[k] *= std::sqrt(temp);
+      }
+    }
+  }
+  util::flops::add(2ull * m * n * n);
+}
+
+template void geqp3<double>(MatrixView, std::vector<double>&,
+                            std::vector<index_t>&);
+template void geqp3<float>(MatrixViewF, std::vector<float>&,
+                           std::vector<index_t>&);
+
+template <typename T>
 void ormqr(Side side, Trans trans, BasicConstMatrixView<T> vfull,
            const std::vector<T>& tau, BasicMatrixView<T> c) {
   const index_t m = vfull.rows();
@@ -200,5 +274,30 @@ BasicMatrix<T> BasicQrFactorization<T>::q() const {
 
 template class BasicQrFactorization<double>;
 template class BasicQrFactorization<float>;
+
+template <typename T>
+BasicQrpFactorization<T>::BasicQrpFactorization(BasicMatrix<T> a)
+    : packed_(std::move(a)) {
+  geqp3<T>(packed_, tau_, jpvt_);
+}
+
+template <typename T>
+BasicMatrix<T> BasicQrpFactorization<T>::r() const {
+  const index_t n = packed_.cols();
+  BasicMatrix<T> r(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = packed_(i, j);
+  return r;
+}
+
+template <typename T>
+BasicMatrix<T> BasicQrpFactorization<T>::q() const {
+  BasicMatrix<T> q = BasicMatrix<T>::identity(packed_.rows());
+  apply_q(Side::Left, Trans::No, q);
+  return q;
+}
+
+template class BasicQrpFactorization<double>;
+template class BasicQrpFactorization<float>;
 
 }  // namespace fsi::dense

@@ -39,6 +39,11 @@ const char* counter_help(Counter c) {
     case Counter::ServeQuotaRejected: return "Requests shed: client over quota";
     case Counter::ServeBypassEnter: return "Adaptive-policy bypass entries";
     case Counter::ServeBypassExit: return "Adaptive-policy bypass exits";
+    case Counter::MixedRuns: return "FSI runs attempted in mixed precision";
+    case Counter::MixedFallbacks: return "Mixed runs gated back to fp64";
+    case Counter::StabQrp: return "Pivoted-QR steps in UDT chains";
+    case Counter::StabRecombine: return "UDT recombination inversions";
+    case Counter::GreensRecomputes: return "Stabilised Greens recomputes";
     case Counter::kCount: break;
   }
   return "";
@@ -73,6 +78,9 @@ const char* gauge_help(Gauge g) {
     case Gauge::ServePolicyMaxBatch: return "Adaptive max batch of active key";
     case Gauge::ServePolicyBypass: return "1 when active key is in bypass";
     case Gauge::ServeReplicas: return "Daemon replicas on this endpoint";
+    case Gauge::StabScaleSpread: return "log10(dmax/dmin) of last UDT chain";
+    case Gauge::GreensLastDrift: return "Most recent wrap-drift sample";
+    case Gauge::GreensMaxDrift: return "Worst wrap-drift since reset";
     case Gauge::kCount: break;
   }
   return "";

@@ -94,6 +94,9 @@ const char* name(Counter c) noexcept {
     case Counter::ServeBypassExit: return "serve_bypass_exit";
     case Counter::MixedRuns: return "mixed_runs";
     case Counter::MixedFallbacks: return "mixed_fallbacks";
+    case Counter::StabQrp: return "stab_qrp";
+    case Counter::StabRecombine: return "stab_recombine";
+    case Counter::GreensRecomputes: return "greens_recomputes";
     case Counter::kCount: break;
   }
   return "?";
@@ -395,6 +398,9 @@ const char* name(Gauge g) noexcept {
     case Gauge::ServePolicyMaxBatch: return "serve_policy_max_batch";
     case Gauge::ServePolicyBypass: return "serve_policy_bypass";
     case Gauge::ServeReplicas: return "serve_replicas";
+    case Gauge::StabScaleSpread: return "stab_scale_spread_log10";
+    case Gauge::GreensLastDrift: return "greens_last_drift";
+    case Gauge::GreensMaxDrift: return "greens_max_drift";
     case Gauge::kCount: break;
   }
   return "?";

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <cstdlib>
 
-#include "fsi/obs/log.hpp"
+#include <string>
+
+#include "fsi/util/check.hpp"
 
 namespace fsi {
 
@@ -43,18 +45,20 @@ bool precision_from_u32(std::uint32_t v, Precision& out) noexcept {
   return false;
 }
 
-Precision precision_from_env() noexcept {
-  static const Precision cached = [] {
-    const char* v = std::getenv("FSI_PRECISION");
-    if (v == nullptr || *v == '\0') return Precision::Fp64;
-    Precision p = Precision::Fp64;
-    if (!parse_precision(v, p)) {
-      FSI_LOG_WARN("precision.bad_env", {"value", v},
-                   {"fallback", precision_name(Precision::Fp64)});
-      return Precision::Fp64;
-    }
-    return p;
-  }();
+Precision precision_from_env_value(const char* value) {
+  if (value == nullptr || *value == '\0') return Precision::Fp64;
+  Precision p = Precision::Fp64;
+  FSI_CHECK(parse_precision(value, p),
+            std::string("unknown FSI_PRECISION value \"") + value +
+                "\" (accepted: fp64, double, 64, mixed, fp32, 32)");
+  return p;
+}
+
+Precision precision_from_env() {
+  // A throwing initializer is retried on the next call (C++ static-init
+  // semantics), so only a successful parse populates the cache.
+  static const Precision cached =
+      precision_from_env_value(std::getenv("FSI_PRECISION"));
   return cached;
 }
 

@@ -122,9 +122,9 @@ DqmcResult run_dqmc(const HubbardModel& model, const DqmcOptions& options) {
       obs::metrics::seconds(obs::metrics::Accum::GreensRecompute);
   HsField field(l, model.num_sites(), rng);  // random +-1 initial config
   EqualTimeGreens g_up(model, field, Spin::Up, c, options.wrap_interval,
-                       options.delay_depth);
+                       options.delay_depth, options.recompute);
   EqualTimeGreens g_dn(model, field, Spin::Down, c, options.wrap_interval,
-                       options.delay_depth);
+                       options.delay_depth, options.recompute);
 
   DqmcResult result{
       Measurements(l, model.lattice().num_distance_classes()), {}, 0.0, 0.0,

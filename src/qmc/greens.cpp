@@ -7,13 +7,48 @@
 #include "fsi/dense/lu.hpp"
 #include "fsi/dense/norms.hpp"
 #include "fsi/dense/qr.hpp"
+#include "fsi/obs/env.hpp"
 #include "fsi/obs/health.hpp"
 #include "fsi/obs/metrics.hpp"
 #include "fsi/obs/trace.hpp"
 #include "fsi/selinv/fsi.hpp"
+#include "fsi/stab/chain.hpp"
+#include "fsi/stab/strategy.hpp"
 #include "fsi/util/timer.hpp"
 
 namespace fsi::qmc {
+
+RecomputeMethod default_recompute_method() {
+  switch (stab::stab_strategy_from_env()) {
+    case stab::StabStrategy::Udt: return RecomputeMethod::Udt;
+    case stab::StabStrategy::Naive: break;
+  }
+  return RecomputeMethod::QrAccumulate;
+}
+
+Matrix stabilized_equal_time_greens(const HubbardModel& model,
+                                    const HsField& field, Spin spin, index_t k,
+                                    index_t cluster_size) {
+  FSI_OBS_SPAN("greens.udt_chain");
+  const index_t l = field.num_slices();
+  const index_t n = model.num_sites();
+  FSI_CHECK(k >= 0 && k < l, "stabilized_equal_time_greens: slice out of range");
+  FSI_CHECK(cluster_size >= 1,
+            "stabilized_equal_time_greens: cluster size must be >= 1");
+  const long env_cluster = obs::env_long("FSI_STAB_CLUSTER", 0);
+  if (env_cluster > 0) cluster_size = static_cast<index_t>(env_cluster);
+
+  // A(k) = B_k ... B_{k+1}, same factor order as equal_time_greens, held as
+  // U diag(d) T with a pivoted QR per cluster; G = (1 + UDT)^-1 via the
+  // Db/Ds scale separation.
+  stab::StabilizedChain chain(n, cluster_size);
+  for (index_t t = 0; t < l; ++t) {
+    const index_t j = (k + 1 + t) % l;
+    chain.append(
+        [&](Matrix& m) { model.multiply_b_left(field, j, spin, m); });
+  }
+  return chain.greens();
+}
 
 Matrix equal_time_greens(const HubbardModel& model, const HsField& field,
                          Spin spin, index_t k, index_t cluster_size) {
@@ -173,6 +208,8 @@ void EqualTimeGreens::advance() {
     }());
     max_drift_ = std::max(max_drift_, last_drift_);
     obs::health::record_drift(last_drift_);
+    obs::metrics::set(obs::metrics::Gauge::GreensLastDrift, last_drift_);
+    obs::metrics::set(obs::metrics::Gauge::GreensMaxDrift, max_drift_);
     if (!dense::all_finite(g_.view()))
       obs::health::record_nonfinite("greens.recompute");
   }
@@ -184,8 +221,11 @@ void EqualTimeGreens::recompute() {
   util::WallTimer timer;
   const index_t l = field_.num_slices();
   const index_t prev = (slice_ - 1 + l) % l;
-  if (method_ == RecomputeMethod::QrAccumulate ||
-      l % cluster_size_ != 0 /* partial BSOFI needs c | L */) {
+  if (method_ == RecomputeMethod::Udt) {
+    g_ = stabilized_equal_time_greens(model_, field_, spin_, prev,
+                                      cluster_size_);
+  } else if (method_ == RecomputeMethod::QrAccumulate ||
+             l % cluster_size_ != 0 /* partial BSOFI needs c | L */) {
     g_ = equal_time_greens(model_, field_, spin_, prev, cluster_size_);
   } else {
     const pcyclic::PCyclicMatrix m = model_.build_m(field_, spin_);
@@ -193,6 +233,7 @@ void EqualTimeGreens::recompute() {
   }
   wraps_since_recompute_ = 0;
   ++recomputes_;
+  obs::metrics::add(obs::metrics::Counter::GreensRecomputes, 1);
   obs::metrics::add_seconds(obs::metrics::Accum::GreensRecompute,
                             timer.seconds());
 }

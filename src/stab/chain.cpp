@@ -1,0 +1,40 @@
+#include "fsi/stab/chain.hpp"
+
+#include "fsi/obs/metrics.hpp"
+#include "fsi/util/check.hpp"
+
+namespace fsi::stab {
+
+StabilizedChain::StabilizedChain(index_t n, index_t cluster_size)
+    : udt_(UdtDecomposition::identity(n)),
+      pending_(Matrix::identity(n)),
+      cluster_(cluster_size) {
+  FSI_CHECK(n > 0, "StabilizedChain: dimension must be positive");
+  FSI_CHECK(cluster_size >= 1, "StabilizedChain: cluster_size must be >= 1");
+}
+
+void StabilizedChain::flush() {
+  if (pending_count_ == 0) return;
+  udt_advance(udt_, pending_.view());
+  dense::set_identity(pending_.view());
+  pending_count_ = 0;
+}
+
+const UdtDecomposition& StabilizedChain::udt() {
+  flush();
+  return udt_;
+}
+
+double StabilizedChain::scale_spread_log10() {
+  flush();
+  return udt_.scale_spread_log10();
+}
+
+Matrix StabilizedChain::greens() {
+  flush();
+  obs::metrics::set(obs::metrics::Gauge::StabScaleSpread,
+                    udt_.scale_spread_log10());
+  return inverse_one_plus(udt_);
+}
+
+}  // namespace fsi::stab

@@ -1,0 +1,209 @@
+#include "fsi/stab/reference.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::stab {
+namespace {
+
+// Column-major n x n long-double workspace: a[j * n + i].
+using Vec = std::vector<long double>;
+
+std::size_t at(int n, int i, int j) {
+  return static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+         static_cast<std::size_t>(i);
+}
+
+Vec ident(int n) {
+  Vec a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0L);
+  for (int i = 0; i < n; ++i) a[at(n, i, i)] = 1.0L;
+  return a;
+}
+
+Vec mul(int n, const Vec& a, const Vec& b) {
+  Vec c(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0L);
+  for (int j = 0; j < n; ++j)
+    for (int k = 0; k < n; ++k) {
+      const long double bkj = b[at(n, k, j)];
+      if (bkj == 0.0L) continue;
+      for (int i = 0; i < n; ++i) c[at(n, i, j)] += a[at(n, i, k)] * bkj;
+    }
+  return c;
+}
+
+/// Householder QR with column pivoting; Q returned explicitly.  Norms are
+/// recomputed from scratch at every step (O(n^3) total) — slow and safe,
+/// which is exactly what a reference wants.
+void qrp(int n, Vec m, Vec& q, Vec& r, std::vector<int>& jpvt) {
+  jpvt.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) jpvt[static_cast<std::size_t>(j)] = j;
+  q = ident(n);
+
+  for (int k = 0; k < n; ++k) {
+    // Pivot: remaining column with the largest trailing norm.
+    int pk = k;
+    long double best = -1.0L;
+    for (int j = k; j < n; ++j) {
+      long double s = 0.0L;
+      for (int i = k; i < n; ++i) s += m[at(n, i, j)] * m[at(n, i, j)];
+      if (s > best) {
+        best = s;
+        pk = j;
+      }
+    }
+    if (pk != k) {
+      for (int i = 0; i < n; ++i) std::swap(m[at(n, i, k)], m[at(n, i, pk)]);
+      std::swap(jpvt[static_cast<std::size_t>(k)],
+                jpvt[static_cast<std::size_t>(pk)]);
+    }
+
+    // Householder reflector annihilating column k below the diagonal.
+    long double norm = 0.0L;
+    for (int i = k; i < n; ++i) norm += m[at(n, i, k)] * m[at(n, i, k)];
+    norm = std::sqrt(norm);
+    if (norm == 0.0L) continue;
+    const long double alpha = m[at(n, k, k)] >= 0.0L ? -norm : norm;
+    Vec v(static_cast<std::size_t>(n), 0.0L);
+    for (int i = k; i < n; ++i) v[static_cast<std::size_t>(i)] = m[at(n, i, k)];
+    v[static_cast<std::size_t>(k)] -= alpha;
+    long double vtv = 0.0L;
+    for (int i = k; i < n; ++i)
+      vtv += v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+    if (vtv == 0.0L) continue;
+    const long double beta = 2.0L / vtv;
+
+    // M <- (I - beta v v^T) M on the trailing columns.
+    for (int j = k; j < n; ++j) {
+      long double dot = 0.0L;
+      for (int i = k; i < n; ++i)
+        dot += v[static_cast<std::size_t>(i)] * m[at(n, i, j)];
+      dot *= beta;
+      for (int i = k; i < n; ++i)
+        m[at(n, i, j)] -= dot * v[static_cast<std::size_t>(i)];
+    }
+    // Q <- Q (I - beta v v^T)  (accumulating Q = H_0 H_1 ...).
+    for (int i = 0; i < n; ++i) {
+      long double dot = 0.0L;
+      for (int l = k; l < n; ++l)
+        dot += q[at(n, i, l)] * v[static_cast<std::size_t>(l)];
+      dot *= beta;
+      for (int l = k; l < n; ++l)
+        q[at(n, i, l)] -= dot * v[static_cast<std::size_t>(l)];
+    }
+  }
+  r = std::move(m);
+  // Zero the sub-diagonal noise so R is exactly triangular.
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) r[at(n, i, j)] = 0.0L;
+}
+
+/// Gaussian elimination with partial pivoting: X = A^-1 B, in place over B.
+void solve(int n, Vec a, Vec& b) {
+  for (int k = 0; k < n; ++k) {
+    int pk = k;
+    long double best = std::abs(a[at(n, k, k)]);
+    for (int i = k + 1; i < n; ++i) {
+      const long double m = std::abs(a[at(n, i, k)]);
+      if (m > best) {
+        best = m;
+        pk = i;
+      }
+    }
+    FSI_CHECK(best > 0.0L, "reference chain solve: singular pivot");
+    if (pk != k)
+      for (int j = 0; j < n; ++j) {
+        std::swap(a[at(n, k, j)], a[at(n, pk, j)]);
+        std::swap(b[at(n, k, j)], b[at(n, pk, j)]);
+      }
+    const long double inv = 1.0L / a[at(n, k, k)];
+    for (int i = k + 1; i < n; ++i) {
+      const long double f = a[at(n, i, k)] * inv;
+      if (f == 0.0L) continue;
+      for (int j = k + 1; j < n; ++j) a[at(n, i, j)] -= f * a[at(n, k, j)];
+      for (int j = 0; j < n; ++j) b[at(n, i, j)] -= f * b[at(n, k, j)];
+    }
+  }
+  for (int k = n - 1; k >= 0; --k) {
+    const long double inv = 1.0L / a[at(n, k, k)];
+    for (int j = 0; j < n; ++j) {
+      long double s = b[at(n, k, j)];
+      for (int i = k + 1; i < n; ++i) s -= a[at(n, k, i)] * b[at(n, i, j)];
+      b[at(n, k, j)] = s * inv;
+    }
+  }
+}
+
+}  // namespace
+
+dense::Matrix reference_inverse_one_plus_chain(
+    const std::vector<dense::Matrix>& b_factors) {
+  FSI_CHECK(!b_factors.empty(), "reference chain: need at least one factor");
+  const int n = b_factors.front().rows();
+  for (const dense::Matrix& b : b_factors)
+    FSI_CHECK(b.rows() == n && b.cols() == n,
+              "reference chain: factors must be square and of equal size");
+
+  // UDT recurrence in long double, one pivoted QR per factor.
+  Vec u = ident(n);
+  Vec t = ident(n);
+  Vec d(static_cast<std::size_t>(n), 1.0L);
+
+  for (const dense::Matrix& bk : b_factors) {
+    Vec b(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        b[at(n, i, j)] = static_cast<long double>(bk(i, j));
+
+    Vec m = mul(n, b, u);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        m[at(n, i, j)] *= d[static_cast<std::size_t>(j)];
+
+    Vec q, r;
+    std::vector<int> jpvt;
+    qrp(n, std::move(m), q, r, jpvt);
+
+    Vec d_new(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const long double di = std::abs(r[at(n, i, i)]);
+      FSI_CHECK(std::isfinite(di) && di > 0.0L,
+                "reference chain: singular UDT step");
+      d_new[static_cast<std::size_t>(i)] = di;
+    }
+    Vec w(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0L);
+    for (int j = 0; j < n; ++j) {
+      const int orig = jpvt[static_cast<std::size_t>(j)];
+      for (int i = 0; i <= j; ++i)
+        w[at(n, i, orig)] = r[at(n, i, j)] / d_new[static_cast<std::size_t>(i)];
+    }
+    t = mul(n, w, t);
+    u = std::move(q);
+    d = std::move(d_new);
+  }
+
+  // G = (Db^-1 U^T + Ds T)^-1 Db^-1 U^T.
+  Vec h(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  Vec rhs(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const long double di = d[static_cast<std::size_t>(i)];
+    const long double db_inv = di > 1.0L ? 1.0L / di : 1.0L;
+    const long double ds = di < 1.0L ? di : 1.0L;
+    for (int j = 0; j < n; ++j) {
+      const long double ut_ij = u[at(n, j, i)] * db_inv;
+      h[at(n, i, j)] = ut_ij + ds * t[at(n, i, j)];
+      rhs[at(n, i, j)] = ut_ij;
+    }
+  }
+  solve(n, std::move(h), rhs);
+
+  dense::Matrix g(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      g(i, j) = static_cast<double>(rhs[at(n, i, j)]);
+  return g;
+}
+
+}  // namespace fsi::stab

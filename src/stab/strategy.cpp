@@ -1,0 +1,53 @@
+#include "fsi/stab/strategy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "fsi/util/check.hpp"
+
+namespace fsi::stab {
+
+const char* stab_strategy_name(StabStrategy s) noexcept {
+  switch (s) {
+    case StabStrategy::Naive: return "naive";
+    case StabStrategy::Udt: return "udt";
+  }
+  return "unknown";
+}
+
+bool parse_stab_strategy(const std::string& text,
+                         StabStrategy& out) noexcept {
+  std::string t = text;
+  std::transform(t.begin(), t.end(), t.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  if (t == "naive" || t == "qr") {
+    out = StabStrategy::Naive;
+    return true;
+  }
+  if (t == "udt" || t == "asvqrd") {
+    out = StabStrategy::Udt;
+    return true;
+  }
+  return false;
+}
+
+StabStrategy stab_strategy_from_env_value(const char* value) {
+  if (value == nullptr || *value == '\0') return StabStrategy::Naive;
+  StabStrategy s = StabStrategy::Naive;
+  FSI_CHECK(parse_stab_strategy(value, s),
+            std::string("unknown FSI_STAB value \"") + value +
+                "\" (accepted: naive, qr, udt, asvqrd)");
+  return s;
+}
+
+StabStrategy stab_strategy_from_env() {
+  // If the initializer throws, C++ retries the static init on the next
+  // call — the cache is only populated by a successful parse.
+  static const StabStrategy cached =
+      stab_strategy_from_env_value(std::getenv("FSI_STAB"));
+  return cached;
+}
+
+}  // namespace fsi::stab

@@ -1,0 +1,150 @@
+#include "fsi/stab/udt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "fsi/dense/blas.hpp"
+#include "fsi/dense/lu.hpp"
+#include "fsi/dense/qr.hpp"
+#include "fsi/obs/metrics.hpp"
+#include "fsi/obs/trace.hpp"
+#include "fsi/util/check.hpp"
+
+namespace fsi::stab {
+
+/// Saturation bounds for the stored scale vector: +-120 decades.  Wide
+/// enough that a saturated direction is "infinitely large/small" to any
+/// double-precision G (which resolves ~16 decades), narrow enough that
+/// after one more cluster product the pivoted QR's column-norm *squares*
+/// (the quantity that actually overflows first) stay inside double range.
+constexpr double kScaleCap = 0x1p+400;    // ~2.6e120
+constexpr double kScaleFloor = 0x1p-400;  // ~3.9e-121
+
+UdtDecomposition UdtDecomposition::identity(index_t n) {
+  UdtDecomposition udt;
+  udt.u = Matrix::identity(n);
+  udt.d.assign(static_cast<std::size_t>(n), 1.0);
+  udt.t = Matrix::identity(n);
+  return udt;
+}
+
+double UdtDecomposition::dmax() const {
+  double m = 1.0;
+  for (std::size_t i = 0; i < d.size(); ++i) m = i == 0 ? d[i] : std::max(m, d[i]);
+  return m;
+}
+
+double UdtDecomposition::dmin() const {
+  double m = 1.0;
+  for (std::size_t i = 0; i < d.size(); ++i) m = i == 0 ? d[i] : std::min(m, d[i]);
+  return m;
+}
+
+double UdtDecomposition::scale_spread_log10() const {
+  if (d.empty()) return 0.0;
+  return std::log10(dmax()) - std::log10(dmin());
+}
+
+Matrix UdtDecomposition::dense() const {
+  const index_t nn = n();
+  Matrix ud(nn, nn);
+  for (index_t j = 0; j < nn; ++j)
+    for (index_t i = 0; i < nn; ++i)
+      ud(i, j) = u(i, j) * d[static_cast<std::size_t>(j)];
+  return dense::matmul(ud, t);
+}
+
+void udt_advance(UdtDecomposition& udt, dense::ConstMatrixView c) {
+  const index_t n = udt.n();
+  FSI_CHECK(c.rows() == n && c.cols() == n,
+            "udt_advance: factor shape does not match the chain dimension");
+  FSI_OBS_SPAN("stab.qrp");
+
+  // M = (C * U) * diag(d): the only place the chain's scales meet, and they
+  // meet column-separated — column j carries scale d[j], no mixing.
+  Matrix m = dense::matmul(c, udt.u);
+  for (index_t j = 0; j < n; ++j) {
+    const double dj = udt.d[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i < n; ++i) m(i, j) *= dj;
+  }
+
+  // Pivoted QR re-separates the scales: M P = Q R with |diag R| descending.
+  dense::QrpFactorization qrp(std::move(m));
+  obs::metrics::add(obs::metrics::Counter::StabQrp, 1);
+
+  const Matrix r = qrp.r();
+  std::vector<double> d_new(static_cast<std::size_t>(n));
+  std::vector<double> d_div(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double di = std::abs(r(i, i));
+    FSI_CHECK(std::isfinite(di),
+              "udt_advance: one UDT step overflowed double range — the "
+              "pending cluster product is too long; reduce the cluster size");
+    // The division below must use the raw scale (pivoting guarantees
+    // |r_ij| <= |r_ii|, so W stays bounded by ~1); DBL_MIN only guards an
+    // exactly-zero pivot, where the whole row is zero anyway.
+    d_div[static_cast<std::size_t>(i)] =
+        std::max(di, std::numeric_limits<double>::min());
+    // The *stored* scale saturates at +-120 decades (Luu et al. 2026): a
+    // direction beyond ~1e16 already contributes 0 (or exactly its T row)
+    // to G at machine precision, so truncating 1e130 -> 1e120 perturbs G
+    // by < 1e-104 — while keeping the next advance's column scaling, and
+    // with it the whole recurrence, inside double range at ANY beta.  Only
+    // a >= 100-decade swing back towards O(1) could expose the truncation,
+    // and Lyapunov growth of DQMC chains admits no such swing.
+    d_new[static_cast<std::size_t>(i)] =
+        std::min(std::max(di, kScaleFloor), kScaleCap);
+  }
+
+  // T_new = (D_new^-1 R P^T) * T_old.  Un-permuting R's columns breaks its
+  // triangularity, so W is a full matrix and the update is a plain gemm.
+  const std::vector<index_t>& jpvt = qrp.jpvt();
+  Matrix w(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t orig = jpvt[static_cast<std::size_t>(j)];
+    for (index_t i = 0; i <= j; ++i)
+      w(i, orig) = r(i, j) / d_div[static_cast<std::size_t>(i)];
+  }
+  udt.t = dense::matmul(w, udt.t);
+
+  udt.u = qrp.q();
+  udt.d = std::move(d_new);
+}
+
+UdtDecomposition udt_decompose(Matrix a) {
+  FSI_CHECK(a.rows() == a.cols(), "udt_decompose: matrix must be square");
+  UdtDecomposition udt = UdtDecomposition::identity(a.rows());
+  udt_advance(udt, a);
+  return udt;
+}
+
+Matrix inverse_one_plus(const UdtDecomposition& udt) {
+  const index_t n = udt.n();
+  FSI_OBS_SPAN("stab.recombine");
+
+  // 1 + U D T = U Db (Db^-1 U^T + Ds T) with Db = max(d,1), Ds = min(d,1):
+  // both summands are bounded, so H = Db^-1 U^T + Ds T is benign even when
+  // d spans hundreds of decades.
+  Matrix h(n, n);
+  Matrix rhs(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const double di = udt.d[static_cast<std::size_t>(i)];
+    const double db_inv = di > 1.0 ? 1.0 / di : 1.0;
+    const double ds = di < 1.0 ? di : 1.0;
+    for (index_t j = 0; j < n; ++j) {
+      const double ut_ij = udt.u(j, i) * db_inv;  // row i of Db^-1 U^T
+      h(i, j) = ut_ij + ds * udt.t(i, j);
+      rhs(i, j) = ut_ij;
+    }
+  }
+
+  // G = H^-1 (Db^-1 U^T).
+  dense::LuFactorization lu(std::move(h));
+  lu.solve(rhs.view());
+  obs::metrics::add(obs::metrics::Counter::StabRecombine, 1);
+  return rhs;
+}
+
+}  // namespace fsi::stab

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
 #include "fsi/dense/blas.hpp"
 #include "fsi/dense/norms.hpp"
 #include "fsi/dense/qr.hpp"
@@ -154,6 +159,113 @@ TEST(Qr, AlreadyTriangularInputGivesZeroTaus) {
 
 TEST(Qr, WideMatrixThrows) {
   EXPECT_THROW(QrFactorization(Matrix(3, 5)), util::CheckError);
+}
+
+// ---- column-pivoted QR (the fsi::stab workhorse) at both widths ----------
+
+template <typename T>
+class TypedQrp : public ::testing::Test {};
+TYPED_TEST_SUITE(TypedQrp, Scalars);
+
+TYPED_TEST(TypedQrp, ReconstructsAP) {
+  using T = TypeParam;
+  for (auto [m, n] : {std::pair<index_t, index_t>{24, 24}, {40, 24}}) {
+    util::Rng rng(61, static_cast<std::uint64_t>(m * 1000 + n));
+    BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(m, n, rng);
+    BasicQrpFactorization<T> qr(BasicMatrix<T>::copy_of(a));
+
+    // Q R should equal A P, i.e. column j of Q R is column jpvt[j] of A.
+    BasicMatrix<T> qr_prod(m, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= std::min(j, m - 1); ++i)
+        qr_prod(i, j) = qr.packed()(i, j);
+    qr.apply_q(Side::Left, Trans::No, qr_prod);
+
+    BasicMatrix<T> ap(m, n);
+    for (index_t j = 0; j < n; ++j) {
+      const index_t orig = qr.jpvt()[static_cast<std::size_t>(j)];
+      for (index_t i = 0; i < m; ++i) ap(i, j) = a(i, orig);
+    }
+    fsi::testing::expect_close(qr_prod, ap, fsi::testing::Tol<T>::tight,
+                               "Q R = A P");
+
+    // jpvt must be a permutation of 0..n-1.
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (index_t j = 0; j < n; ++j) {
+      const index_t orig = qr.jpvt()[static_cast<std::size_t>(j)];
+      ASSERT_GE(orig, 0);
+      ASSERT_LT(orig, n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(orig)]);
+      seen[static_cast<std::size_t>(orig)] = true;
+    }
+
+    BasicMatrix<T> q = qr.q();
+    BasicMatrix<T> qtq(m, m);
+    gemm(Trans::Yes, Trans::No, T(1), q, q, T(0), qtq);
+    fsi::testing::expect_close(qtq, BasicMatrix<T>::identity(m),
+                               fsi::testing::Tol<T>::tight, "QRP Q^T Q = I");
+  }
+}
+
+TYPED_TEST(TypedQrp, DiagonalOfRIsMonotone) {
+  using T = TypeParam;
+  const index_t m = 48, n = 48;
+  util::Rng rng(62);
+  BasicMatrix<T> a = fsi::testing::random_matrix_t<T>(m, n, rng);
+  BasicQrpFactorization<T> qr(std::move(a));
+  BasicMatrix<T> r = qr.r();
+  for (index_t i = 1; i < n; ++i) {
+    // Small slack: the downdated-norm pivoting guarantees monotonicity up
+    // to rounding in the norm bookkeeping.
+    const double prev = std::abs(static_cast<double>(r(i - 1, i - 1)));
+    const double cur = std::abs(static_cast<double>(r(i, i)));
+    EXPECT_LE(cur, prev * (1.0 + 64.0 * std::numeric_limits<T>::epsilon()))
+        << "at i=" << i;
+  }
+}
+
+TYPED_TEST(TypedQrp, RankRevealingOnGradedMatrix) {
+  using T = TypeParam;
+  // A = Q1 diag(graded) Q2 with singular values decaying geometrically over
+  // kappa = 1e12 (double) / 1e6 (float): the pivoted |diag(R)| must track
+  // the singular-value ladder, which unpivoted QR has no reason to do.
+  const index_t n = 24;
+  const double kappa = std::is_same_v<T, double> ? 1e12 : 1e6;
+  util::Rng rng(63);
+  BasicQrFactorization<T> q1(fsi::testing::random_matrix_t<T>(n, n, rng));
+  BasicQrFactorization<T> q2(fsi::testing::random_matrix_t<T>(n, n, rng));
+  std::vector<double> sv(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    sv[static_cast<std::size_t>(i)] =
+        std::pow(kappa, -static_cast<double>(i) / (n - 1));
+  BasicMatrix<T> a(n, n);
+  for (index_t i = 0; i < n; ++i)
+    a(i, i) = static_cast<T>(sv[static_cast<std::size_t>(i)]);
+  q1.apply_q(Side::Left, Trans::No, a);
+  q2.apply_q(Side::Right, Trans::Yes, a);
+
+  BasicQrpFactorization<T> qrp(std::move(a));
+  BasicMatrix<T> r = qrp.r();
+  // |r_ii| is within a dimension-sized factor of sigma_i (Chan's bound is
+  // exponential in n in the worst case, but graded matrices behave far
+  // better; 2^i covers it with huge margin at n = 24).
+  for (index_t i = 0; i < n; ++i) {
+    const double rii = std::abs(static_cast<double>(r(i, i)));
+    const double sigma = sv[static_cast<std::size_t>(i)];
+    const double slack = std::pow(2.0, static_cast<double>(i) / 2.0 + 4.0);
+    EXPECT_LE(rii, sigma * slack) << "i=" << i;
+    EXPECT_GE(rii, sigma / slack) << "i=" << i;
+  }
+  // The headline rank-revealing property: the full kappa shows up as the
+  // ratio of first to last pivot.
+  const double spread = std::abs(static_cast<double>(r(0, 0))) /
+                        std::abs(static_cast<double>(r(n - 1, n - 1)));
+  EXPECT_GT(spread, kappa / 1e3);
+  EXPECT_LT(spread, kappa * 1e3);
+}
+
+TEST(Qrp, WideMatrixThrows) {
+  EXPECT_THROW(QrpFactorization(Matrix(3, 5)), util::CheckError);
 }
 
 }  // namespace

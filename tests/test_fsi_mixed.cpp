@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "fsi/bsofi/bsofi.hpp"
@@ -18,6 +19,7 @@
 #include "fsi/qmc/hubbard.hpp"
 #include "fsi/qmc/multi_gf.hpp"
 #include "fsi/selinv/fsi.hpp"
+#include "fsi/util/check.hpp"
 #include "testing.hpp"
 
 namespace {
@@ -298,6 +300,24 @@ TEST(PrecisionHelpers, ParseNamesAndWireCodes) {
   EXPECT_TRUE(precision_from_u32(0, q));
   EXPECT_EQ(q, Precision::Fp64);
   EXPECT_FALSE(precision_from_u32(7, q));
+}
+
+TEST(PrecisionHelpers, EnvValueFailsLoudOnGarbage) {
+  // Unset / empty keep the fp64 default...
+  EXPECT_EQ(precision_from_env_value(nullptr), Precision::Fp64);
+  EXPECT_EQ(precision_from_env_value(""), Precision::Fp64);
+  EXPECT_EQ(precision_from_env_value("MIXED"), Precision::Mixed);
+  EXPECT_EQ(precision_from_env_value("double"), Precision::Fp64);
+  // ...but a typo must throw, not silently run the whole job in fp64.
+  EXPECT_THROW(precision_from_env_value("fp16"), util::CheckError);
+  try {
+    precision_from_env_value("fast");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fast"), std::string::npos);
+    EXPECT_NE(what.find("mixed"), std::string::npos);
+  }
 }
 
 }  // namespace
